@@ -1,0 +1,76 @@
+// Command prefbench regenerates every table and figure of the paper's
+// evaluation (Section 5) and prints them as aligned text tables with the
+// paper's reference values in the notes.
+//
+// Usage:
+//
+//	prefbench                    # run everything
+//	prefbench -exp fig7          # one experiment
+//	prefbench -exp table1,fig11a # several
+//	prefbench -sf 0.02 -parts 10 # larger data
+//	prefbench -list              # available experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pref/internal/bench"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id(s), comma separated, or 'all'")
+		sf     = flag.Float64("sf", 0.01, "TPC-H scale factor")
+		dssf   = flag.Float64("dssf", 1.0, "TPC-DS scale factor")
+		parts  = flag.Int("parts", 10, "number of partitions / nodes")
+		seed   = flag.Int64("seed", 42, "generator seed")
+		expand = flag.Bool("expand", false, "fig12: sweep every node count 1..100 instead of a coarse grid")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.ExperimentOrder {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	p := bench.DefaultParams()
+	p.SF = *sf
+	p.DSSF = *dssf
+	p.Parts = *parts
+	p.Seed = *seed
+	p.Expand = *expand
+
+	ids := bench.ExperimentOrder
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+	failed := false
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		fn, ok := bench.Experiments[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "prefbench: unknown experiment %q (use -list)\n", id)
+			failed = true
+			continue
+		}
+		start := time.Now()
+		r, err := fn(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prefbench: %s: %v\n", id, err)
+			failed = true
+			continue
+		}
+		fmt.Print(r.String())
+		fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

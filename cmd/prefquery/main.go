@@ -1,0 +1,131 @@
+// Command prefquery runs one TPC-H query against a chosen partitioning
+// variant, printing the rewritten physical plan (EXPLAIN with the
+// Dup/Part properties of Section 2.2), the result sample, and the
+// execution telemetry.
+//
+// Usage:
+//
+//	prefquery -q Q3                      # Q3 on the SD design
+//	prefquery -q Q9 -variant CP          # compare against classical
+//	prefquery -q Q5 -variant SD-paper -explain-only
+//	prefquery -q Q4 -no-opt              # disable the Section 2.2 optimizations
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pref/internal/bench"
+	"pref/internal/design"
+	"pref/internal/engine"
+	"pref/internal/partition"
+	"pref/internal/plan"
+	"pref/internal/tpch"
+)
+
+func main() {
+	var (
+		query       = flag.String("q", "Q3", "TPC-H query name (Q1..Q22)")
+		variant     = flag.String("variant", "SD", "partitioning variant: CP | SD | SD-paper | SD-noRed | WD | AllHashed | AllReplicated")
+		cfgPath     = flag.String("config", "", "load the partitioning configuration from a JSON file (overrides -variant)")
+		sf          = flag.Float64("sf", 0.01, "TPC-H scale factor")
+		parts       = flag.Int("parts", 10, "number of partitions")
+		seed        = flag.Int64("seed", 42, "generator seed")
+		explainOnly = flag.Bool("explain-only", false, "print the plan without executing")
+		noOpt       = flag.Bool("no-opt", false, "disable the dup/hasRef optimizations and pruning")
+		maxRows     = flag.Int("rows", 10, "result rows to print")
+	)
+	flag.Parse()
+
+	if err := run(*query, *variant, *cfgPath, *sf, *parts, *seed, *explainOnly, *noOpt, *maxRows); err != nil {
+		fmt.Fprintln(os.Stderr, "prefquery:", err)
+		os.Exit(1)
+	}
+}
+
+func run(query, variant, cfgPath string, sf float64, parts int, seed int64, explainOnly, noOpt bool, maxRows int) error {
+	t := tpch.Generate(sf, seed)
+	var v *bench.Variant
+	if cfgPath != "" {
+		data, err := os.ReadFile(cfgPath)
+		if err != nil {
+			return err
+		}
+		var cfg partition.Config
+		if err := json.Unmarshal(data, &cfg); err != nil {
+			return err
+		}
+		if err := cfg.Validate(t.DB.Schema); err != nil {
+			return err
+		}
+		v = bench.SingleGroupVariant("custom:"+cfgPath, &cfg)
+		variant = v.Name
+	} else {
+		vs, err := bench.TPCHVariants(t, parts)
+		if err != nil {
+			return err
+		}
+		var ok bool
+		v, ok = vs[variant]
+		if !ok {
+			return fmt.Errorf("unknown variant %q", variant)
+		}
+	}
+	m, err := bench.Materialize(v, t.DB)
+	if err != nil {
+		return err
+	}
+	gi := v.RouteFor(query)
+	cfg := v.Groups[gi].Config
+	fmt.Printf("%s on %s (group %d, %d partitions, DL=%.2f DR=%.2f)\n\n",
+		query, variant, gi, parts, m.DL, m.DR)
+
+	opt := plan.Options{Sizes: design.SizesOf(t.DB)}
+	if noOpt {
+		opt.DisableHasRefOpt = true
+		opt.DisableDupIndex = true
+		opt.DisablePruning = true
+	}
+	rw, err := plan.Rewrite(t.Query(query), t.DB.Schema, cfg, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Println("physical plan:")
+	fmt.Print(rw.Explain())
+	if explainOnly {
+		return nil
+	}
+
+	start := time.Now()
+	res, err := engine.Execute(rw, m.PDBs[gi])
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	res.SortRows()
+
+	fmt.Printf("\n%d result rows", len(res.Rows))
+	if len(res.Rows) > maxRows {
+		fmt.Printf(" (showing %d)", maxRows)
+	}
+	fmt.Println(":")
+	names := res.Schema.Names()
+	fmt.Printf("  %v\n", names)
+	for i, row := range res.Rows {
+		if i >= maxRows {
+			break
+		}
+		fmt.Printf("  %v\n", []int64(row))
+	}
+
+	cost := engine.DefaultCostModel()
+	fmt.Printf("\ntelemetry: %d bytes shipped, %d rows shipped, %d repartitions, %d broadcasts\n",
+		res.Stats.BytesShipped, res.Stats.RowsShipped, res.Stats.Repartitions, res.Stats.Broadcasts)
+	fmt.Printf("           %d rows processed (max node %d)\n",
+		res.Stats.RowsProcessed, res.Stats.MaxNodeRows)
+	fmt.Printf("time:      wall %v, simulated cluster %v\n", wall.Round(time.Microsecond), cost.Simulate(res.Stats))
+	return nil
+}

@@ -1,0 +1,75 @@
+// tpch_locality: run the schema-driven design algorithm on TPC-H and
+// compare query execution against classical partitioning — the paper's
+// Section 5.1 story at laptop scale.
+//
+// Run with: go run ./examples/tpch_locality
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"pref"
+)
+
+func main() {
+	// A deterministic micro TPC-H: same schema, ratios and distributions
+	// as dbgen, ~86k rows at SF 0.01.
+	t := pref.GenerateTPCH(0.01, 42)
+	db := t.DB
+	const parts = 10
+	small := []string{"nation", "region", "supplier"}
+
+	// Classical partitioning: co-partition lineitem and orders on the
+	// join key, replicate everything else.
+	cp := pref.NewConfig(parts)
+	cp.SetHash("lineitem", "orderkey")
+	cp.SetHash("orders", "orderkey")
+	for _, tbl := range []string{"customer", "part", "partsupp", "supplier", "nation", "region"} {
+		cp.Set(&pref.TableScheme{Table: tbl, Method: pref.Replicated})
+	}
+
+	// Schema-driven PREF design over the non-small tables.
+	d, err := pref.SchemaDriven(db.Without(small...), pref.SDOptions{Parts: parts})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sd := d.Config.Clone()
+	for _, tbl := range small {
+		sd.Set(&pref.TableScheme{Table: tbl, Method: pref.Replicated})
+	}
+	fmt.Printf("schema-driven design (seed: %s, DL=%.2f, estimated DR=%.2f):\n%s\n",
+		strings.Join(d.Seeds, ","), d.DL, d.Est.DR(), d.Config)
+
+	cpPDB, err := pref.Apply(db, cp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sdPDB, err := pref.Apply(db, sd)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("storage: CP %d rows (DR=%.2f)  vs  SD %d rows (DR=%.2f)\n\n",
+		cpPDB.TotalStoredRows(), cpPDB.DataRedundancy(),
+		sdPDB.TotalStoredRows(), sdPDB.DataRedundancy())
+
+	// Execute a few representative queries under both designs.
+	cost := pref.DefaultCostModel()
+	fmt.Println("query   CP sim      SD sim      CP bytes    SD bytes")
+	for _, name := range []string{"Q3", "Q5", "Q9", "Q10", "Q12"} {
+		cpRes, err := pref.Run(t.Query(name), db.Schema, cp, cpPDB)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sdRes, err := pref.Run(t.Query(name), db.Schema, sd, sdPDB)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s %10v %11v %11d %11d\n", name,
+			cost.Simulate(cpRes.Stats).Round(10e3), cost.Simulate(sdRes.Stats).Round(10e3),
+			cpRes.Stats.BytesShipped, sdRes.Stats.BytesShipped)
+	}
+	fmt.Println("\nthe PREF design stores ~2.4x less than classical replication while")
+	fmt.Println("keeping the fk joins node-local (run cmd/prefbench for all figures)")
+}

@@ -1,0 +1,3 @@
+module pref
+
+go 1.22

@@ -1,0 +1,95 @@
+package bench
+
+import "testing"
+
+func TestAblationSpanningTree(t *testing.T) {
+	r, err := AblationSpanningTree(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDL, _ := r.Value("maximum (paper)", "DL")
+	minDL, _ := r.Value("minimum", "DL")
+	if maxDL <= minDL {
+		t.Fatalf("MAST DL %v must beat minimum tree %v", maxDL, minDL)
+	}
+	if maxDL < 0.9 {
+		t.Fatalf("MAST DL = %v, want near 1", maxDL)
+	}
+}
+
+func TestAblationEstimator(t *testing.T) {
+	r, err := AblationEstimator(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ours, _ := r.Value("joint E[X] (ours)", "rel_error")
+	literal, _ := r.Value("literal E[X] (paper)", "rel_error")
+	naive, _ := r.Value("min(n,f) bound", "rel_error")
+	if ours >= literal {
+		t.Fatalf("joint estimator error %v must beat the literal formula %v", ours, literal)
+	}
+	if literal > naive {
+		t.Fatalf("the literal E[X] (%v) should not be worse than the naive bound (%v)", literal, naive)
+	}
+	if ours > 0.25 {
+		t.Fatalf("joint estimator error = %v, want small", ours)
+	}
+}
+
+func TestAblationPartitionIndex(t *testing.T) {
+	p := smallParams()
+	r, err := AblationPartitionIndex(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanned, _ := r.Value("without index", "rows_scanned")
+	lookups, _ := r.Value("with index (paper)", "lookups")
+	if scanned <= lookups*10 {
+		t.Fatalf("scan path (%v rows) should dwarf indexed lookups (%v)", scanned, lookups)
+	}
+	if s, _ := r.Value("with index (paper)", "rows_scanned"); s != 0 {
+		t.Fatal("indexed loading must not scan")
+	}
+}
+
+func TestAblationWDPhase1(t *testing.T) {
+	r, err := AblationWDPhase1(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, _ := r.Value("with phase 1 (paper)", "units_into_phase2")
+	without, _ := r.Value("without phase 1", "units_into_phase2")
+	if with >= without {
+		t.Fatalf("phase 1 must shrink the unit count: %v vs %v", with, without)
+	}
+}
+
+func TestAblationPruning(t *testing.T) {
+	r, err := AblationPruning(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, _ := r.Value("lookup pruned (extension)", "rows_processed")
+	full, _ := r.Value("lookup unpruned", "rows_processed")
+	if pruned*2 >= full {
+		t.Fatalf("lookup pruning should cut cluster work substantially: %v vs %v", pruned, full)
+	}
+}
+
+func TestExtOLTP(t *testing.T) {
+	r, err := ExtOLTP(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd, _ := r.Value("WD no-redundancy (outlook)", "single_node_pct")
+	hashed, _ := r.Value("AllHashed on pk", "single_node_pct")
+	if wd != 100 {
+		t.Fatalf("OLTP design single-node fraction = %v%%, want 100%%", wd)
+	}
+	if hashed >= wd {
+		t.Fatalf("hashing (%v%%) cannot beat the clustered design (%v%%)", hashed, wd)
+	}
+	if dr, _ := r.Value("WD no-redundancy (outlook)", "DR"); dr > 1e-9 {
+		t.Fatalf("OLTP design DR = %v, want 0", dr)
+	}
+}

@@ -1,0 +1,496 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"pref/internal/bulkload"
+	"pref/internal/design"
+	"pref/internal/engine"
+	"pref/internal/partition"
+	"pref/internal/plan"
+	"pref/internal/table"
+	"pref/internal/tpcds"
+	"pref/internal/tpch"
+)
+
+// Params controls every experiment: data scale, cluster width, RNG seed.
+// The defaults mirror Section 5 at laptop scale: 10 partitions, TPC-H
+// uniform, TPC-DS skewed.
+type Params struct {
+	SF     float64 // TPC-H scale factor (micro-scale; 0.01 ≈ 60k lineitems)
+	DSSF   float64 // TPC-DS scale factor
+	Parts  int
+	Seed   int64
+	Cost   engine.CostModel
+	Expand bool // include every node count in fig12 (else a coarse sweep)
+	// CacheFraction sizes the per-node buffer pool relative to the fair
+	// per-node share of the database (|D|/n rows). The paper's testbed
+	// (3.75 GB m1.medium nodes, SF 10) sat exactly in the regime where a
+	// node's fair share fits in cache but replicated big tables do not —
+	// which is what wrecked CP on PARTSUPP-heavy queries (Section 5.1).
+	CacheFraction float64
+	// MissFactor is the out-of-cache probe penalty (engine.ExecOptions).
+	MissFactor float64
+}
+
+// DefaultParams returns laptop-scale experiment parameters.
+func DefaultParams() Params {
+	return Params{
+		SF: 0.01, DSSF: 1.0, Parts: 10, Seed: 42,
+		Cost: engine.DefaultCostModel(), CacheFraction: 0.8, MissFactor: 15,
+	}
+}
+
+// execOptions derives the engine execution model for a database size.
+func (p Params) execOptions(totalRows int) engine.ExecOptions {
+	if p.CacheFraction <= 0 {
+		return engine.ExecOptions{}
+	}
+	return engine.ExecOptions{
+		CacheRows:  int(p.CacheFraction * float64(totalRows) / float64(p.Parts)),
+		MissFactor: p.MissFactor,
+	}
+}
+
+// execVariants are the four execution variants of Figures 7, 8 and 10.
+var execVariants = []string{"CP", "SD", "SD-paper", "SD-noRed", "WD"}
+
+// ExcludedQueries are dropped from the Figure 7 totals, exactly as the
+// paper drops Q13 and Q22 (they did not finish under any configuration on
+// MySQL; we still run them in Figure 8's per-query detail).
+var ExcludedQueries = map[string]bool{"Q13": true, "Q22": true}
+
+// queryRun is one executed query: telemetry plus times.
+type queryRun struct {
+	Stats engine.Stats
+	Sim   time.Duration
+	Wall  time.Duration
+}
+
+// runQuery routes, rewrites and executes one TPC-H query on a variant.
+func runQuery(t *tpch.TPCH, v *Variant, m *Materialized, query string, opt plan.Options, cost engine.CostModel, eopt engine.ExecOptions) (*queryRun, error) {
+	gi := v.RouteFor(query)
+	pdb := m.PDBs[gi]
+	cfg := v.Groups[gi].Config
+	if opt.Sizes == nil {
+		opt.Sizes = design.SizesOf(t.DB)
+	}
+	rw, err := plan.Rewrite(t.Query(query), t.DB.Schema, cfg, opt)
+	if err != nil {
+		return nil, fmt.Errorf("%s on %s: %w", query, v.Name, err)
+	}
+	start := time.Now()
+	res, err := engine.ExecuteOpts(rw, pdb, eopt)
+	if err != nil {
+		return nil, fmt.Errorf("%s on %s: %w", query, v.Name, err)
+	}
+	return &queryRun{Stats: res.Stats, Sim: cost.Simulate(res.Stats), Wall: time.Since(start)}, nil
+}
+
+// Table1 regenerates Table 1: data-locality and data-redundancy of the
+// four TPC-H variants.
+func Table1(p Params) (*Report, error) {
+	t := tpch.Generate(p.SF, p.Seed)
+	vs, err := TPCHVariants(t, p.Parts)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{ID: "table1", Title: "TPC-H variants: data-locality vs data-redundancy",
+		Columns: []string{"DL", "DR"}}
+	for _, name := range execVariants {
+		m, err := Materialize(vs[name], t.DB)
+		if err != nil {
+			return nil, err
+		}
+		r.Add(name, m.DL, m.DR)
+	}
+	r.Notes = append(r.Notes, "paper (Table 1): CP 1.0/1.21, SD 1.0/0.5, SD-noRed 0.7/0.19, WD 1.0/1.5")
+	return r, nil
+}
+
+// Fig7 regenerates Figure 7: total runtime of the TPC-H queries per
+// variant (Q13/Q22 excluded, as in the paper).
+func Fig7(p Params) (*Report, error) {
+	t := tpch.Generate(p.SF, p.Seed)
+	vs, err := TPCHVariants(t, p.Parts)
+	if err != nil {
+		return nil, err
+	}
+	eopt := p.execOptions(t.DB.TotalRows())
+	r := &Report{ID: "fig7", Title: "Total TPC-H runtime per variant",
+		Columns: []string{"sim_ms", "wall_ms", "MB_shipped"}}
+	for _, name := range execVariants {
+		m, err := Materialize(vs[name], t.DB)
+		if err != nil {
+			return nil, err
+		}
+		var sim, wall time.Duration
+		var bytes int64
+		for _, q := range tpch.QueryNames {
+			if ExcludedQueries[q] {
+				continue
+			}
+			run, err := runQuery(t, vs[name], m, q, plan.Options{}, p.Cost, eopt)
+			if err != nil {
+				return nil, err
+			}
+			sim += run.Sim
+			wall += run.Wall
+			bytes += run.Stats.BytesShipped
+		}
+		r.Add(name, float64(sim.Milliseconds()), float64(wall.Milliseconds()), float64(bytes)/1e6)
+	}
+	r.Notes = append(r.Notes, "paper shape: WD < SD ≲ SD-noRed < CP")
+	return r, nil
+}
+
+// Fig8 regenerates Figure 8: per-query simulated runtime per variant.
+func Fig8(p Params) (*Report, error) {
+	t := tpch.Generate(p.SF, p.Seed)
+	vs, err := TPCHVariants(t, p.Parts)
+	if err != nil {
+		return nil, err
+	}
+	mats := map[string]*Materialized{}
+	for _, name := range execVariants {
+		m, err := Materialize(vs[name], t.DB)
+		if err != nil {
+			return nil, err
+		}
+		mats[name] = m
+	}
+	eopt := p.execOptions(t.DB.TotalRows())
+	r := &Report{ID: "fig8", Title: "Per-query simulated runtime (ms)", Columns: execVariants}
+	for _, q := range tpch.QueryNames {
+		vals := make([]float64, 0, len(execVariants))
+		for _, name := range execVariants {
+			run, err := runQuery(t, vs[name], mats[name], q, plan.Options{}, p.Cost, eopt)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, float64(run.Sim.Microseconds())/1000)
+		}
+		r.Add(q, vals...)
+	}
+	return r, nil
+}
+
+// PaperSDConfig is the exact SD configuration the paper reports for
+// "SD (wo small tables)" (Section 5.1): LINEITEM as the seed table, the
+// other large tables recursively PREF-partitioned, small tables
+// replicated. Figure 9 runs on this configuration, where CUSTOMER is
+// PREF-partitioned (so its dup/hasS indexes are exercised). Our own SD
+// run may legally pick a different seed with a smaller estimate — see
+// EXPERIMENTS.md.
+func PaperSDConfig(n int) *partition.Config {
+	cfg := partition.NewConfig(n)
+	cfg.SetHash("lineitem", "orderkey")
+	cfg.SetPref("orders", "lineitem", []string{"orderkey"}, []string{"orderkey"})
+	cfg.SetPref("customer", "orders", []string{"custkey"}, []string{"custkey"})
+	cfg.SetPref("partsupp", "lineitem", []string{"partkey", "suppkey"}, []string{"partkey", "suppkey"})
+	cfg.SetPref("part", "partsupp", []string{"partkey"}, []string{"partkey"})
+	for _, tbl := range []string{"supplier", "nation", "region"} {
+		cfg.SetReplicated(tbl)
+	}
+	return cfg
+}
+
+// Fig9 regenerates Figure 9: the dup/hasRef-index optimizations on a
+// distinct count, a semi join, and an anti join (with vs without).
+func Fig9(p Params) (*Report, error) {
+	t := tpch.Generate(p.SF, p.Seed)
+	sd := singleGroup("SD-paper", PaperSDConfig(p.Parts))
+	m, err := Materialize(sd, t.DB)
+	if err != nil {
+		return nil, err
+	}
+	eopt := p.execOptions(t.DB.TotalRows())
+
+	distinct := func() plan.Node {
+		return plan.Aggregate(plan.Scan("customer", "c"), nil, plan.Count("cnt"))
+	}
+	semi := func() plan.Node {
+		j := plan.Join(plan.Scan("customer", "c"), plan.Scan("orders", "o"),
+			plan.Semi, []string{"c.custkey"}, []string{"o.custkey"})
+		return plan.Aggregate(j, nil, plan.Count("cnt"))
+	}
+	anti := func() plan.Node {
+		j := plan.Join(plan.Scan("customer", "c"), plan.Scan("orders", "o"),
+			plan.Anti, []string{"c.custkey"}, []string{"o.custkey"})
+		return plan.Aggregate(j, nil, plan.Count("cnt"))
+	}
+	cases := []struct {
+		name string
+		mk   func() plan.Node
+	}{{"distinct", distinct}, {"semi_join", semi}, {"anti_join", anti}}
+
+	r := &Report{ID: "fig9", Title: "Optimization effectiveness on SD (simulated ms)",
+		Columns: []string{"with_opt", "without_opt", "speedup"}}
+	for _, c := range cases {
+		with, err := execOn(c.mk(), t, sd, m, plan.Options{}, p.Cost, eopt)
+		if err != nil {
+			return nil, err
+		}
+		without, err := execOn(c.mk(), t, sd, m,
+			plan.Options{DisableHasRefOpt: true, DisableDupIndex: true}, p.Cost, eopt)
+		if err != nil {
+			return nil, err
+		}
+		speedup := float64(without.Sim) / float64(with.Sim)
+		r.Add(c.name, float64(with.Sim.Microseconds())/1000,
+			float64(without.Sim.Microseconds())/1000, speedup)
+	}
+	r.Notes = append(r.Notes, "paper: ~2 orders of magnitude for distinct/semi; anti join aborted without optimization")
+	return r, nil
+}
+
+func execOn(node plan.Node, t *tpch.TPCH, v *Variant, m *Materialized, opt plan.Options, cost engine.CostModel, eopt engine.ExecOptions) (*queryRun, error) {
+	cfg := v.Groups[0].Config
+	rw, err := plan.Rewrite(node, t.DB.Schema, cfg, opt)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := engine.ExecuteOpts(rw, m.PDBs[0], eopt)
+	if err != nil {
+		return nil, err
+	}
+	return &queryRun{Stats: res.Stats, Sim: cost.Simulate(res.Stats), Wall: time.Since(start)}, nil
+}
+
+// Fig10 regenerates Figure 10: bulk-loading cost per variant
+// (tuple-at-a-time with partition indexes).
+func Fig10(p Params) (*Report, error) {
+	t := tpch.Generate(p.SF, p.Seed)
+	vs, err := TPCHVariants(t, p.Parts)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{ID: "fig10", Title: "Bulk loading cost per variant",
+		Columns: []string{"wall_ms", "stored_rows", "index_lookups"}}
+	for _, name := range execVariants {
+		v := vs[name]
+		var wall time.Duration
+		var stored, lookups int
+		for _, g := range v.Groups {
+			pdb := emptyPDB(t.DB, g.Config)
+			loader := bulkload.NewLoader(pdb, g.Config)
+			start := time.Now()
+			sub := subDB(t.DB, g.Config)
+			if _, err := loader.LoadDatabase(sub); err != nil {
+				return nil, fmt.Errorf("variant %s: %w", name, err)
+			}
+			wall += time.Since(start)
+			stored += pdb.TotalStoredRows()
+			lookups += loader.Lookups
+		}
+		r.Add(name, float64(wall.Milliseconds()), float64(stored), float64(lookups))
+	}
+	r.Notes = append(r.Notes, "paper shape: CP ≈ SD < SD-noRed < WD")
+	return r, nil
+}
+
+func emptyPDB(db *table.Database, cfg *partition.Config) *table.PartitionedDatabase {
+	pdb := &table.PartitionedDatabase{
+		Schema: db.Schema, Tables: map[string]*table.Partitioned{}, N: cfg.NumPartitions,
+	}
+	for name := range cfg.Schemes {
+		pdb.Tables[name] = table.NewPartitioned(db.Tables[name].Meta, cfg.NumPartitions)
+	}
+	return pdb
+}
+
+func subDB(db *table.Database, cfg *partition.Config) *table.Database {
+	var absent []string
+	for _, t := range db.Schema.TableNames() {
+		if cfg.Scheme(t) == nil {
+			absent = append(absent, t)
+		}
+	}
+	if len(absent) == 0 {
+		return db
+	}
+	return db.Without(absent...)
+}
+
+// Fig11a regenerates Figure 11(a): DL vs DR for the TPC-H variants.
+func Fig11a(p Params) (*Report, error) {
+	t := tpch.Generate(p.SF, p.Seed)
+	vs, err := TPCHVariants(t, p.Parts)
+	if err != nil {
+		return nil, err
+	}
+	order := []string{"AllHashed", "AllReplicated", "CP", "SD", "SD-noRed", "WD"}
+	r := &Report{ID: "fig11a", Title: "TPC-H locality vs redundancy",
+		Columns: []string{"DL", "DR"}}
+	for _, name := range order {
+		m, err := Materialize(vs[name], t.DB)
+		if err != nil {
+			return nil, err
+		}
+		r.Add(name, m.DL, m.DR)
+	}
+	r.Notes = append(r.Notes,
+		"paper: AllHashed 0/0, AllRepl 1/9, CP 1/1.21, SD 1/0.5, SD-noRed 0.7/0.19, WD 1/1.5")
+	return r, nil
+}
+
+// Fig11b regenerates Figure 11(b): DL vs DR for the TPC-DS variants.
+func Fig11b(p Params) (*Report, error) {
+	t := tpcds.Generate(p.DSSF, p.Seed)
+	vs, err := TPCDSVariants(t, p.Parts)
+	if err != nil {
+		return nil, err
+	}
+	order := []string{"AllHashed", "AllReplicated", "CP-Naive", "CP-Stars", "SD-Naive", "SD-Stars", "WD"}
+	r := &Report{ID: "fig11b", Title: "TPC-DS locality vs redundancy",
+		Columns: []string{"DL", "DR"}}
+	for _, name := range order {
+		m, err := Materialize(vs[name], t.DB)
+		if err != nil {
+			return nil, err
+		}
+		r.Add(name, m.DL, m.DR)
+	}
+	r.Notes = append(r.Notes,
+		"paper: AllHashed 0/0, AllRepl 1/9, CP-Naive 1/4.15, CP-Stars 1/1.32, SD-Naive 0.49/0.23, SD-Stars 0.65/0.38, WD 1/1.4")
+	return r, nil
+}
+
+// fig12NodeCounts is the scale-out sweep of Figure 12.
+func fig12NodeCounts(expand bool) []int {
+	if expand {
+		out := make([]int, 0, 100)
+		for n := 1; n <= 100; n++ {
+			out = append(out, n)
+		}
+		return out
+	}
+	return []int{1, 10, 20, 40, 60, 80, 100}
+}
+
+// Fig12a regenerates Figure 12(a): TPC-H data-redundancy vs node count.
+func Fig12a(p Params) (*Report, error) {
+	t := tpch.Generate(p.SF, p.Seed)
+	r := &Report{ID: "fig12a", Title: "TPC-H redundancy vs number of nodes",
+		Columns: []string{"CP", "SD", "WD"}}
+	for _, n := range fig12NodeCounts(p.Expand) {
+		vs, err := TPCHVariants(t, n)
+		if err != nil {
+			return nil, err
+		}
+		var vals []float64
+		for _, name := range []string{"CP", "SD", "WD"} {
+			m, err := Materialize(vs[name], t.DB)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, m.DR)
+		}
+		r.Add(fmt.Sprintf("n=%d", n), vals...)
+	}
+	r.Notes = append(r.Notes, "paper shape: CP grows linearly; SD/WD sub-linearly")
+	return r, nil
+}
+
+// Fig12b regenerates Figure 12(b): TPC-DS data-redundancy vs node count.
+func Fig12b(p Params) (*Report, error) {
+	t := tpcds.Generate(p.DSSF, p.Seed)
+	r := &Report{ID: "fig12b", Title: "TPC-DS redundancy vs number of nodes",
+		Columns: []string{"CP-Stars", "SD-Stars", "WD"}}
+	for _, n := range fig12NodeCounts(p.Expand) {
+		vs, err := TPCDSVariants(t, n)
+		if err != nil {
+			return nil, err
+		}
+		var vals []float64
+		for _, name := range []string{"CP-Stars", "SD-Stars", "WD"} {
+			m, err := Materialize(vs[name], t.DB)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, m.DR)
+		}
+		r.Add(fmt.Sprintf("n=%d", n), vals...)
+	}
+	return r, nil
+}
+
+// Fig13 regenerates Figure 13: redundancy-estimate accuracy and design
+// runtime under sampling, for uniform TPC-H vs skewed TPC-DS.
+func Fig13(p Params) (*Report, error) {
+	rates := []float64{0.01, 0.02, 0.05, 0.10, 0.20, 0.50, 1.00}
+	th := tpch.Generate(p.SF, p.Seed)
+	thReduced := th.DB.Without(tpch.SmallTables()...)
+	ds := tpcds.Generate(p.DSSF, p.Seed)
+	dsReduced := ds.DB.Without(tpcds.SmallTables()...)
+
+	r := &Report{ID: "fig13", Title: "Estimate error and SD runtime vs sampling rate",
+		Columns: []string{"tpch_err", "tpch_ms", "tpcds_err", "tpcds_ms"}}
+
+	measure := func(db *table.Database, rate float64) (float64, float64, error) {
+		start := time.Now()
+		d, err := design.SchemaDriven(db, design.SDOptions{
+			Parts: p.Parts, SampleRate: rate, SampleSeed: p.Seed,
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		pdb, err := partition.Apply(db, d.Config)
+		if err != nil {
+			return 0, 0, err
+		}
+		actual := pdb.DataRedundancy()
+		est := d.Est.DR()
+		var errRel float64
+		if actual > 1e-9 {
+			errRel = abs(est-actual) / actual
+		} else {
+			errRel = abs(est - actual)
+		}
+		return errRel, ms, nil
+	}
+
+	for _, rate := range rates {
+		thErr, thMs, err := measure(thReduced, rate)
+		if err != nil {
+			return nil, err
+		}
+		dsErr, dsMs, err := measure(dsReduced, rate)
+		if err != nil {
+			return nil, err
+		}
+		r.Add(fmt.Sprintf("%.0f%%", rate*100), thErr, thMs, dsErr, dsMs)
+	}
+	r.Notes = append(r.Notes, "paper: ~3% error for TPC-H and ~8% for TPC-DS at 10% sampling")
+	return r, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Experiments maps experiment ids to their drivers, for cmd/prefbench.
+var Experiments = map[string]func(Params) (*Report, error){
+	"table1": Table1,
+	"fig7":   Fig7,
+	"fig8":   Fig8,
+	"fig9":   Fig9,
+	"fig10":  Fig10,
+	"fig11a": Fig11a,
+	"fig11b": Fig11b,
+	"fig12a": Fig12a,
+	"fig12b": Fig12b,
+	"fig13":  Fig13,
+}
+
+// ExperimentOrder lists experiment ids in presentation order.
+var ExperimentOrder = []string{
+	"table1", "fig7", "fig8", "fig9", "fig10",
+	"fig11a", "fig11b", "fig12a", "fig12b", "fig13",
+}

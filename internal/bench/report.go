@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is one regenerated table/figure: named columns and labeled rows,
+// printable as aligned text (the format cmd/prefbench emits and
+// EXPERIMENTS.md records).
+type Report struct {
+	ID      string // experiment id, e.g. "fig7"
+	Title   string
+	Columns []string
+	Rows    []ReportRow
+	Notes   []string
+}
+
+// ReportRow is one labeled series of values.
+type ReportRow struct {
+	Label  string
+	Values []float64
+}
+
+// Add appends one row.
+func (r *Report) Add(label string, values ...float64) {
+	r.Rows = append(r.Rows, ReportRow{Label: label, Values: values})
+}
+
+// Value looks up a cell by row label and column name (NaN-free zero when
+// missing), for tests and benchmark metrics.
+func (r *Report) Value(label, column string) (float64, bool) {
+	ci := -1
+	for i, c := range r.Columns {
+		if c == column {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		return 0, false
+	}
+	for _, row := range r.Rows {
+		if row.Label == label && ci < len(row.Values) {
+			return row.Values[ci], true
+		}
+	}
+	return 0, false
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	labelW := len("variant")
+	for _, row := range r.Rows {
+		if len(row.Label) > labelW {
+			labelW = len(row.Label)
+		}
+	}
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c) + 2
+		if widths[i] < 16 {
+			widths[i] = 16
+		}
+	}
+	fmt.Fprintf(&sb, "%-*s", labelW+2, "")
+	for i, c := range r.Columns {
+		fmt.Fprintf(&sb, "%*s", widths[i], c)
+	}
+	sb.WriteByte('\n')
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-*s", labelW+2, row.Label)
+		for i, v := range row.Values {
+			w := 16
+			if i < len(widths) {
+				w = widths[i]
+			}
+			switch {
+			case v == float64(int64(v)) && v < 1e15:
+				fmt.Fprintf(&sb, "%*.0f", w, v)
+			default:
+				fmt.Fprintf(&sb, "%*.4f", w, v)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}

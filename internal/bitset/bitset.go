@@ -1,0 +1,102 @@
+// Package bitset provides a dense, growable bitmap used to back the
+// PREF bitmap indexes (the per-tuple dup and hasRef flags from Section 2
+// of the paper). It is deliberately minimal: fixed-width word storage,
+// no compression, O(1) get/set, and popcount-based cardinality.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Bitset is a growable set of bit positions. The zero value is an empty
+// bitset ready to use.
+type Bitset struct {
+	words []uint64
+	n     int // logical length in bits
+}
+
+// New returns a bitset with the given logical length, all bits zero.
+func New(n int) *Bitset {
+	if n < 0 {
+		n = 0
+	}
+	return &Bitset{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len reports the logical length in bits.
+func (b *Bitset) Len() int { return b.n }
+
+// grow ensures position i is addressable, extending the logical length.
+func (b *Bitset) grow(i int) {
+	if i < b.n {
+		return
+	}
+	b.n = i + 1
+	need := (b.n + wordBits - 1) / wordBits
+	if need > len(b.words) {
+		w := make([]uint64, need*2)
+		copy(w, b.words)
+		b.words = w[:need]
+	}
+}
+
+// Set sets bit i to v, growing the bitset if needed.
+func (b *Bitset) Set(i int, v bool) {
+	if i < 0 {
+		panic(fmt.Sprintf("bitset: negative index %d", i))
+	}
+	b.grow(i)
+	if v {
+		b.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+	} else {
+		b.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+	}
+}
+
+// Append adds one bit at the end.
+func (b *Bitset) Append(v bool) {
+	b.Set(b.n, v)
+}
+
+// Get reports bit i. Positions beyond Len are false.
+func (b *Bitset) Get(i int) bool {
+	if i < 0 || i >= b.n {
+		return false
+	}
+	return b.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clone returns a deep copy.
+func (b *Bitset) Clone() *Bitset {
+	w := make([]uint64, len(b.words))
+	copy(w, b.words)
+	return &Bitset{words: w, n: b.n}
+}
+
+// String renders the bitset as a 0/1 string, most significant bit last,
+// e.g. "0110". Intended for tests and debugging.
+func (b *Bitset) String() string {
+	var sb strings.Builder
+	sb.Grow(b.n)
+	for i := 0; i < b.n; i++ {
+		if b.Get(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}

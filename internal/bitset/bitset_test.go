@@ -1,0 +1,148 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValue(t *testing.T) {
+	var b Bitset
+	if b.Len() != 0 {
+		t.Fatalf("zero value Len = %d, want 0", b.Len())
+	}
+	if b.Get(0) || b.Get(100) {
+		t.Fatal("zero value should report false everywhere")
+	}
+	b.Append(true)
+	b.Append(false)
+	b.Append(true)
+	if got := b.String(); got != "101" {
+		t.Fatalf("String = %q, want 101", got)
+	}
+}
+
+func TestSetGet(t *testing.T) {
+	b := New(130)
+	positions := []int{0, 1, 63, 64, 65, 127, 128, 129}
+	for _, p := range positions {
+		b.Set(p, true)
+	}
+	for _, p := range positions {
+		if !b.Get(p) {
+			t.Errorf("bit %d not set", p)
+		}
+	}
+	if got := b.Count(); got != len(positions) {
+		t.Fatalf("Count = %d, want %d", got, len(positions))
+	}
+	b.Set(64, false)
+	if b.Get(64) {
+		t.Error("bit 64 should be cleared")
+	}
+	if got := b.Count(); got != len(positions)-1 {
+		t.Fatalf("Count after clear = %d, want %d", got, len(positions)-1)
+	}
+}
+
+func TestGrowViaSet(t *testing.T) {
+	b := New(0)
+	b.Set(1000, true)
+	if b.Len() != 1001 {
+		t.Fatalf("Len = %d, want 1001", b.Len())
+	}
+	if !b.Get(1000) {
+		t.Fatal("bit 1000 should be set")
+	}
+	if b.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", b.Count())
+	}
+}
+
+func TestGetOutOfRange(t *testing.T) {
+	b := New(10)
+	if b.Get(-1) {
+		t.Error("Get(-1) should be false")
+	}
+	if b.Get(10) {
+		t.Error("Get(Len) should be false")
+	}
+}
+
+func TestSetNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set(-1) should panic")
+		}
+	}()
+	New(4).Set(-1, true)
+}
+
+func TestClone(t *testing.T) {
+	b := New(70)
+	b.Set(3, true)
+	b.Set(69, true)
+	c := b.Clone()
+	c.Set(3, false)
+	if !b.Get(3) {
+		t.Fatal("Clone must not alias original storage")
+	}
+	if !c.Get(69) {
+		t.Fatal("Clone lost bit 69")
+	}
+}
+
+func TestAppendSequence(t *testing.T) {
+	var b Bitset
+	rng := rand.New(rand.NewSource(42))
+	want := make([]bool, 500)
+	for i := range want {
+		want[i] = rng.Intn(2) == 1
+		b.Append(want[i])
+	}
+	for i, w := range want {
+		if b.Get(i) != w {
+			t.Fatalf("bit %d = %v, want %v", i, b.Get(i), w)
+		}
+	}
+}
+
+// Property: Count equals the number of distinct positions set.
+func TestCountMatchesSetPositions(t *testing.T) {
+	f := func(raw []uint16) bool {
+		b := New(0)
+		seen := map[int]bool{}
+		for _, r := range raw {
+			p := int(r)
+			b.Set(p, true)
+			seen[p] = true
+		}
+		return b.Count() == len(seen)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: String round-trips Get.
+func TestStringConsistent(t *testing.T) {
+	f := func(raw []bool) bool {
+		var b Bitset
+		for _, v := range raw {
+			b.Append(v)
+		}
+		s := b.String()
+		if len(s) != len(raw) {
+			return false
+		}
+		for i, v := range raw {
+			if (s[i] == '1') != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

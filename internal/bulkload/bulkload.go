@@ -1,0 +1,335 @@
+// Package bulkload implements the bulk-loading path of Section 2.3:
+// inserting new tuples into an already-partitioned database. Inserts into
+// a PREF-partitioned table use the partition index — a hash index mapping
+// referenced-attribute values to the set of partitions holding them — so
+// no join with the referenced table is executed per tuple. Updates and
+// deletes fan out to all partitions; partitioning-predicate columns are
+// immutable.
+package bulkload
+
+import (
+	"fmt"
+
+	"pref/internal/partition"
+	"pref/internal/table"
+	"pref/internal/value"
+)
+
+// Loader incrementally loads tuples into one partitioned database under
+// its configuration.
+type Loader struct {
+	pdb *table.PartitionedDatabase
+	cfg *partition.Config
+
+	// partIdx caches one partition index per PREF-partitioned table:
+	// referenced-key → sorted partition set of the referenced table.
+	partIdx map[string]map[value.Key][]int
+	// UsePartitionIndex can be disabled to measure its benefit (the
+	// Section 2.3 ablation): inserts then scan the referenced table.
+	UsePartitionIndex bool
+
+	// rr tracks the round-robin cursor for orphan tuples per table.
+	rr map[string]int
+	// seen tracks keys already present per PREF table, so the dup bit of
+	// later copies is set correctly across incremental batches.
+	firstSeen map[string]map[value.Key]bool
+
+	// Lookups counts referenced-table partition lookups performed.
+	Lookups int
+	// ScannedRows counts referenced-table rows scanned when the partition
+	// index is disabled.
+	ScannedRows int
+}
+
+// NewLoader prepares a loader for the given partitioned database.
+func NewLoader(pdb *table.PartitionedDatabase, cfg *partition.Config) *Loader {
+	return &Loader{
+		pdb: pdb, cfg: cfg,
+		partIdx:           map[string]map[value.Key][]int{},
+		rr:                map[string]int{},
+		firstSeen:         map[string]map[value.Key]bool{},
+		UsePartitionIndex: true,
+	}
+}
+
+// partitionIndex returns (building on first use) the partition index on
+// the referenced columns of tbl's PREF scheme.
+func (l *Loader) partitionIndex(tbl string) (map[value.Key][]int, error) {
+	if idx, ok := l.partIdx[tbl]; ok {
+		return idx, nil
+	}
+	ts := l.cfg.Scheme(tbl)
+	ref := l.pdb.Tables[ts.RefTable]
+	if ref == nil {
+		return nil, fmt.Errorf("bulkload: referenced table %s not loaded", ts.RefTable)
+	}
+	idx, err := partition.PartitionIndex(ref, ts.Pred.ReferencedCols)
+	if err != nil {
+		return nil, err
+	}
+	l.partIdx[tbl] = idx
+	return idx, nil
+}
+
+// targetPartitions resolves which partitions must receive a copy of a
+// tuple of a PREF table, via the partition index or (if disabled) a scan
+// of the referenced table.
+func (l *Loader) targetPartitions(tbl string, ringKey value.Key) ([]int, error) {
+	ts := l.cfg.Scheme(tbl)
+	if l.UsePartitionIndex {
+		idx, err := l.partitionIndex(tbl)
+		if err != nil {
+			return nil, err
+		}
+		l.Lookups++
+		return idx[ringKey], nil
+	}
+	// Fallback: scan every partition of the referenced table.
+	ref := l.pdb.Tables[ts.RefTable]
+	cols, err := ref.Meta.ColIndexes(ts.Pred.ReferencedCols)
+	if err != nil {
+		return nil, err
+	}
+	var targets []int
+	for p, part := range ref.Parts {
+		for _, r := range part.Rows {
+			l.ScannedRows++
+			if value.MakeKey(r, cols) == ringKey {
+				targets = append(targets, p)
+				break
+			}
+		}
+	}
+	return targets, nil
+}
+
+// Insert adds one tuple to a partitioned table, honoring its scheme:
+// hash/range tuples go to their computed partition, replicated tuples to
+// every partition, and PREF tuples to every partition holding a
+// partitioning partner (round-robin when none exists — condition (2) of
+// Definition 1). The referenced table must be loaded first.
+func (l *Loader) Insert(tbl string, row value.Tuple) error {
+	pt := l.pdb.Tables[tbl]
+	if pt == nil {
+		return fmt.Errorf("bulkload: unknown table %s", tbl)
+	}
+	ts := l.cfg.Scheme(tbl)
+	if ts == nil {
+		return fmt.Errorf("bulkload: no scheme for table %s", tbl)
+	}
+	if len(row) != pt.Meta.NumCols() {
+		return fmt.Errorf("bulkload: table %s: row arity %d, want %d", tbl, len(row), pt.Meta.NumCols())
+	}
+	n := l.pdb.N
+	switch ts.Method {
+	case partition.Hash:
+		cols, err := pt.Meta.ColIndexes(ts.Cols)
+		if err != nil {
+			return err
+		}
+		p := int(value.HashTuple(row, cols) % uint64(n))
+		pt.Parts[p].Append(row, false, false)
+
+	case partition.RoundRobin:
+		p := l.rr[tbl] % n
+		l.rr[tbl]++
+		pt.Parts[p].Append(row, false, false)
+
+	case partition.Replicated:
+		for p := 0; p < n; p++ {
+			pt.Parts[p].Append(row, p > 0, false)
+		}
+
+	case partition.Pref:
+		ringCols, err := pt.Meta.ColIndexes(ts.Pred.ReferencingCols)
+		if err != nil {
+			return err
+		}
+		key := value.MakeKey(row, ringCols)
+		targets, err := l.targetPartitions(tbl, key)
+		if err != nil {
+			return err
+		}
+		if len(targets) == 0 {
+			// Orphans follow the hash-equivalence placement when the
+			// configuration guarantees it (matching partition.Apply),
+			// else round-robin.
+			var p int
+			if mapped, ok := l.cfg.HashEquivalent(tbl); ok {
+				cols, err := pt.Meta.ColIndexes(mapped)
+				if err != nil {
+					return err
+				}
+				p = int(value.HashTuple(row, cols) % uint64(n))
+			} else {
+				p = l.rr[tbl] % n
+				l.rr[tbl]++
+			}
+			pt.Parts[p].Append(row, false, false)
+		} else {
+			for i, p := range targets {
+				pt.Parts[p].Append(row, i > 0, true)
+			}
+		}
+		// A newly inserted referenced-side key may already be indexed by
+		// downstream tables' partition indexes; invalidate them.
+		l.invalidateDependents(tbl)
+
+	default:
+		return fmt.Errorf("bulkload: unsupported scheme %v for %s", ts.Method, tbl)
+	}
+	pt.OriginalRows++
+	if ts.Method != partition.Pref {
+		l.invalidateDependents(tbl)
+	}
+	return nil
+}
+
+// invalidateDependents drops cached partition indexes of tables that
+// PREF-reference tbl (their referenced data changed).
+func (l *Loader) invalidateDependents(tbl string) {
+	for name, ts := range l.cfg.Schemes {
+		if ts.Method == partition.Pref && ts.RefTable == tbl {
+			delete(l.partIdx, name)
+		}
+	}
+}
+
+// InsertBatch loads many tuples into one table.
+func (l *Loader) InsertBatch(tbl string, rows []value.Tuple) error {
+	for _, r := range rows {
+		if err := l.Insert(tbl, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadDatabase bulk loads a full unpartitioned database in
+// referenced-before-referencing order, returning the per-table insert
+// counts. This is the experiment path of Figure 10 (tuple-at-a-time with
+// partition indexes), in contrast to partition.Apply's offline path.
+func (l *Loader) LoadDatabase(db *table.Database) (map[string]int, error) {
+	order, err := l.cfg.Order()
+	if err != nil {
+		return nil, err
+	}
+	counts := map[string]int{}
+	for _, tbl := range order {
+		data, ok := db.Tables[tbl]
+		if !ok {
+			return nil, fmt.Errorf("bulkload: no data for table %s", tbl)
+		}
+		if err := l.InsertBatch(tbl, data.Rows); err != nil {
+			return nil, err
+		}
+		counts[tbl] = data.Len()
+	}
+	return counts, nil
+}
+
+// Delete removes all tuples matching the predicate columns from every
+// partition of a table (deletes fan out, Section 2.3). It returns the
+// number of stored copies removed.
+func (l *Loader) Delete(tbl string, cols []string, keyVals value.Tuple) (int, error) {
+	pt := l.pdb.Tables[tbl]
+	if pt == nil {
+		return 0, fmt.Errorf("bulkload: unknown table %s", tbl)
+	}
+	idx, err := pt.Meta.ColIndexes(cols)
+	if err != nil {
+		return 0, err
+	}
+	want := value.MakeKey(keyVals, idxRange(len(cols)))
+	removed := 0
+	originals := 0
+	for _, part := range pt.Parts {
+		newPart := table.NewPartition()
+		for i, r := range part.Rows {
+			if value.MakeKey(r, idx) == want {
+				removed++
+				if !part.Dup.Get(i) {
+					originals++
+				}
+				continue
+			}
+			newPart.Append(r, part.Dup.Get(i), part.HasRef.Get(i))
+		}
+		*part = *newPart
+	}
+	pt.OriginalRows -= originals
+	l.invalidateDependents(tbl)
+	return removed, nil
+}
+
+// Update rewrites non-key attributes of all copies of matching tuples.
+// Updating partitioning-predicate or partitioning columns is rejected
+// (Section 2.3's restriction).
+func (l *Loader) Update(tbl string, matchCols []string, matchVals value.Tuple, setCol string, setVal int64) (int, error) {
+	pt := l.pdb.Tables[tbl]
+	if pt == nil {
+		return 0, fmt.Errorf("bulkload: unknown table %s", tbl)
+	}
+	if l.isPartitioningColumn(tbl, setCol) {
+		return 0, fmt.Errorf("bulkload: column %s.%s is used for partitioning and cannot be updated", tbl, setCol)
+	}
+	set := pt.Meta.ColIndex(setCol)
+	if set < 0 {
+		return 0, fmt.Errorf("bulkload: unknown column %s.%s", tbl, setCol)
+	}
+	idx, err := pt.Meta.ColIndexes(matchCols)
+	if err != nil {
+		return 0, err
+	}
+	want := value.MakeKey(matchVals, idxRange(len(matchCols)))
+	updated := 0
+	for _, part := range pt.Parts {
+		for i, r := range part.Rows {
+			if value.MakeKey(r, idx) == want {
+				nr := r.Clone()
+				nr[set] = setVal
+				part.Rows[i] = nr
+				updated++
+			}
+		}
+	}
+	return updated, nil
+}
+
+// isPartitioningColumn reports whether a column participates in the
+// table's own scheme or in any PREF predicate referencing the table.
+func (l *Loader) isPartitioningColumn(tbl, col string) bool {
+	ts := l.cfg.Scheme(tbl)
+	if ts != nil {
+		for _, c := range ts.Cols {
+			if c == col {
+				return true
+			}
+		}
+		if ts.Method == partition.Pref {
+			for _, c := range ts.Pred.ReferencingCols {
+				if c == col {
+					return true
+				}
+			}
+		}
+	}
+	for _, other := range l.cfg.Schemes {
+		if other.Method == partition.Pref && other.RefTable == tbl {
+			for _, c := range other.Pred.ReferencedCols {
+				if c == col {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func idxRange(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,297 @@
+package bulkload
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"pref/internal/catalog"
+	"pref/internal/partition"
+	"pref/internal/table"
+	"pref/internal/value"
+)
+
+func schemaCOL(t *testing.T) *catalog.Schema {
+	t.Helper()
+	s := catalog.NewSchema("t")
+	s.MustAddTable(catalog.MustTable("customer",
+		[]catalog.Column{{Name: "custkey", Kind: value.Int}, {Name: "nation", Kind: value.Int}}, "custkey"))
+	s.MustAddTable(catalog.MustTable("orders",
+		[]catalog.Column{{Name: "orderkey", Kind: value.Int}, {Name: "custkey", Kind: value.Int}}, "orderkey"))
+	s.MustAddTable(catalog.MustTable("lineitem",
+		[]catalog.Column{{Name: "linekey", Kind: value.Int}, {Name: "orderkey", Kind: value.Int}}, "linekey"))
+	return s
+}
+
+func chainCfg(n int) *partition.Config {
+	cfg := partition.NewConfig(n)
+	cfg.SetHash("lineitem", "linekey")
+	cfg.SetPref("orders", "lineitem", []string{"orderkey"}, []string{"orderkey"})
+	cfg.SetPref("customer", "orders", []string{"custkey"}, []string{"custkey"})
+	return cfg
+}
+
+func fullDB(t *testing.T, nCust, ordersPer, linesPer int) *table.Database {
+	t.Helper()
+	db := table.NewDatabase(schemaCOL(t))
+	line, order := int64(0), int64(0)
+	for c := int64(0); c < int64(nCust); c++ {
+		db.Tables["customer"].MustAppend(value.Tuple{c, c % 5})
+		for o := 0; o < ordersPer; o++ {
+			db.Tables["orders"].MustAppend(value.Tuple{order, c})
+			for li := 0; li < linesPer; li++ {
+				db.Tables["lineitem"].MustAppend(value.Tuple{line, order})
+				line++
+			}
+			order++
+		}
+	}
+	return db
+}
+
+// Bulk loading tuple-at-a-time must produce exactly the same partitioned
+// database as the offline partitioner (up to dup-bit placement, which both
+// assign to the first-stored copy).
+func TestLoadMatchesOfflinePartitioner(t *testing.T) {
+	db := fullDB(t, 12, 3, 4)
+	cfg := chainCfg(4)
+
+	offline, err := partition.Apply(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	empty := emptyPDB(db, cfg)
+	loader := NewLoader(empty, cfg)
+	if _, err := loader.LoadDatabase(db); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tbl := range []string{"lineitem", "orders", "customer"} {
+		a, b := offline.Tables[tbl], empty.Tables[tbl]
+		if a.StoredRows() != b.StoredRows() {
+			t.Fatalf("%s: offline %d rows vs loaded %d", tbl, a.StoredRows(), b.StoredRows())
+		}
+		if a.DuplicateRows() != b.DuplicateRows() {
+			t.Fatalf("%s: offline %d dups vs loaded %d", tbl, a.DuplicateRows(), b.DuplicateRows())
+		}
+		for p := range a.Parts {
+			if !sameRowMultiset(a.Parts[p].Rows, b.Parts[p].Rows) {
+				t.Fatalf("%s partition %d differs", tbl, p)
+			}
+		}
+	}
+}
+
+func emptyPDB(db *table.Database, cfg *partition.Config) *table.PartitionedDatabase {
+	pdb := &table.PartitionedDatabase{
+		Schema: db.Schema, Tables: map[string]*table.Partitioned{}, N: cfg.NumPartitions,
+	}
+	for name, d := range db.Tables {
+		pdb.Tables[name] = table.NewPartitioned(d.Meta, cfg.NumPartitions)
+	}
+	return pdb
+}
+
+func sameRowMultiset(a, b []value.Tuple) bool {
+	key := func(rows []value.Tuple) []string {
+		out := make([]string, len(rows))
+		for i, r := range rows {
+			out[i] = string(value.MakeKey(r, idxRange(len(r))))
+		}
+		sort.Strings(out)
+		return out
+	}
+	return reflect.DeepEqual(key(a), key(b))
+}
+
+func TestPartitionIndexAblation(t *testing.T) {
+	db := fullDB(t, 10, 2, 3)
+	cfg := chainCfg(4)
+
+	fast := NewLoader(emptyPDB(db, cfg), cfg)
+	if _, err := fast.LoadDatabase(db); err != nil {
+		t.Fatal(err)
+	}
+	slow := NewLoader(emptyPDB(db, cfg), cfg)
+	slow.UsePartitionIndex = false
+	if _, err := slow.LoadDatabase(db); err != nil {
+		t.Fatal(err)
+	}
+	if fast.Lookups == 0 {
+		t.Fatal("indexed loader should record lookups")
+	}
+	if slow.ScannedRows == 0 {
+		t.Fatal("unindexed loader should scan the referenced table")
+	}
+	// The scan path touches orders of magnitude more rows than the number
+	// of indexed lookups — the Section 2.3 claim.
+	if slow.ScannedRows < fast.Lookups*10 {
+		t.Fatalf("scan path rows %d vs lookups %d: index not pulling its weight",
+			slow.ScannedRows, fast.Lookups)
+	}
+}
+
+func TestInsertOrphanThenPartnerBatches(t *testing.T) {
+	db := fullDB(t, 2, 1, 1)
+	cfg := chainCfg(2)
+	pdb := emptyPDB(db, cfg)
+	l := NewLoader(pdb, cfg)
+	if _, err := l.LoadDatabase(db); err != nil {
+		t.Fatal(err)
+	}
+	// Insert an order whose orderkey has no lineitem: round-robin orphan.
+	if err := l.Insert("orders", value.Tuple{999, 0}); err != nil {
+		t.Fatal(err)
+	}
+	o := pdb.Tables["orders"]
+	found := 0
+	for _, p := range o.Parts {
+		for i, r := range p.Rows {
+			if r[0] == 999 {
+				found++
+				if p.HasRef.Get(i) {
+					t.Fatal("orphan order must have hasRef=0")
+				}
+			}
+		}
+	}
+	if found != 1 {
+		t.Fatalf("orphan stored %d times, want 1", found)
+	}
+
+	// Insert lineitems for an existing order key spread across partitions,
+	// then a customer referencing it: the loader must see fresh indexes.
+	if err := l.Insert("lineitem", value.Tuple{1000, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Insert("orders", value.Tuple{1, 1}); err != nil { // duplicate key 1 on purpose
+		t.Fatal(err)
+	}
+	if err := l.Insert("customer", value.Tuple{50, 1}); err != nil {
+		t.Fatal(err)
+	}
+	c := pdb.Tables["customer"]
+	copies := 0
+	for _, p := range c.Parts {
+		for _, r := range p.Rows {
+			if r[0] == 50 {
+				copies++
+			}
+		}
+	}
+	if copies == 0 {
+		t.Fatal("customer 50 lost")
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	db := fullDB(t, 2, 1, 1)
+	cfg := chainCfg(2)
+	l := NewLoader(emptyPDB(db, cfg), cfg)
+	if err := l.Insert("nope", value.Tuple{1}); err == nil {
+		t.Fatal("unknown table must error")
+	}
+	if err := l.Insert("customer", value.Tuple{1}); err == nil {
+		t.Fatal("bad arity must error")
+	}
+}
+
+func TestDeleteFansOut(t *testing.T) {
+	db := fullDB(t, 6, 2, 4)
+	cfg := chainCfg(3)
+	pdb := emptyPDB(db, cfg)
+	l := NewLoader(pdb, cfg)
+	if _, err := l.LoadDatabase(db); err != nil {
+		t.Fatal(err)
+	}
+	before := pdb.Tables["customer"].StoredRows()
+	removed, err := l.Delete("customer", []string{"custkey"}, value.Tuple{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("expected copies removed")
+	}
+	if got := pdb.Tables["customer"].StoredRows(); got != before-removed {
+		t.Fatalf("stored = %d, want %d", got, before-removed)
+	}
+	for _, p := range pdb.Tables["customer"].Parts {
+		for _, r := range p.Rows {
+			if r[0] == 3 {
+				t.Fatal("customer 3 should be gone from every partition")
+			}
+		}
+	}
+	if pdb.Tables["customer"].OriginalRows != 5 {
+		t.Fatalf("original rows = %d, want 5", pdb.Tables["customer"].OriginalRows)
+	}
+}
+
+func TestUpdateRules(t *testing.T) {
+	db := fullDB(t, 4, 1, 2)
+	cfg := chainCfg(2)
+	pdb := emptyPDB(db, cfg)
+	l := NewLoader(pdb, cfg)
+	if _, err := l.LoadDatabase(db); err != nil {
+		t.Fatal(err)
+	}
+	// Non-key attribute: allowed, applied to all copies.
+	n, err := l.Update("customer", []string{"custkey"}, value.Tuple{2}, "nation", 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no copies updated")
+	}
+	for _, p := range pdb.Tables["customer"].Parts {
+		for _, r := range p.Rows {
+			if r[0] == 2 && r[1] != 99 {
+				t.Fatal("a copy was not updated")
+			}
+		}
+	}
+	// Partitioning predicate columns are immutable: customer.custkey is
+	// the referencing column of its own PREF scheme…
+	if _, err := l.Update("customer", []string{"custkey"}, value.Tuple{2}, "custkey", 7); err == nil {
+		t.Fatal("updating a referencing column must be rejected")
+	}
+	// …and orders.custkey is referenced by customer's scheme.
+	if _, err := l.Update("orders", []string{"orderkey"}, value.Tuple{0}, "custkey", 7); err == nil {
+		t.Fatal("updating a referenced column must be rejected")
+	}
+	// lineitem.linekey is a hash partitioning column.
+	if _, err := l.Update("lineitem", []string{"linekey"}, value.Tuple{0}, "linekey", 7); err == nil {
+		t.Fatal("updating a hash column must be rejected")
+	}
+}
+
+func TestReplicatedAndRoundRobinInsert(t *testing.T) {
+	s := schemaCOL(t)
+	cfg := partition.NewConfig(3)
+	cfg.SetReplicated("customer")
+	cfg.Set(&partition.TableScheme{Table: "orders", Method: partition.RoundRobin})
+	cfg.SetHash("lineitem", "linekey")
+	db := table.NewDatabase(s)
+	pdb := emptyPDB(db, cfg)
+	l := NewLoader(pdb, cfg)
+
+	if err := l.Insert("customer", value.Tuple{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 3; p++ {
+		if pdb.Tables["customer"].Parts[p].Len() != 1 {
+			t.Fatal("replicated insert must hit every partition")
+		}
+	}
+	for i := int64(0); i < 6; i++ {
+		if err := l.Insert("orders", value.Tuple{i, 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for p := 0; p < 3; p++ {
+		if pdb.Tables["orders"].Parts[p].Len() != 2 {
+			t.Fatal("round robin insert must spread evenly")
+		}
+	}
+}

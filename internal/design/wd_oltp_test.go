@@ -1,0 +1,94 @@
+package design
+
+import (
+	"testing"
+
+	"pref/internal/partition"
+)
+
+// The paper's OLTP outlook: WD with no-redundancy constraints on every
+// table clusters each transaction's tuple group without duplicating
+// anything.
+func TestWDNoRedundancyOLTP(t *testing.T) {
+	db := miniTPCH(t)
+	all := db.Schema.TableNames()
+	qs := figure5Workload()
+
+	wd, err := WorkloadDriven(db, qs, WDOptions{Parts: 10, NoRedundancy: all})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gi, g := range wd.Groups {
+		// Materialize each group and verify zero duplicates for every
+		// constrained table.
+		sub := db
+		var absent []string
+		for _, tbl := range db.Schema.TableNames() {
+			if g.PC.Config.Scheme(tbl) == nil {
+				absent = append(absent, tbl)
+			}
+		}
+		if len(absent) > 0 {
+			sub = db.Without(absent...)
+		}
+		pdb, err := partition.Apply(sub, g.PC.Config)
+		if err != nil {
+			t.Fatalf("group %d: %v", gi, err)
+		}
+		for tbl, pt := range pdb.Tables {
+			if pt.DuplicateRows() != 0 {
+				t.Errorf("group %d: table %s has %d duplicates under the OLTP constraint",
+					gi, tbl, pt.DuplicateRows())
+			}
+		}
+	}
+	// Constrained groups may need several seeds and lose some locality,
+	// but every query still routes.
+	for _, q := range qs {
+		if len(wd.GroupsFor(q.Name)) == 0 {
+			t.Errorf("query %s unrouted", q.Name)
+		}
+	}
+}
+
+// Constrained and unconstrained WD differ exactly in the redundancy they
+// allow.
+func TestWDConstraintChangesDesign(t *testing.T) {
+	db := miniTPCH(t)
+	qs := []Query{{Name: "Q", Joins: []QueryJoin{
+		// supplier PREF'd by lineitem would normally duplicate supplier
+		// heavily (suppkey frequency ≈ 600).
+		{TableA: "lineitem", ColsA: []string{"suppkey"}, TableB: "supplier", ColsB: []string{"suppkey"}},
+		{TableA: "lineitem", ColsA: []string{"orderkey"}, TableB: "orders", ColsB: []string{"orderkey"}},
+	}}}
+
+	free, err := WorkloadDriven(db, qs, WDOptions{Parts: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	constrained, err := WorkloadDriven(db, qs, WDOptions{Parts: 10, NoRedundancy: db.Schema.TableNames()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := SizesOf(db)
+	freeDR, err := free.EstimatedDR(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	consDR, err := constrained.EstimatedDR(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consDR > 1e-6 {
+		t.Fatalf("constrained DR = %v, want 0", consDR)
+	}
+	if freeDR <= consDR {
+		t.Fatalf("unconstrained design should accept redundancy (%v) the constrained one refuses (%v)",
+			freeDR, consDR)
+	}
+	// The constrained group needs more than one seed (the L-S and L-O
+	// edges cannot both be covered without duplicating something).
+	if len(constrained.Groups[0].PC.Seeds) < 2 {
+		t.Fatalf("constrained seeds = %v, want ≥ 2", constrained.Groups[0].PC.Seeds)
+	}
+}

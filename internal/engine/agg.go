@@ -1,0 +1,418 @@
+package engine
+
+import (
+	"math"
+
+	"pref/internal/plan"
+	"pref/internal/value"
+)
+
+// aggState is the accumulator of one aggregate for one group.
+type aggState struct {
+	isum     float64 // sum over int-encoded values
+	fsum     float64 // sum over float-encoded values
+	cnt      int64   // non-null inputs
+	min      int64
+	max      int64
+	fmin     float64
+	fmax     float64
+	seen     bool
+	distinct map[int64]struct{} // COUNT(DISTINCT) values
+}
+
+func (s *aggState) add(v int64, isFloat bool) {
+	if v == plan.Null {
+		return
+	}
+	s.cnt++
+	if isFloat {
+		f := value.ToFloat(v)
+		s.fsum += f
+		if !s.seen || f < s.fmin {
+			s.fmin = f
+		}
+		if !s.seen || f > s.fmax {
+			s.fmax = f
+		}
+	} else {
+		s.isum += float64(v)
+		if !s.seen || v < s.min {
+			s.min = v
+		}
+		if !s.seen || v > s.max {
+			s.max = v
+		}
+	}
+	s.seen = true
+}
+
+// groupAcc accumulates all aggregates for one group key.
+type groupAcc struct {
+	key    value.Tuple // group column values
+	states []aggState
+}
+
+// aggPlanInfo pre-binds an aggregation against its input schema.
+type aggPlanInfo struct {
+	groupIdx []int
+	argFns   []func(value.Tuple) int64
+	isFloat  []bool
+	aggs     []plan.AggExpr
+}
+
+func bindAggs(groupBy []string, aggs []plan.AggExpr, sch plan.Schema) (*aggPlanInfo, error) {
+	info := &aggPlanInfo{aggs: aggs}
+	for _, g := range groupBy {
+		info.groupIdx = append(info.groupIdx, sch.MustIndex(g))
+	}
+	for _, a := range aggs {
+		if a.Arg == nil {
+			info.argFns = append(info.argFns, nil)
+			info.isFloat = append(info.isFloat, false)
+			continue
+		}
+		f, err := a.Arg.Bind(sch)
+		if err != nil {
+			return nil, err
+		}
+		info.argFns = append(info.argFns, f)
+		info.isFloat = append(info.isFloat, a.Arg.Kind(sch) == value.Float)
+	}
+	return info, nil
+}
+
+// accumulate groups the rows of one partition.
+func (info *aggPlanInfo) accumulate(rows []value.Tuple) map[value.Key]*groupAcc {
+	groups := make(map[value.Key]*groupAcc)
+	for _, r := range rows {
+		k := value.MakeKey(r, info.groupIdx)
+		g, ok := groups[k]
+		if !ok {
+			key := make(value.Tuple, len(info.groupIdx))
+			for i, j := range info.groupIdx {
+				key[i] = r[j]
+			}
+			g = &groupAcc{key: key, states: make([]aggState, len(info.aggs))}
+			groups[k] = g
+		}
+		for i, a := range info.aggs {
+			if a.Fn == plan.CountFn && a.Arg == nil {
+				g.states[i].cnt++ // COUNT(*)
+				g.states[i].seen = true
+				continue
+			}
+			if a.Fn == plan.CountDistinctFn {
+				v := info.argFns[i](r)
+				if v != plan.Null {
+					if g.states[i].distinct == nil {
+						g.states[i].distinct = map[int64]struct{}{}
+					}
+					g.states[i].distinct[v] = struct{}{}
+				}
+				continue
+			}
+			g.states[i].add(info.argFns[i](r), info.isFloat[i])
+		}
+	}
+	return groups
+}
+
+// finalValue renders the final output of one aggregate.
+func finalValue(a plan.AggExpr, s *aggState, isFloat bool) int64 {
+	switch a.Fn {
+	case plan.CountFn:
+		return s.cnt
+	case plan.CountDistinctFn:
+		return int64(len(s.distinct))
+	case plan.SumFn:
+		if s.cnt == 0 {
+			return plan.Null
+		}
+		if isFloat {
+			return value.FromFloat(s.fsum)
+		}
+		return int64(math.Round(s.isum))
+	case plan.AvgFn:
+		if s.cnt == 0 {
+			return plan.Null
+		}
+		if isFloat {
+			return value.FromFloat(s.fsum / float64(s.cnt))
+		}
+		return value.FromFloat(s.isum / float64(s.cnt))
+	case plan.MinFn:
+		if !s.seen {
+			return plan.Null
+		}
+		if isFloat {
+			return value.FromFloat(s.fmin)
+		}
+		return s.min
+	case plan.MaxFn:
+		if !s.seen {
+			return plan.Null
+		}
+		if isFloat {
+			return value.FromFloat(s.fmax)
+		}
+		return s.max
+	default:
+		return plan.Null
+	}
+}
+
+func (ex *executor) evalAggregate(n *plan.AggregateNode) ([][]value.Tuple, error) {
+	in, err := ex.eval(n.Child)
+	if err != nil {
+		return nil, err
+	}
+	sch := ex.rw.Schemas[n.Child]
+	out := make([][]value.Tuple, ex.n)
+	err = ex.forEachPart(func(p int) error {
+		info, err := bindAggs(n.GroupBy, n.Aggs, sch)
+		if err != nil {
+			return err
+		}
+		groups := info.accumulate(in[p])
+		if len(n.GroupBy) == 0 && len(groups) == 0 {
+			// A global aggregation always yields one row (COUNT()=0).
+			groups[value.Key("")] = &groupAcc{states: make([]aggState, len(n.Aggs))}
+		}
+		rows := make([]value.Tuple, 0, len(groups))
+		for _, g := range groups {
+			row := make(value.Tuple, 0, len(g.key)+len(n.Aggs))
+			row = append(row, g.key...)
+			for i, a := range n.Aggs {
+				row = append(row, finalValue(a, &g.states[i], info.isFloat[i]))
+			}
+			rows = append(rows, row)
+		}
+		ex.mu.Lock()
+		ex.work(p, len(rows))
+		ex.mu.Unlock()
+		out[p] = rows
+		return nil
+	})
+	return out, err
+}
+
+// evalPartialAgg emits per-partition partial states: AVG carries (sum,
+// count); the other functions carry their (combinable) value.
+func (ex *executor) evalPartialAgg(n *plan.PartialAggNode) ([][]value.Tuple, error) {
+	in, err := ex.eval(n.Child)
+	if err != nil {
+		return nil, err
+	}
+	sch := ex.rw.Schemas[n.Child]
+	out := make([][]value.Tuple, ex.n)
+	err = ex.forEachPart(func(p int) error {
+		info, err := bindAggs(n.GroupBy, n.Aggs, sch)
+		if err != nil {
+			return err
+		}
+		groups := info.accumulate(in[p])
+		if len(n.GroupBy) == 0 && len(groups) == 0 {
+			// Global aggregation over an empty partition: contribute an
+			// identity state so the final merge still sees COUNT=0.
+			groups[value.Key("")] = &groupAcc{states: make([]aggState, len(n.Aggs))}
+		}
+		var rows []value.Tuple
+		for _, g := range groups {
+			row := append(value.Tuple{}, g.key...)
+			for i, a := range n.Aggs {
+				s := &g.states[i]
+				if a.Fn == plan.AvgFn {
+					sum := s.isum
+					if info.isFloat[i] {
+						sum = s.fsum
+					}
+					row = append(row, value.FromFloat(sum), s.cnt)
+					continue
+				}
+				row = append(row, finalValue(a, s, info.isFloat[i]))
+			}
+			rows = append(rows, row)
+		}
+		ex.mu.Lock()
+		ex.work(p, len(rows))
+		ex.mu.Unlock()
+		out[p] = rows
+		return nil
+	})
+	return out, err
+}
+
+// evalFinalAgg merges partial states (only the coordinator partition has
+// rows after the preceding Gather).
+func (ex *executor) evalFinalAgg(n *plan.FinalAggNode) ([][]value.Tuple, error) {
+	in, err := ex.eval(n.Child)
+	if err != nil {
+		return nil, err
+	}
+	sch := ex.rw.Schemas[n.Child]
+	out := make([][]value.Tuple, ex.n)
+	for p := 0; p < ex.n; p++ {
+		out[p] = nil
+	}
+	rows, err := mergePartials(n, sch, in[0])
+	if err != nil {
+		return nil, err
+	}
+	out[0] = rows
+	ex.work(0, len(rows))
+	return out, nil
+}
+
+// mergePartials combines partial-state rows into final aggregate rows.
+func mergePartials(n *plan.FinalAggNode, sch plan.Schema, partials []value.Tuple) ([]value.Tuple, error) {
+	type finalAcc struct {
+		key    value.Tuple
+		isum   []float64
+		fsum   []float64
+		cnt    []int64
+		minv   []int64
+		maxv   []int64
+		fminv  []float64
+		fmaxv  []float64
+		seen   []bool
+		isFlt  []bool
+		avgSum []float64
+		avgCnt []int64
+	}
+	ng := len(n.GroupBy)
+	groupIdx := make([]int, ng)
+	for i := range n.GroupBy {
+		groupIdx[i] = i // partial schema leads with group columns
+	}
+
+	// Map each aggregate to its state column(s) in the partial schema.
+	colOf := make([]int, len(n.Aggs))
+	col := ng
+	isFloatCol := make([]bool, len(n.Aggs))
+	for i, a := range n.Aggs {
+		colOf[i] = col
+		if a.Fn == plan.AvgFn {
+			col += 2
+		} else {
+			col++
+		}
+		isFloatCol[i] = sch[colOf[i]].Kind == value.Float
+	}
+
+	accs := map[value.Key]*finalAcc{}
+	for _, r := range partials {
+		k := value.MakeKey(r, groupIdx)
+		acc, ok := accs[k]
+		if !ok {
+			acc = &finalAcc{
+				key:  append(value.Tuple{}, r[:ng]...),
+				isum: make([]float64, len(n.Aggs)), fsum: make([]float64, len(n.Aggs)),
+				cnt:  make([]int64, len(n.Aggs)),
+				minv: make([]int64, len(n.Aggs)), maxv: make([]int64, len(n.Aggs)),
+				fminv: make([]float64, len(n.Aggs)), fmaxv: make([]float64, len(n.Aggs)),
+				seen: make([]bool, len(n.Aggs)), avgSum: make([]float64, len(n.Aggs)),
+				avgCnt: make([]int64, len(n.Aggs)),
+			}
+			accs[k] = acc
+		}
+		for i, a := range n.Aggs {
+			v := r[colOf[i]]
+			switch a.Fn {
+			case plan.CountFn:
+				acc.cnt[i] += v
+			case plan.SumFn:
+				if v == plan.Null {
+					continue
+				}
+				if isFloatCol[i] {
+					acc.fsum[i] += value.ToFloat(v)
+				} else {
+					acc.isum[i] += float64(v)
+				}
+				acc.seen[i] = true
+			case plan.AvgFn:
+				acc.avgSum[i] += value.ToFloat(v)
+				acc.avgCnt[i] += r[colOf[i]+1]
+			case plan.MinFn:
+				if v == plan.Null {
+					continue
+				}
+				if isFloatCol[i] {
+					f := value.ToFloat(v)
+					if !acc.seen[i] || f < acc.fminv[i] {
+						acc.fminv[i] = f
+					}
+				} else if !acc.seen[i] || v < acc.minv[i] {
+					acc.minv[i] = v
+				}
+				acc.seen[i] = true
+			case plan.MaxFn:
+				if v == plan.Null {
+					continue
+				}
+				if isFloatCol[i] {
+					f := value.ToFloat(v)
+					if !acc.seen[i] || f > acc.fmaxv[i] {
+						acc.fmaxv[i] = f
+					}
+				} else if !acc.seen[i] || v > acc.maxv[i] {
+					acc.maxv[i] = v
+				}
+				acc.seen[i] = true
+			}
+		}
+	}
+	// Global aggregation always yields exactly one row.
+	if ng == 0 && len(accs) == 0 {
+		accs[value.Key("")] = &finalAcc{
+			isum: make([]float64, len(n.Aggs)), fsum: make([]float64, len(n.Aggs)),
+			cnt: make([]int64, len(n.Aggs)), minv: make([]int64, len(n.Aggs)),
+			maxv: make([]int64, len(n.Aggs)), fminv: make([]float64, len(n.Aggs)),
+			fmaxv: make([]float64, len(n.Aggs)), seen: make([]bool, len(n.Aggs)),
+			avgSum: make([]float64, len(n.Aggs)), avgCnt: make([]int64, len(n.Aggs)),
+		}
+	}
+
+	var rows []value.Tuple
+	for _, acc := range accs {
+		row := append(value.Tuple{}, acc.key...)
+		for i, a := range n.Aggs {
+			switch a.Fn {
+			case plan.CountFn:
+				row = append(row, acc.cnt[i])
+			case plan.SumFn:
+				if !acc.seen[i] {
+					row = append(row, plan.Null)
+				} else if isFloatCol[i] {
+					row = append(row, value.FromFloat(acc.fsum[i]))
+				} else {
+					row = append(row, int64(math.Round(acc.isum[i])))
+				}
+			case plan.AvgFn:
+				if acc.avgCnt[i] == 0 {
+					row = append(row, plan.Null)
+				} else {
+					row = append(row, value.FromFloat(acc.avgSum[i]/float64(acc.avgCnt[i])))
+				}
+			case plan.MinFn:
+				if !acc.seen[i] {
+					row = append(row, plan.Null)
+				} else if isFloatCol[i] {
+					row = append(row, value.FromFloat(acc.fminv[i]))
+				} else {
+					row = append(row, acc.minv[i])
+				}
+			case plan.MaxFn:
+				if !acc.seen[i] {
+					row = append(row, plan.Null)
+				} else if isFloatCol[i] {
+					row = append(row, value.FromFloat(acc.fmaxv[i]))
+				} else {
+					row = append(row, acc.maxv[i])
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,462 @@
+// Package engine executes rewritten physical plans over a partitioned
+// in-memory database: one logical node per partition, local operators per
+// node, and exchange operators (repartition, broadcast, gather) that move
+// rows between nodes while metering every byte that crosses a node
+// boundary. The meter is the experiment substrate: the paper's runtime
+// differences are driven by remote exchanges and per-node data volume,
+// both of which are first-class observables here.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"pref/internal/plan"
+	"pref/internal/table"
+	"pref/internal/value"
+)
+
+// Stats aggregates the execution telemetry of one query.
+type Stats struct {
+	// BytesShipped counts bytes crossing node boundaries (8 bytes per
+	// column per shipped row).
+	BytesShipped int64
+	// RowsShipped counts rows crossing node boundaries.
+	RowsShipped int64
+	// RowsProcessed counts rows flowing through all operators on all
+	// nodes (total CPU work proxy).
+	RowsProcessed int64
+	// MaxNodeRows is the largest per-node processed-row count (the
+	// parallel critical path).
+	MaxNodeRows int64
+	// Repartitions and Broadcasts count exchange operators executed.
+	Repartitions int
+	Broadcasts   int
+}
+
+// Result is a completed query: output schema, gathered rows, telemetry.
+type Result struct {
+	Schema plan.Schema
+	Rows   []value.Tuple
+	Stats  Stats
+}
+
+// SortRows orders the result rows lexicographically, making map-ordered
+// aggregate output deterministic for comparison.
+func (r *Result) SortRows() {
+	sort.Slice(r.Rows, func(i, j int) bool {
+		a, b := r.Rows[i], r.Rows[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+// ExecOptions tunes the execution model.
+type ExecOptions struct {
+	// CacheRows models the per-node buffer pool, in rows. Hash-join
+	// probes into a build side larger than this pay MissFactor× work —
+	// the mechanism that made the paper's MySQL nodes collapse on joins
+	// against large replicated tables (e.g. Q9 against a fully
+	// replicated 8M-row PARTSUPP). 0 disables the penalty.
+	CacheRows int
+	// MissFactor is the work multiplier for out-of-cache probes
+	// (default 15 when CacheRows > 0).
+	MissFactor float64
+}
+
+// executor walks the physical plan once per query.
+type executor struct {
+	rw      *plan.Rewritten
+	pdb     *table.PartitionedDatabase
+	n       int
+	opt     ExecOptions
+	stats   Stats
+	nodeRow []int64 // per-node processed rows
+	mu      sync.Mutex
+}
+
+// Execute runs a rewritten plan against a partitioned database and gathers
+// the result at the coordinator.
+func Execute(rw *plan.Rewritten, pdb *table.PartitionedDatabase) (*Result, error) {
+	return ExecuteOpts(rw, pdb, ExecOptions{})
+}
+
+// ExecuteOpts is Execute with an explicit execution model.
+func ExecuteOpts(rw *plan.Rewritten, pdb *table.PartitionedDatabase, opt ExecOptions) (*Result, error) {
+	if opt.CacheRows > 0 && opt.MissFactor <= 1 {
+		opt.MissFactor = 15
+	}
+	ex := &executor{rw: rw, pdb: pdb, n: pdb.N, opt: opt, nodeRow: make([]int64, pdb.N)}
+	parts, err := ex.eval(rw.Root)
+	if err != nil {
+		return nil, err
+	}
+	rootProp := rw.Props[rw.Root]
+	sch := rw.Schemas[rw.Root]
+
+	var rows []value.Tuple
+	switch {
+	case rootProp != nil && (rootProp.Gathered || rootProp.Repl):
+		rows = parts[0]
+	default:
+		// Implicit final gather to the coordinator, metered.
+		for p, rs := range parts {
+			if p != 0 {
+				ex.ship(len(rs), len(sch))
+			}
+			rows = append(rows, rs...)
+		}
+	}
+	for p := range ex.nodeRow {
+		if ex.nodeRow[p] > ex.stats.MaxNodeRows {
+			ex.stats.MaxNodeRows = ex.nodeRow[p]
+		}
+	}
+	return &Result{Schema: sch, Rows: rows, Stats: ex.stats}, nil
+}
+
+// ship meters rows crossing a node boundary.
+func (ex *executor) ship(rows, width int) {
+	ex.stats.RowsShipped += int64(rows)
+	ex.stats.BytesShipped += int64(rows) * int64(width) * 8
+}
+
+// work records per-node operator output (CPU proxy).
+func (ex *executor) work(node, rows int) {
+	ex.stats.RowsProcessed += int64(rows)
+	ex.nodeRow[node] += int64(rows)
+}
+
+// forEachPart runs fn for every partition concurrently.
+func (ex *executor) forEachPart(fn func(p int) error) error {
+	errs := make([]error, ex.n)
+	var wg sync.WaitGroup
+	for p := 0; p < ex.n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			errs[p] = fn(p)
+		}(p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ex *executor) eval(n plan.Node) ([][]value.Tuple, error) {
+	switch n := n.(type) {
+	case *plan.ScanNode:
+		return ex.evalScan(n)
+	case *plan.FilterNode:
+		return ex.evalFilter(n)
+	case *plan.ProjectNode:
+		return ex.evalProject(n)
+	case *plan.JoinNode:
+		return ex.evalJoin(n)
+	case *plan.AggregateNode:
+		return ex.evalAggregate(n)
+	case *plan.PartialAggNode:
+		return ex.evalPartialAgg(n)
+	case *plan.FinalAggNode:
+		return ex.evalFinalAgg(n)
+	case *plan.RepartitionNode:
+		return ex.evalRepartition(n)
+	case *plan.BroadcastNode:
+		return ex.evalBroadcast(n)
+	case *plan.DistinctPrefNode:
+		return ex.evalDistinctPref(n)
+	case *plan.DistinctByValueNode:
+		return ex.evalDistinctByValue(n)
+	case *plan.GatherNode:
+		return ex.evalGather(n)
+	case *plan.TopKNode:
+		return ex.evalTopK(n)
+	default:
+		return nil, fmt.Errorf("engine: unsupported node %T", n)
+	}
+}
+
+func (ex *executor) evalScan(n *plan.ScanNode) ([][]value.Tuple, error) {
+	pt, ok := ex.pdb.Tables[n.Table]
+	if !ok {
+		return nil, fmt.Errorf("engine: table %s not in partitioned database", n.Table)
+	}
+	sch := ex.rw.Schemas[n]
+	withIndexes := len(sch) == pt.Meta.NumCols()+2
+	var keep map[int]bool
+	if n.Prune != nil {
+		keep = make(map[int]bool, len(n.Prune))
+		for _, p := range n.Prune {
+			keep[p] = true
+		}
+	}
+	out := make([][]value.Tuple, ex.n)
+	err := ex.forEachPart(func(p int) error {
+		if keep != nil && !keep[p] {
+			out[p] = nil // pruned: the partition cannot contain matches
+			return nil
+		}
+		part := pt.Parts[p]
+		rows := make([]value.Tuple, 0, len(part.Rows))
+		if withIndexes {
+			for i, r := range part.Rows {
+				nr := make(value.Tuple, len(r)+2)
+				copy(nr, r)
+				if part.Dup.Get(i) {
+					nr[len(r)] = 1
+				}
+				if part.HasRef.Get(i) {
+					nr[len(r)+1] = 1
+				}
+				rows = append(rows, nr)
+			}
+		} else {
+			rows = append(rows, part.Rows...)
+		}
+		ex.mu.Lock()
+		ex.work(p, len(rows))
+		ex.mu.Unlock()
+		out[p] = rows
+		return nil
+	})
+	return out, err
+}
+
+func (ex *executor) evalFilter(n *plan.FilterNode) ([][]value.Tuple, error) {
+	in, err := ex.eval(n.Child)
+	if err != nil {
+		return nil, err
+	}
+	sch := ex.rw.Schemas[n.Child]
+	out := make([][]value.Tuple, ex.n)
+	err = ex.forEachPart(func(p int) error {
+		pred, err := n.Pred.Bind(sch)
+		if err != nil {
+			return err
+		}
+		var rows []value.Tuple
+		for _, r := range in[p] {
+			if pred(r) {
+				rows = append(rows, r)
+			}
+		}
+		ex.mu.Lock()
+		ex.work(p, len(rows))
+		ex.mu.Unlock()
+		out[p] = rows
+		return nil
+	})
+	return out, err
+}
+
+func (ex *executor) evalProject(n *plan.ProjectNode) ([][]value.Tuple, error) {
+	in, err := ex.eval(n.Child)
+	if err != nil {
+		return nil, err
+	}
+	sch := ex.rw.Schemas[n.Child]
+	out := make([][]value.Tuple, ex.n)
+	err = ex.forEachPart(func(p int) error {
+		fns := make([]func(value.Tuple) int64, len(n.Exprs))
+		for i, e := range n.Exprs {
+			f, err := e.Bind(sch)
+			if err != nil {
+				return err
+			}
+			fns[i] = f
+		}
+		rows := make([]value.Tuple, 0, len(in[p]))
+		for _, r := range in[p] {
+			nr := make(value.Tuple, len(fns))
+			for i, f := range fns {
+				nr[i] = f(r)
+			}
+			rows = append(rows, nr)
+		}
+		ex.mu.Lock()
+		ex.work(p, len(rows))
+		ex.mu.Unlock()
+		out[p] = rows
+		return nil
+	})
+	return out, err
+}
+
+// dedupRows applies the disjunctive dup=0 filter over the given dup
+// columns (Section 2.2's distinct operator); no movement involved. A Null
+// dup flag means the row was null-extended by an outer join (it has no
+// copy of that table at all) and is kept — such rows exist exactly once.
+func dedupRows(rows []value.Tuple, sch plan.Schema, dupCols []string) []value.Tuple {
+	if len(dupCols) == 0 {
+		return rows
+	}
+	idx := make([]int, len(dupCols))
+	for i, c := range dupCols {
+		idx[i] = sch.MustIndex(c)
+	}
+	out := rows[:0:0]
+	for _, r := range rows {
+		keep := false
+		for _, j := range idx {
+			if r[j] == 0 || r[j] == plan.Null {
+				keep = true
+				break
+			}
+		}
+		if keep {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func (ex *executor) evalDistinctPref(n *plan.DistinctPrefNode) ([][]value.Tuple, error) {
+	in, err := ex.eval(n.Child)
+	if err != nil {
+		return nil, err
+	}
+	sch := ex.rw.Schemas[n.Child]
+	out := make([][]value.Tuple, ex.n)
+	err = ex.forEachPart(func(p int) error {
+		rows := dedupRows(in[p], sch, n.DupCols)
+		ex.mu.Lock()
+		ex.work(p, len(rows))
+		ex.mu.Unlock()
+		out[p] = rows
+		return nil
+	})
+	return out, err
+}
+
+func (ex *executor) evalDistinctByValue(n *plan.DistinctByValueNode) ([][]value.Tuple, error) {
+	in, err := ex.eval(n.Child)
+	if err != nil {
+		return nil, err
+	}
+	sch := ex.rw.Schemas[n.Child]
+	idx := make([]int, len(n.Cols))
+	for i, c := range n.Cols {
+		idx[i] = sch.MustIndex(c)
+	}
+	// Shuffle by content so identical rows meet on one node, then keep
+	// one per value.
+	ex.stats.Repartitions++
+	out := make([][]value.Tuple, ex.n)
+	for p := range out {
+		out[p] = nil
+	}
+	for src, rows := range in {
+		for _, r := range rows {
+			dst := int(value.HashTuple(r, idx) % uint64(ex.n))
+			if dst != src {
+				ex.ship(1, len(sch))
+			}
+			out[dst] = append(out[dst], r)
+		}
+	}
+	final := make([][]value.Tuple, ex.n)
+	err = ex.forEachPart(func(p int) error {
+		seen := make(map[value.Key]bool, len(out[p]))
+		var rows []value.Tuple
+		for _, r := range out[p] {
+			k := value.MakeKey(r, idx)
+			if !seen[k] {
+				seen[k] = true
+				rows = append(rows, r)
+			}
+		}
+		ex.mu.Lock()
+		ex.work(p, len(rows))
+		ex.mu.Unlock()
+		final[p] = rows
+		return nil
+	})
+	return final, err
+}
+
+func (ex *executor) evalRepartition(n *plan.RepartitionNode) ([][]value.Tuple, error) {
+	in, err := ex.eval(n.Child)
+	if err != nil {
+		return nil, err
+	}
+	sch := ex.rw.Schemas[n.Child]
+	idx := make([]int, len(n.Cols))
+	for i, c := range n.Cols {
+		idx[i] = sch.MustIndex(c)
+	}
+	ex.stats.Repartitions++
+	out := make([][]value.Tuple, ex.n)
+	for src := 0; src < ex.n; src++ {
+		if n.OneCopy && src != 0 {
+			continue
+		}
+		rows := dedupRows(in[src], sch, n.DupCols)
+		for _, r := range rows {
+			dst := int(value.HashTuple(r, idx) % uint64(ex.n))
+			if dst != src {
+				ex.ship(1, len(sch))
+			}
+			out[dst] = append(out[dst], r)
+			ex.work(dst, 1)
+		}
+	}
+	return out, nil
+}
+
+func (ex *executor) evalBroadcast(n *plan.BroadcastNode) ([][]value.Tuple, error) {
+	in, err := ex.eval(n.Child)
+	if err != nil {
+		return nil, err
+	}
+	sch := ex.rw.Schemas[n.Child]
+	ex.stats.Broadcasts++
+	var all []value.Tuple
+	for src := 0; src < ex.n; src++ {
+		if n.OneCopy && src != 0 {
+			continue
+		}
+		rows := dedupRows(in[src], sch, n.DupCols)
+		// Each row is shipped to every other node.
+		ex.ship(len(rows)*(ex.n-1), len(sch))
+		all = append(all, rows...)
+	}
+	out := make([][]value.Tuple, ex.n)
+	for p := 0; p < ex.n; p++ {
+		out[p] = all
+		ex.work(p, len(all))
+	}
+	return out, nil
+}
+
+func (ex *executor) evalGather(n *plan.GatherNode) ([][]value.Tuple, error) {
+	in, err := ex.eval(n.Child)
+	if err != nil {
+		return nil, err
+	}
+	sch := ex.rw.Schemas[n.Child]
+	out := make([][]value.Tuple, ex.n)
+	if n.OneCopy {
+		out[0] = in[0]
+		ex.work(0, len(in[0]))
+		return out, nil
+	}
+	var rows []value.Tuple
+	for p := 0; p < ex.n; p++ {
+		if p != 0 {
+			ex.ship(len(in[p]), len(sch))
+		}
+		rows = append(rows, in[p]...)
+	}
+	out[0] = rows
+	ex.work(0, len(rows))
+	return out, nil
+}

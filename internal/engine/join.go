@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"pref/internal/plan"
+	"pref/internal/value"
+)
+
+// evalJoin executes a hash join per partition: build on the right input,
+// probe with the left. Inner, left-outer, semi, and anti flavors share the
+// probe loop; a residual predicate filters candidate pairs.
+func (ex *executor) evalJoin(n *plan.JoinNode) ([][]value.Tuple, error) {
+	left, err := ex.eval(n.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := ex.eval(n.Right)
+	if err != nil {
+		return nil, err
+	}
+	ls := ex.rw.Schemas[n.Left]
+	rs := ex.rw.Schemas[n.Right]
+	both := ls.Concat(rs)
+
+	lIdx := make([]int, len(n.LeftCols))
+	for i, c := range n.LeftCols {
+		lIdx[i] = ls.MustIndex(c)
+	}
+	rIdx := make([]int, len(n.RightCols))
+	for i, c := range n.RightCols {
+		rIdx[i] = rs.MustIndex(c)
+	}
+
+	out := make([][]value.Tuple, ex.n)
+	err = ex.forEachPart(func(p int) error {
+		var residual func(value.Tuple) bool
+		if n.Residual != nil {
+			f, err := n.Residual.Bind(both)
+			if err != nil {
+				return err
+			}
+			residual = f
+		}
+
+		// Build side.
+		build := make(map[value.Key][]value.Tuple, len(right[p]))
+		if len(n.RightCols) > 0 {
+			for _, r := range right[p] {
+				k := value.MakeKey(r, rIdx)
+				build[k] = append(build[k], r)
+			}
+		}
+
+		pair := make(value.Tuple, len(ls)+len(rs))
+		var rows []value.Tuple
+		emit := func(l, r value.Tuple) {
+			nr := make(value.Tuple, len(ls)+len(rs))
+			copy(nr, l)
+			copy(nr[len(ls):], r)
+			rows = append(rows, nr)
+		}
+		matches := func(l value.Tuple) []value.Tuple {
+			var cand []value.Tuple
+			if len(n.RightCols) > 0 {
+				cand = build[value.MakeKey(l, lIdx)]
+			} else {
+				cand = right[p] // cross/theta join
+			}
+			if residual == nil {
+				return cand
+			}
+			var ok []value.Tuple
+			for _, r := range cand {
+				copy(pair, l)
+				copy(pair[len(ls):], r)
+				if residual(pair) {
+					ok = append(ok, r)
+				}
+			}
+			return ok
+		}
+
+		for _, l := range left[p] {
+			ms := matches(l)
+			switch n.Type {
+			case plan.Inner:
+				for _, r := range ms {
+					emit(l, r)
+				}
+			case plan.LeftOuter:
+				if len(ms) == 0 {
+					nullRow := make(value.Tuple, len(rs))
+					for i := range nullRow {
+						nullRow[i] = plan.Null
+					}
+					emit(l, nullRow)
+				} else {
+					for _, r := range ms {
+						emit(l, r)
+					}
+				}
+			case plan.Semi:
+				if len(ms) > 0 {
+					rows = append(rows, l)
+				}
+			case plan.Anti:
+				if len(ms) == 0 {
+					rows = append(rows, l)
+				}
+			}
+		}
+		// Join work: building the hash table, probing it, and emitting
+		// output rows. Probes into an over-cache build side pay the miss
+		// penalty (see ExecOptions.CacheRows).
+		work := len(right[p]) + len(left[p]) + len(rows)
+		if ex.opt.CacheRows > 0 && len(right[p]) > ex.opt.CacheRows {
+			work += int(float64(len(left[p])) * (ex.opt.MissFactor - 1))
+		}
+		ex.mu.Lock()
+		ex.work(p, work)
+		ex.mu.Unlock()
+		out[p] = rows
+		return nil
+	})
+	return out, err
+}

@@ -1,0 +1,168 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"pref/internal/partition"
+	"pref/internal/plan"
+	"pref/internal/value"
+)
+
+// The network meter must be exact: a repartition ships precisely the rows
+// whose hash target differs from their source, at 8 bytes per column.
+func TestRepartitionMeteringExact(t *testing.T) {
+	db := testDB(t)
+	cfg := testConfigs(4)["all-hashed"]
+	pdb, err := partition.Apply(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Repartition orders (hashed on orderkey) by custkey via a group-by.
+	mk := plan.Aggregate(plan.Scan("orders", "o"), []string{"o.custkey"},
+		plan.Count("n"))
+	rw, err := plan.Rewrite(mk, db.Schema, cfg, plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(rw, pdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Expected: count orders whose hash(orderkey)%4 != hash(custkey)%4,
+	// plus the final gather of group rows from partitions 1..3.
+	crossing := 0
+	for _, r := range db.Tables["orders"].Rows {
+		src := int(value.MakeKey1(r[0]).Hash() % 4)
+		dst := int(value.MakeKey1(r[1]).Hash() % 4)
+		if src != dst {
+			crossing++
+		}
+	}
+	groupsAway := 0
+	groupPart := map[int64]int{}
+	for _, r := range db.Tables["orders"].Rows {
+		groupPart[r[1]] = int(value.MakeKey1(r[1]).Hash() % 4)
+	}
+	for _, p := range groupPart {
+		if p != 0 {
+			groupsAway++
+		}
+	}
+	// orders schema width 3; aggregate output width 2.
+	wantBytes := int64(crossing)*3*8 + int64(groupsAway)*2*8
+	if res.Stats.BytesShipped != wantBytes {
+		t.Fatalf("BytesShipped = %d, want %d (crossing=%d, gathered groups=%d)",
+			res.Stats.BytesShipped, wantBytes, crossing, groupsAway)
+	}
+	if res.Stats.RowsShipped != int64(crossing+groupsAway) {
+		t.Fatalf("RowsShipped = %d, want %d", res.Stats.RowsShipped, crossing+groupsAway)
+	}
+}
+
+// A broadcast ships (n−1) copies of every deduplicated build row.
+func TestBroadcastMeteringExact(t *testing.T) {
+	db := testDB(t)
+	cfg := testConfigs(4)["all-hashed"]
+	pdb, err := partition.Apply(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := &plan.JoinNode{
+		Left:     plan.Scan("customer", "c"),
+		Right:    plan.Scan("nation", "n"),
+		Type:     plan.Inner,
+		Residual: plan.Gt(plan.Col("c.nationkey"), plan.Col("n.nationkey")),
+	}
+	agg := plan.Aggregate(j, nil, plan.Count("cnt"))
+	rw, err := plan.Rewrite(agg, db.Schema, cfg, plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(rw, pdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// nation: 5 rows × (4−1) copies × 1 col × 8B = 120 bytes for the
+	// broadcast; the gathered partials add 4−1 rows × 1 col × 8B = 24.
+	want := int64(5*3*1*8 + 3*1*8)
+	if res.Stats.BytesShipped != want {
+		t.Fatalf("BytesShipped = %d, want %d", res.Stats.BytesShipped, want)
+	}
+	if res.Stats.Broadcasts != 1 {
+		t.Fatalf("Broadcasts = %d", res.Stats.Broadcasts)
+	}
+}
+
+// Fully local plans ship nothing except the final gather.
+func TestLocalPlanShipsNothing(t *testing.T) {
+	db := testDB(t)
+	cfg := testConfigs(4)["pref-chain"]
+	pdb, err := partition.Apply(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := plan.Join(plan.Scan("lineitem", "l"), plan.Scan("orders", "o"),
+		plan.Inner, []string{"l.orderkey"}, []string{"o.orderkey"})
+	agg := plan.Aggregate(j, nil, plan.Count("n")) // global: partial+gather
+	rw, err := plan.Rewrite(agg, db.Schema, cfg, plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(rw, pdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the 3 partial-aggregate rows from partitions 1..3 move.
+	if res.Stats.BytesShipped != 3*1*8 {
+		t.Fatalf("BytesShipped = %d, want 24 (partials only)", res.Stats.BytesShipped)
+	}
+	if res.Stats.Repartitions != 0 || res.Stats.Broadcasts != 0 {
+		t.Fatalf("local plan ran exchanges: %+v", res.Stats)
+	}
+}
+
+func TestCostModelComponents(t *testing.T) {
+	cm := CostModel{TuplePerSec: 1e6, NetBytesPerSec: 1e8, ExchangeLatency: 5 * time.Millisecond}
+	s := Stats{MaxNodeRows: 2_000_000, BytesShipped: 3e8, Repartitions: 2, Broadcasts: 1}
+	got := cm.Simulate(s)
+	want := 2*time.Second + 3*time.Second + 15*time.Millisecond
+	if got != want {
+		t.Fatalf("Simulate = %v, want %v", got, want)
+	}
+	if cm.Simulate(Stats{}) != 0 {
+		t.Fatal("empty stats must cost nothing")
+	}
+}
+
+// The cache-miss penalty applies exactly when the build side exceeds the
+// configured cache.
+func TestCacheMissPenalty(t *testing.T) {
+	db := testDB(t)
+	cfg := testConfigs(4)["classical"] // customer replicated (20/node)
+	pdb, err := partition.Apply(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := plan.Join(plan.Scan("orders", "o"), plan.Scan("customer", "c"),
+		plan.Inner, []string{"o.custkey"}, []string{"c.custkey"})
+	agg := plan.Aggregate(mk, nil, plan.Count("n"))
+	rw, err := plan.Rewrite(agg, db.Schema, cfg, plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fits, err := ExecuteOpts(rw, pdb, ExecOptions{CacheRows: 1000, MissFactor: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	misses, err := ExecuteOpts(rw, pdb, ExecOptions{CacheRows: 5, MissFactor: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if misses.Stats.RowsProcessed <= fits.Stats.RowsProcessed {
+		t.Fatalf("out-of-cache build must cost more: %d vs %d",
+			misses.Stats.RowsProcessed, fits.Stats.RowsProcessed)
+	}
+}

@@ -1,0 +1,156 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pref/internal/partition"
+	"pref/internal/plan"
+	"pref/internal/table"
+	"pref/internal/value"
+)
+
+// TestRandomizedCrossConfigEquivalence is the engine's core soundness
+// property: for randomized databases (including orphan fks and skew) and a
+// battery of query shapes, every partitioning configuration — including
+// deep PREF chains — must produce exactly the single-node reference
+// result.
+func TestRandomizedCrossConfigEquivalence(t *testing.T) {
+	shapes := []struct {
+		name string
+		mk   func() plan.Node
+	}{
+		{"join-lo", func() plan.Node {
+			j := plan.Join(plan.Scan("lineitem", "l"), plan.Scan("orders", "o"),
+				plan.Inner, []string{"l.orderkey"}, []string{"o.orderkey"})
+			return plan.Aggregate(j, nil, plan.Count("n"), plan.Sum(plan.Col("l.qty"), "q"))
+		}},
+		{"join-3way-group", func() plan.Node {
+			lo := plan.Join(plan.Scan("lineitem", "l"), plan.Scan("orders", "o"),
+				plan.Inner, []string{"l.orderkey"}, []string{"o.orderkey"})
+			loc := plan.Join(lo, plan.Scan("customer", "c"),
+				plan.Inner, []string{"o.custkey"}, []string{"c.custkey"})
+			return plan.Aggregate(loc, []string{"c.nationkey"},
+				plan.Count("n"), plan.Max(plan.Col("l.qty"), "mx"))
+		}},
+		{"semi", func() plan.Node {
+			j := plan.Join(plan.Scan("customer", "c"), plan.Scan("orders", "o"),
+				plan.Semi, []string{"c.custkey"}, []string{"o.custkey"})
+			return plan.Aggregate(j, nil, plan.Count("n"))
+		}},
+		{"anti", func() plan.Node {
+			j := plan.Join(plan.Scan("customer", "c"), plan.Scan("orders", "o"),
+				plan.Anti, []string{"c.custkey"}, []string{"o.custkey"})
+			return plan.Aggregate(j, nil, plan.Count("n"))
+		}},
+		{"left-outer", func() plan.Node {
+			j := plan.Join(plan.Scan("customer", "c"), plan.Scan("orders", "o"),
+				plan.LeftOuter, []string{"c.custkey"}, []string{"o.custkey"})
+			return plan.Aggregate(j, []string{"c.custkey"},
+				plan.CountCol(plan.Col("o.orderkey"), "cnt"))
+		}},
+		{"filtered-join", func() plan.Node {
+			f := plan.Filter(plan.Scan("orders", "o"), plan.Gt(plan.Col("o.total"), plan.Lit(500)))
+			j := plan.Join(f, plan.Scan("customer", "c"),
+				plan.Inner, []string{"o.custkey"}, []string{"c.custkey"})
+			return plan.Aggregate(j, []string{"c.nationkey"}, plan.Sum(plan.Col("o.total"), "s"))
+		}},
+	}
+
+	for trial := 0; trial < 8; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		db := randomDB(t, rng)
+		cfgs := randomConfigs(rng)
+		for _, shape := range shapes {
+			var ref []value.Tuple
+			for i, cfg := range cfgs {
+				res := runOn(t, shape.mk, db, cfg, plan.Options{})
+				if i == 0 {
+					ref = res.Rows
+					continue
+				}
+				if !reflect.DeepEqual(res.Rows, ref) {
+					t.Fatalf("trial %d shape %s config %d diverges:\nconfig: %v\ngot  %v\nwant %v",
+						trial, shape.name, i, cfg, trunc(res.Rows), trunc(ref))
+				}
+			}
+		}
+	}
+}
+
+func randomDB(t *testing.T, rng *rand.Rand) *table.Database {
+	t.Helper()
+	db := table.NewDatabase(testSchema())
+	nNation := 1 + rng.Intn(6)
+	nCust := 5 + rng.Intn(30)
+	nOrd := 10 + rng.Intn(80)
+	nLine := 20 + rng.Intn(200)
+	for i := int64(0); i < int64(nNation); i++ {
+		db.Tables["nation"].MustAppend(value.Tuple{i})
+	}
+	dict := db.Schema.Table("customer").Dict("name")
+	for i := int64(0); i < int64(nCust); i++ {
+		db.Tables["customer"].MustAppend(value.Tuple{
+			i, int64(rng.Intn(nNation)), dict.Code(fmt.Sprintf("c%d", i))})
+	}
+	for i := int64(0); i < int64(nOrd); i++ {
+		// ~10% orphan orders referencing a customer that does not exist.
+		ck := int64(rng.Intn(nCust))
+		if rng.Intn(10) == 0 {
+			ck = int64(nCust + rng.Intn(5))
+		}
+		db.Tables["orders"].MustAppend(value.Tuple{i, ck, int64(rng.Intn(2000))})
+	}
+	for i := int64(0); i < int64(nLine); i++ {
+		ok := int64(rng.Intn(nOrd))
+		if rng.Intn(12) == 0 {
+			ok = int64(nOrd + rng.Intn(5))
+		}
+		db.Tables["lineitem"].MustAppend(value.Tuple{i, ok, int64(rng.Intn(50))})
+	}
+	return db
+}
+
+func randomConfigs(rng *rand.Rand) []*partition.Config {
+	ref := partition.NewConfig(1)
+	ref.SetHash("customer", "custkey").SetHash("orders", "orderkey").
+		SetHash("lineitem", "linekey").SetHash("nation", "nationkey")
+
+	var cfgs []*partition.Config
+	cfgs = append(cfgs, ref)
+
+	n := 2 + rng.Intn(5)
+
+	down := partition.NewConfig(n)
+	seedCols := []string{"orderkey", "linekey"}[rng.Intn(2)]
+	down.SetHash("lineitem", seedCols)
+	down.SetPref("orders", "lineitem", []string{"orderkey"}, []string{"orderkey"})
+	down.SetPref("customer", "orders", []string{"custkey"}, []string{"custkey"})
+	down.SetPref("nation", "customer", []string{"nationkey"}, []string{"nationkey"})
+	cfgs = append(cfgs, down)
+
+	up := partition.NewConfig(n)
+	up.SetHash("nation", "nationkey")
+	up.SetPref("customer", "nation", []string{"nationkey"}, []string{"nationkey"})
+	up.SetPref("orders", "customer", []string{"custkey"}, []string{"custkey"})
+	up.SetPref("lineitem", "orders", []string{"orderkey"}, []string{"orderkey"})
+	cfgs = append(cfgs, up)
+
+	mixed := partition.NewConfig(n)
+	mixed.SetHash("orders", "custkey")
+	mixed.SetPref("customer", "orders", []string{"custkey"}, []string{"custkey"})
+	mixed.SetPref("lineitem", "orders", []string{"orderkey"}, []string{"orderkey"})
+	mixed.SetReplicated("nation")
+	cfgs = append(cfgs, mixed)
+
+	rr := partition.NewConfig(n)
+	rr.Set(&partition.TableScheme{Table: "lineitem", Method: partition.RoundRobin})
+	rr.SetHash("orders", "orderkey")
+	rr.SetPref("customer", "orders", []string{"custkey"}, []string{"custkey"})
+	rr.SetReplicated("nation")
+	cfgs = append(cfgs, rr)
+
+	return cfgs
+}

@@ -1,0 +1,136 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"pref/internal/partition"
+	"pref/internal/plan"
+	"pref/internal/value"
+)
+
+// Point queries on partitioning columns must prune to one partition with
+// identical results — including on hash-equivalent PREF tables, where the
+// orphan placement rule is what makes pruning sound.
+func TestPartitionPruning(t *testing.T) {
+	db := testDB(t)
+	cfgs := testConfigs(8)
+
+	mkPoint := func(col string, v int64) func() plan.Node {
+		return func() plan.Node {
+			f := plan.Filter(plan.Scan("orders", "o"), plan.Eq(plan.Col(col), plan.Lit(v)))
+			return plan.ProjectCols(f, "o.orderkey", "o.custkey")
+		}
+	}
+
+	cases := []struct {
+		name   string
+		cfg    *partition.Config
+		mk     func() plan.Node
+		prunes bool
+	}{
+		// orders hash on orderkey: point query on orderkey prunes.
+		{"hash-point", cfgs["all-hashed"], mkPoint("o.orderkey", 17), true},
+		// hash-equivalent PREF orders (pref-chain seeds lineitem on
+		// orderkey): same pruning applies.
+		{"hash-equiv-point", cfgs["pref-chain"], mkPoint("o.orderkey", 17), true},
+		// non-partitioning column: no pruning.
+		{"non-key", cfgs["all-hashed"], mkPoint("o.custkey", 3), false},
+	}
+	for _, c := range cases {
+		pruned := runOn(t, c.mk, db, c.cfg, plan.Options{})
+		full := runOn(t, c.mk, db, c.cfg, plan.Options{DisablePruning: true})
+		if !reflect.DeepEqual(pruned.Rows, full.Rows) {
+			t.Errorf("%s: pruned results differ: %v vs %v", c.name, pruned.Rows, full.Rows)
+		}
+		if c.prunes {
+			if pruned.Stats.RowsProcessed >= full.Stats.RowsProcessed {
+				t.Errorf("%s: pruning did not reduce work: %d vs %d",
+					c.name, pruned.Stats.RowsProcessed, full.Stats.RowsProcessed)
+			}
+		} else if pruned.Stats.RowsProcessed != full.Stats.RowsProcessed {
+			t.Errorf("%s: unexpected pruning on a non-key filter", c.name)
+		}
+	}
+}
+
+// A pruned point query on a PREF table whose key is an ORPHAN (no
+// partitioning partner) must still find the row: orphans of
+// hash-equivalent tables are placed at their hash position, which is
+// exactly what keeps pruning sound.
+func TestPruningFindsOrphans(t *testing.T) {
+	db := testDB(t)
+	// An order with no lineitems at all (orderkey 999 > all linekeys).
+	db.Tables["orders"].MustAppend(value.Tuple{999, 3, value.FromMoney(1)})
+	cfg := testConfigs(8)["pref-chain"]
+	mk := func() plan.Node {
+		f := plan.Filter(plan.Scan("orders", "o"), plan.Eq(plan.Col("o.orderkey"), plan.Lit(999)))
+		return plan.ProjectCols(f, "o.orderkey", "o.custkey")
+	}
+	res := runOn(t, mk, db, cfg, plan.Options{})
+	if len(res.Rows) != 1 || res.Rows[0][0] != 999 {
+		t.Fatalf("pruned orphan lookup = %v, want the single orphan row", res.Rows)
+	}
+}
+
+// Range pruning: equality on the range column reads one partition.
+func TestRangePruning(t *testing.T) {
+	db := testDB(t)
+	cfg := partition.NewConfig(4)
+	cfg.Set(&partition.TableScheme{Table: "orders", Method: partition.Range,
+		Cols: []string{"orderkey"}, Bounds: []int64{10, 25, 40}})
+	cfg.SetHash("customer", "custkey")
+	cfg.SetHash("lineitem", "linekey")
+	cfg.SetHash("nation", "nationkey")
+
+	mk := func() plan.Node {
+		f := plan.Filter(plan.Scan("orders", "o"), plan.Eq(plan.Col("o.orderkey"), plan.Lit(30)))
+		return plan.ProjectCols(f, "o.orderkey")
+	}
+	pruned := runOn(t, mk, db, cfg, plan.Options{})
+	full := runOn(t, mk, db, cfg, plan.Options{DisablePruning: true})
+	if !reflect.DeepEqual(pruned.Rows, full.Rows) {
+		t.Fatalf("range-pruned results differ")
+	}
+	if len(pruned.Rows) != 1 || pruned.Rows[0][0] != 30 {
+		t.Fatalf("rows = %v", pruned.Rows)
+	}
+	if pruned.Stats.RowsProcessed >= full.Stats.RowsProcessed {
+		t.Fatalf("range pruning did not reduce work")
+	}
+}
+
+// Pruning composes with joins: a point query on the pruned table joined
+// against a co-located table still matches the unpruned results.
+func TestPruningUnderJoin(t *testing.T) {
+	db := testDB(t)
+	cfg := testConfigs(8)["pref-chain"]
+	mk := func() plan.Node {
+		o := plan.Filter(plan.Scan("orders", "o"), plan.Eq(plan.Col("o.orderkey"), plan.Lit(21)))
+		j := plan.Join(plan.Scan("lineitem", "l"), o, plan.Inner,
+			[]string{"l.orderkey"}, []string{"o.orderkey"})
+		return plan.Aggregate(j, nil, plan.Count("n"), plan.Sum(plan.Col("l.qty"), "q"))
+	}
+	pruned := runOn(t, mk, db, cfg, plan.Options{})
+	full := runOn(t, mk, db, cfg, plan.Options{DisablePruning: true})
+	if !reflect.DeepEqual(pruned.Rows, full.Rows) {
+		t.Fatalf("join over pruned scan differs: %v vs %v", pruned.Rows, full.Rows)
+	}
+	if pruned.Rows[0][0] != 3 { // order 21 has lineitems 21, 71, 121
+		t.Fatalf("count = %d, want 3", pruned.Rows[0][0])
+	}
+}
+
+// Replicated tables are never pruned (any copy serves the query).
+func TestNoPruningOnReplicated(t *testing.T) {
+	db := testDB(t)
+	cfg := testConfigs(8)["classical"]
+	mk := func() plan.Node {
+		f := plan.Filter(plan.Scan("customer", "c"), plan.Eq(plan.Col("c.custkey"), plan.Lit(5)))
+		return plan.Aggregate(f, nil, plan.Count("n"))
+	}
+	res := runOn(t, mk, db, cfg, plan.Options{})
+	if res.Rows[0][0] != 1 {
+		t.Fatalf("count = %d", res.Rows[0][0])
+	}
+}

@@ -1,0 +1,421 @@
+// Package graph implements the undirected, labeled, weighted graphs of
+// Sections 3 and 4: schema graphs (nodes = tables, edges = referential
+// constraints or query join predicates, weights = network cost of a remote
+// join ≈ size of the smaller table) and the maximum spanning tree (MAST)
+// extraction that maximizes data-locality.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Edge is an undirected labeled edge between two tables. The label is the
+// equi-join predicate ACols[i] = BCols[i] between tables A and B. Edges are
+// stored canonically with A < B.
+type Edge struct {
+	A, B   string
+	ACols  []string
+	BCols  []string
+	Weight int64
+}
+
+// Canonical returns a copy with A < B (swapping column lists along).
+func (e Edge) Canonical() Edge {
+	if e.A <= e.B {
+		return e
+	}
+	return Edge{A: e.B, B: e.A, ACols: e.BCols, BCols: e.ACols, Weight: e.Weight}
+}
+
+// ID is a stable identity for the edge: endpoints plus the (sorted)
+// conjunct pairs, ignoring weight.
+func (e Edge) ID() string {
+	c := e.Canonical()
+	pairs := make([]string, len(c.ACols))
+	for i := range c.ACols {
+		pairs[i] = c.ACols[i] + "=" + c.BCols[i]
+	}
+	sort.Strings(pairs)
+	return c.A + "|" + c.B + "|" + strings.Join(pairs, "&")
+}
+
+// Other returns the endpoint opposite to table t, or "" if t is not an
+// endpoint.
+func (e Edge) Other(t string) string {
+	switch t {
+	case e.A:
+		return e.B
+	case e.B:
+		return e.A
+	default:
+		return ""
+	}
+}
+
+// ColsOf returns the predicate columns on table t's side.
+func (e Edge) ColsOf(t string) []string {
+	switch t {
+	case e.A:
+		return e.ACols
+	case e.B:
+		return e.BCols
+	default:
+		return nil
+	}
+}
+
+func (e Edge) String() string {
+	c := e.Canonical()
+	pairs := make([]string, len(c.ACols))
+	for i := range c.ACols {
+		pairs[i] = fmt.Sprintf("%s.%s=%s.%s", c.A, c.ACols[i], c.B, c.BCols[i])
+	}
+	return fmt.Sprintf("%s w=%d", strings.Join(pairs, " AND "), c.Weight)
+}
+
+// Graph is an undirected labeled weighted multigraph over table names.
+// Parallel edges with different labels are kept; re-adding an edge with an
+// identical label keeps the larger weight.
+type Graph struct {
+	nodes map[string]bool
+	edges map[string]Edge // by ID
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{nodes: make(map[string]bool), edges: make(map[string]Edge)}
+}
+
+// AddNode inserts a node (idempotent).
+func (g *Graph) AddNode(t string) { g.nodes[t] = true }
+
+// AddEdge inserts an edge, adding its endpoints as nodes. A duplicate edge
+// (same endpoints and label) keeps the maximum weight seen.
+func (g *Graph) AddEdge(e Edge) {
+	c := e.Canonical()
+	g.AddNode(c.A)
+	g.AddNode(c.B)
+	id := c.ID()
+	if old, ok := g.edges[id]; ok && old.Weight >= c.Weight {
+		return
+	}
+	g.edges[id] = c
+}
+
+// HasNode reports whether t is a node.
+func (g *Graph) HasNode(t string) bool { return g.nodes[t] }
+
+// HasEdge reports whether an edge with e's identity is present.
+func (g *Graph) HasEdge(e Edge) bool {
+	_, ok := g.edges[e.ID()]
+	return ok
+}
+
+// Nodes returns the node names, sorted.
+func (g *Graph) Nodes() []string {
+	out := make([]string, 0, len(g.nodes))
+	for n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Edges returns the edges sorted by (descending weight, ID) — the order
+// Kruskal consumes them in, kept deterministic for reproducible designs.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, len(g.edges))
+	for _, e := range g.edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].ID() < out[j].ID()
+	})
+	return out
+}
+
+// NumNodes reports the node count.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges reports the edge count.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// TotalWeight returns the sum of all edge weights.
+func (g *Graph) TotalWeight() int64 {
+	var w int64
+	for _, e := range g.edges {
+		w += e.Weight
+	}
+	return w
+}
+
+// EdgesAt returns the edges incident to node t, deterministically ordered.
+func (g *Graph) EdgesAt(t string) []Edge {
+	var out []Edge
+	for _, e := range g.Edges() {
+		if e.A == t || e.B == t {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (g *Graph) Clone() *Graph {
+	out := New()
+	for n := range g.nodes {
+		out.AddNode(n)
+	}
+	for _, e := range g.edges {
+		out.AddEdge(e)
+	}
+	return out
+}
+
+// Subgraph returns the induced subgraph over the given nodes: those nodes
+// plus every edge with both endpoints among them.
+func (g *Graph) Subgraph(nodes []string) *Graph {
+	keep := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		keep[n] = true
+	}
+	out := New()
+	for n := range g.nodes {
+		if keep[n] {
+			out.AddNode(n)
+		}
+	}
+	for _, e := range g.edges {
+		if keep[e.A] && keep[e.B] {
+			out.AddEdge(e)
+		}
+	}
+	return out
+}
+
+// Union returns a new graph with the nodes and edges of both graphs
+// (duplicate edges keep the larger weight).
+func (g *Graph) Union(h *Graph) *Graph {
+	out := g.Clone()
+	for n := range h.nodes {
+		out.AddNode(n)
+	}
+	for _, e := range h.edges {
+		out.AddEdge(e)
+	}
+	return out
+}
+
+// ContainedIn reports whether every node and edge of g appears in h
+// (edge identity = endpoints + label; weights are ignored, matching the
+// phase-1 WD merge rule of Section 4.1 where weights are table sizes and
+// thus identical across queries).
+func (g *Graph) ContainedIn(h *Graph) bool {
+	for n := range g.nodes {
+		if !h.nodes[n] {
+			return false
+		}
+	}
+	for id := range g.edges {
+		if _, ok := h.edges[id]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Components returns the connected components as sorted node lists,
+// ordered by their first node.
+func (g *Graph) Components() [][]string {
+	adj := g.adjacency()
+	seen := map[string]bool{}
+	var comps [][]string
+	for _, start := range g.Nodes() {
+		if seen[start] {
+			continue
+		}
+		var comp []string
+		stack := []string{start}
+		seen[start] = true
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, n)
+			for _, m := range adj[n] {
+				if !seen[m] {
+					seen[m] = true
+					stack = append(stack, m)
+				}
+			}
+		}
+		sort.Strings(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+func (g *Graph) adjacency() map[string][]string {
+	adj := map[string][]string{}
+	for _, e := range g.Edges() {
+		adj[e.A] = append(adj[e.A], e.B)
+		adj[e.B] = append(adj[e.B], e.A)
+	}
+	for n := range adj {
+		sort.Strings(adj[n])
+	}
+	return adj
+}
+
+// IsAcyclic reports whether the graph is a forest (counting parallel edges
+// between the same pair as a cycle).
+func (g *Graph) IsAcyclic() bool {
+	uf := newUnionFind()
+	for _, e := range g.edges {
+		if !uf.union(e.A, e.B) {
+			return false
+		}
+	}
+	return true
+}
+
+// MaximumSpanningTree returns the MAST of the graph: for each connected
+// component, the spanning tree maximizing total edge weight (Section 3.2).
+// Discarding only the lightest edges minimizes the network cost of the
+// remote joins that remain, maximizing data-locality. Ties are broken
+// deterministically by edge ID.
+func (g *Graph) MaximumSpanningTree() *Graph {
+	out := New()
+	for n := range g.nodes {
+		out.AddNode(n)
+	}
+	uf := newUnionFind()
+	for _, e := range g.Edges() { // descending weight
+		if uf.union(e.A, e.B) {
+			out.AddEdge(e)
+		}
+	}
+	return out
+}
+
+// MaximumSpanningTrees enumerates all maximum spanning trees that can be
+// produced by swapping equally-weighted edges, up to the given limit.
+// Section 3.1 notes several MASTs with the same total weight can exist and
+// the design step should consider each; limit bounds the combinatorics.
+func (g *Graph) MaximumSpanningTrees(limit int) []*Graph {
+	if limit <= 0 {
+		limit = 1
+	}
+	base := g.MaximumSpanningTree()
+	want := base.TotalWeight()
+	results := []*Graph{base}
+	seen := map[string]bool{signature(base): true}
+
+	// Try replacing each tree edge with each equally-weighted non-tree
+	// edge; accept swaps preserving total weight and spanning structure.
+	frontier := []*Graph{base}
+	for len(frontier) > 0 && len(results) < limit {
+		var next []*Graph
+		for _, tree := range frontier {
+			for _, out := range g.Edges() {
+				if tree.HasEdge(out) {
+					continue
+				}
+				for _, in := range tree.Edges() {
+					if in.Weight != out.Weight {
+						continue
+					}
+					cand := New()
+					for n := range tree.nodes {
+						cand.AddNode(n)
+					}
+					for _, e := range tree.Edges() {
+						if e.ID() != in.ID() {
+							cand.AddEdge(e)
+						}
+					}
+					cand.AddEdge(out)
+					if cand.TotalWeight() != want || !cand.IsAcyclic() {
+						continue
+					}
+					if len(cand.Components()) != len(tree.Components()) {
+						continue
+					}
+					sig := signature(cand)
+					if seen[sig] {
+						continue
+					}
+					seen[sig] = true
+					results = append(results, cand)
+					next = append(next, cand)
+					if len(results) >= limit {
+						return results
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	return results
+}
+
+func signature(g *Graph) string {
+	ids := make([]string, 0, len(g.edges))
+	for id := range g.edges {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return strings.Join(ids, ";")
+}
+
+// DataLocality returns DL = Σ_{e∈eco} w(e) / Σ_{e∈g} w(e) (Section 3.2):
+// the weight fraction of g's edges that eco keeps co-partitioned. A graph
+// without edges has DL = 1 (nothing can be remote).
+func DataLocality(g, eco *Graph) float64 {
+	total := g.TotalWeight()
+	if total == 0 {
+		return 1
+	}
+	var kept int64
+	for id, e := range g.edges {
+		if _, ok := eco.edges[id]; ok {
+			kept += e.Weight
+		}
+	}
+	return float64(kept) / float64(total)
+}
+
+// unionFind is a path-compressing disjoint-set over strings.
+type unionFind struct {
+	parent map[string]string
+}
+
+func newUnionFind() *unionFind { return &unionFind{parent: map[string]string{}} }
+
+func (u *unionFind) find(x string) string {
+	p, ok := u.parent[x]
+	if !ok {
+		u.parent[x] = x
+		return x
+	}
+	if p == x {
+		return x
+	}
+	root := u.find(p)
+	u.parent[x] = root
+	return root
+}
+
+// union merges the sets of a and b, reporting false if already joined.
+func (u *unionFind) union(a, b string) bool {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return false
+	}
+	u.parent[ra] = rb
+	return true
+}

@@ -1,0 +1,274 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func e(a, b string, w int64) Edge {
+	return Edge{A: a, B: b, ACols: []string{"k"}, BCols: []string{"k"}, Weight: w}
+}
+
+// tpchGraph builds the simplified TPC-H schema graph of Figure 4 with its
+// published weights (SF=1): L–O 1.5m, L–S 10k... The figure uses:
+// C–O 150k, O–L 1.5m, L–S 10k(?) — per the figure: edges L-O 1.5m,
+// C-O 150k, L-S 10k, C-N 25, S-N 25.
+func tpchGraph() *Graph {
+	g := New()
+	g.AddEdge(e("L", "O", 1_500_000))
+	g.AddEdge(e("C", "O", 150_000))
+	g.AddEdge(e("L", "S", 10_000))
+	g.AddEdge(e("C", "N", 25))
+	g.AddEdge(e("S", "N", 25))
+	return g
+}
+
+func TestEdgeCanonicalAndID(t *testing.T) {
+	a := Edge{A: "orders", B: "customer", ACols: []string{"custkey"}, BCols: []string{"custkey"}, Weight: 5}
+	c := a.Canonical()
+	if c.A != "customer" || c.B != "orders" {
+		t.Fatalf("canonical = %v", c)
+	}
+	b := Edge{A: "customer", B: "orders", ACols: []string{"custkey"}, BCols: []string{"custkey"}, Weight: 9}
+	if a.ID() != b.ID() {
+		t.Fatal("IDs must be direction-insensitive")
+	}
+	d := Edge{A: "customer", B: "orders", ACols: []string{"nationkey"}, BCols: []string{"custkey"}}
+	if a.ID() == d.ID() {
+		t.Fatal("different labels must differ")
+	}
+}
+
+func TestEdgeOtherAndColsOf(t *testing.T) {
+	ed := Edge{A: "a", B: "b", ACols: []string{"x"}, BCols: []string{"y"}}
+	if ed.Other("a") != "b" || ed.Other("b") != "a" || ed.Other("z") != "" {
+		t.Fatal("Other broken")
+	}
+	if ed.ColsOf("a")[0] != "x" || ed.ColsOf("b")[0] != "y" || ed.ColsOf("z") != nil {
+		t.Fatal("ColsOf broken")
+	}
+}
+
+func TestAddEdgeDedupKeepsMaxWeight(t *testing.T) {
+	g := New()
+	g.AddEdge(e("a", "b", 5))
+	g.AddEdge(e("b", "a", 9))
+	g.AddEdge(e("a", "b", 3))
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d", g.NumEdges())
+	}
+	if g.Edges()[0].Weight != 9 {
+		t.Fatalf("weight = %d, want max 9", g.Edges()[0].Weight)
+	}
+}
+
+func TestParallelEdgesDifferentLabels(t *testing.T) {
+	g := New()
+	g.AddEdge(Edge{A: "a", B: "b", ACols: []string{"x"}, BCols: []string{"x"}, Weight: 1})
+	g.AddEdge(Edge{A: "a", B: "b", ACols: []string{"y"}, BCols: []string{"y"}, Weight: 1})
+	if g.NumEdges() != 2 {
+		t.Fatal("different labels must be kept as parallel edges")
+	}
+	if g.IsAcyclic() {
+		t.Fatal("parallel edges form a cycle")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New()
+	g.AddEdge(e("a", "b", 1))
+	g.AddEdge(e("b", "c", 1))
+	g.AddEdge(e("x", "y", 1))
+	g.AddNode("lonely")
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("components = %v", comps)
+	}
+	want := [][]string{{"a", "b", "c"}, {"lonely"}, {"x", "y"}}
+	if !reflect.DeepEqual(comps, want) {
+		t.Fatalf("components = %v, want %v", comps, want)
+	}
+}
+
+func TestMASTFigure4(t *testing.T) {
+	// Figure 4: the MAST of the simplified TPC-H graph drops one of the
+	// two weight-25 edges (C–N or S–N), keeping total weight 1.5m + 150k
+	// + 10k + 25.
+	g := tpchGraph()
+	mast := g.MaximumSpanningTree()
+	if mast.NumEdges() != 4 {
+		t.Fatalf("MAST edges = %d, want 4", mast.NumEdges())
+	}
+	if got, want := mast.TotalWeight(), int64(1_500_000+150_000+10_000+25); got != want {
+		t.Fatalf("MAST weight = %d, want %d", got, want)
+	}
+	if !mast.IsAcyclic() {
+		t.Fatal("MAST must be acyclic")
+	}
+	if len(mast.Components()) != 1 {
+		t.Fatal("MAST must stay connected")
+	}
+	// Heavy edges always kept.
+	if !mast.HasEdge(e("L", "O", 0)) || !mast.HasEdge(e("C", "O", 0)) || !mast.HasEdge(e("L", "S", 0)) {
+		t.Fatal("MAST must keep the heavy edges")
+	}
+}
+
+func TestMASTPerComponent(t *testing.T) {
+	g := New()
+	g.AddEdge(e("a", "b", 10))
+	g.AddEdge(e("b", "c", 5))
+	g.AddEdge(e("a", "c", 1)) // cycle; lightest, dropped
+	g.AddEdge(e("x", "y", 7))
+	mast := g.MaximumSpanningTree()
+	if mast.NumEdges() != 3 {
+		t.Fatalf("forest edges = %d, want 3", mast.NumEdges())
+	}
+	if mast.HasEdge(e("a", "c", 0)) {
+		t.Fatal("lightest cycle edge must be dropped")
+	}
+}
+
+func TestMultipleMASTs(t *testing.T) {
+	g := tpchGraph()
+	masts := g.MaximumSpanningTrees(10)
+	// Exactly two: drop C–N or drop S–N.
+	if len(masts) != 2 {
+		t.Fatalf("found %d MASTs, want 2", len(masts))
+	}
+	for _, m := range masts {
+		if m.TotalWeight() != 1_660_025 {
+			t.Fatalf("alternate MAST weight = %d", m.TotalWeight())
+		}
+		if !m.IsAcyclic() || len(m.Components()) != 1 {
+			t.Fatal("alternate MAST invalid")
+		}
+	}
+	if signature(masts[0]) == signature(masts[1]) {
+		t.Fatal("MASTs must be distinct")
+	}
+}
+
+func TestDataLocality(t *testing.T) {
+	g := tpchGraph()
+	mast := g.MaximumSpanningTree()
+	// DL = kept/total = 1,660,025 / 1,660,050.
+	got := DataLocality(g, mast)
+	want := 1_660_025.0 / 1_660_050.0
+	if got != want {
+		t.Fatalf("DL = %v, want %v", got, want)
+	}
+	if DataLocality(g, g) != 1 {
+		t.Fatal("DL of graph vs itself must be 1")
+	}
+	if DataLocality(g, New()) != 0 {
+		t.Fatal("DL vs empty co-partitioning must be 0")
+	}
+	if DataLocality(New(), New()) != 1 {
+		t.Fatal("edgeless graph has DL 1")
+	}
+}
+
+func TestContainedIn(t *testing.T) {
+	small := New()
+	small.AddEdge(e("a", "b", 1))
+	big := New()
+	big.AddEdge(e("a", "b", 1))
+	big.AddEdge(e("b", "c", 2))
+	if !small.ContainedIn(big) {
+		t.Fatal("small ⊆ big")
+	}
+	if big.ContainedIn(small) {
+		t.Fatal("big ⊄ small")
+	}
+	// Same nodes, different label: not contained.
+	other := New()
+	other.AddEdge(Edge{A: "a", B: "b", ACols: []string{"z"}, BCols: []string{"z"}, Weight: 1})
+	if other.ContainedIn(big) {
+		t.Fatal("label mismatch must break containment")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	g := New()
+	g.AddEdge(e("a", "b", 1))
+	h := New()
+	h.AddEdge(e("b", "c", 2))
+	h.AddEdge(e("a", "b", 5))
+	u := g.Union(h)
+	if u.NumEdges() != 2 || u.NumNodes() != 3 {
+		t.Fatalf("union = %d edges %d nodes", u.NumEdges(), u.NumNodes())
+	}
+	// dedup keeps max weight
+	for _, ed := range u.Edges() {
+		if ed.A == "a" && ed.B == "b" && ed.Weight != 5 {
+			t.Fatal("union should keep max weight")
+		}
+	}
+	// inputs unchanged
+	if g.NumEdges() != 1 || h.NumEdges() != 2 {
+		t.Fatal("union must not mutate inputs")
+	}
+}
+
+func TestIsAcyclic(t *testing.T) {
+	g := New()
+	g.AddEdge(e("a", "b", 1))
+	g.AddEdge(e("b", "c", 1))
+	if !g.IsAcyclic() {
+		t.Fatal("path is acyclic")
+	}
+	g.AddEdge(e("a", "c", 1))
+	if g.IsAcyclic() {
+		t.Fatal("triangle has a cycle")
+	}
+}
+
+func TestEdgesAt(t *testing.T) {
+	g := tpchGraph()
+	at := g.EdgesAt("L")
+	if len(at) != 2 {
+		t.Fatalf("EdgesAt(L) = %d edges", len(at))
+	}
+	if at[0].Weight < at[1].Weight {
+		t.Fatal("EdgesAt must be weight-descending")
+	}
+}
+
+// Property: a MAST of a connected random graph spans all nodes with
+// exactly n−1 edges, is acyclic, and no single edge swap improves weight.
+func TestMASTProperty(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	f := func(raw []uint16) bool {
+		g := New()
+		// Chain guarantees connectivity.
+		for i := 1; i < len(names); i++ {
+			g.AddEdge(e(names[i-1], names[i], int64(i)))
+		}
+		for _, r := range raw {
+			i, j, w := int(r%6), int((r/6)%6), int64(r%97)+1
+			if i != j {
+				g.AddEdge(e(names[i], names[j], w))
+			}
+		}
+		mast := g.MaximumSpanningTree()
+		if mast.NumEdges() != len(names)-1 || !mast.IsAcyclic() || len(mast.Components()) != 1 {
+			return false
+		}
+		// Cut property: no non-tree edge can replace a lighter tree edge
+		// (checked coarsely: tree weight ≥ weight of any spanning tree we
+		// can build greedily by a different deterministic order).
+		alt := New()
+		uf := newUnionFind()
+		for _, ed := range g.Edges() {
+			if uf.union(ed.A, ed.B) {
+				alt.AddEdge(ed)
+			}
+		}
+		return mast.TotalWeight() >= alt.TotalWeight()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package partition
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// configJSON is the stable on-disk form of a Config, so designs produced
+// by prefdesign (or the design package) can be saved, reviewed, and
+// loaded by other tools.
+type configJSON struct {
+	Partitions int          `json:"partitions"`
+	Tables     []schemeJSON `json:"tables"`
+}
+
+type schemeJSON struct {
+	Table  string   `json:"table"`
+	Method string   `json:"method"`
+	Cols   []string `json:"cols,omitempty"`
+	Bounds []int64  `json:"bounds,omitempty"`
+	// PREF fields
+	RefTable string   `json:"ref_table,omitempty"`
+	RefCols  []string `json:"ref_cols,omitempty"`
+	OwnCols  []string `json:"own_cols,omitempty"`
+}
+
+var methodNames = map[Method]string{
+	Hash:       "hash",
+	RoundRobin: "round_robin",
+	Range:      "range",
+	Replicated: "replicated",
+	Pref:       "pref",
+}
+
+// MarshalJSON renders the configuration deterministically (tables sorted).
+func (c *Config) MarshalJSON() ([]byte, error) {
+	out := configJSON{Partitions: c.NumPartitions}
+	names := make([]string, 0, len(c.Schemes))
+	for n := range c.Schemes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		ts := c.Schemes[n]
+		m, ok := methodNames[ts.Method]
+		if !ok {
+			return nil, fmt.Errorf("partition: cannot serialize method %v", ts.Method)
+		}
+		out.Tables = append(out.Tables, schemeJSON{
+			Table: ts.Table, Method: m,
+			Cols: ts.Cols, Bounds: ts.Bounds,
+			RefTable: ts.RefTable,
+			OwnCols:  ts.Pred.ReferencingCols,
+			RefCols:  ts.Pred.ReferencedCols,
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// UnmarshalJSON parses a configuration previously produced by MarshalJSON.
+// Call Validate against the target schema after loading.
+func (c *Config) UnmarshalJSON(data []byte) error {
+	var in configJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	if in.Partitions < 1 {
+		return fmt.Errorf("partition: json config has partitions=%d", in.Partitions)
+	}
+	c.NumPartitions = in.Partitions
+	c.Schemes = make(map[string]*TableScheme, len(in.Tables))
+	byName := map[string]Method{}
+	for m, n := range methodNames {
+		byName[n] = m
+	}
+	for _, ts := range in.Tables {
+		m, ok := byName[ts.Method]
+		if !ok {
+			return fmt.Errorf("partition: unknown method %q for table %s", ts.Method, ts.Table)
+		}
+		if ts.Table == "" {
+			return fmt.Errorf("partition: scheme without a table name")
+		}
+		if _, dup := c.Schemes[ts.Table]; dup {
+			return fmt.Errorf("partition: duplicate scheme for table %s", ts.Table)
+		}
+		c.Schemes[ts.Table] = &TableScheme{
+			Table: ts.Table, Method: m, Cols: ts.Cols, Bounds: ts.Bounds,
+			RefTable: ts.RefTable,
+			Pred:     Predicate{ReferencingCols: ts.OwnCols, ReferencedCols: ts.RefCols},
+		}
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package partition
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	cfg := chainConfig(10)
+	cfg.Set(&TableScheme{Table: "extra_range", Method: Range,
+		Cols: []string{"k"}, Bounds: []int64{5, 10, 15, 20, 25, 30, 35, 40, 45}})
+	cfg.SetReplicated("extra_repl")
+
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Config
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumPartitions != 10 {
+		t.Fatalf("partitions = %d", back.NumPartitions)
+	}
+	if len(back.Schemes) != len(cfg.Schemes) {
+		t.Fatalf("schemes = %d, want %d", len(back.Schemes), len(cfg.Schemes))
+	}
+	for name, orig := range cfg.Schemes {
+		got := back.Schemes[name]
+		if got == nil {
+			t.Fatalf("missing scheme for %s", name)
+		}
+		if got.String() != orig.String() {
+			t.Fatalf("%s: %s != %s", name, got.String(), orig.String())
+		}
+	}
+	// Seed resolution survives.
+	seed, err := back.SeedTable("customer")
+	if err != nil || seed != "lineitem" {
+		t.Fatalf("seed = %s, %v", seed, err)
+	}
+}
+
+func TestConfigJSONDeterministic(t *testing.T) {
+	a, _ := json.Marshal(chainConfig(4))
+	b, _ := json.Marshal(chainConfig(4))
+	if string(a) != string(b) {
+		t.Fatal("serialization must be deterministic")
+	}
+	if !strings.Contains(string(a), `"method":"pref"`) {
+		t.Fatalf("unexpected json:\n%s", a)
+	}
+}
+
+func TestConfigJSONErrors(t *testing.T) {
+	bad := []string{
+		`{"partitions":0,"tables":[]}`,
+		`{"partitions":2,"tables":[{"table":"t","method":"nope"}]}`,
+		`{"partitions":2,"tables":[{"method":"hash"}]}`,
+		`{"partitions":2,"tables":[{"table":"t","method":"hash"},{"table":"t","method":"hash"}]}`,
+		`{invalid`,
+	}
+	for i, s := range bad {
+		var c Config
+		if err := json.Unmarshal([]byte(s), &c); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}

@@ -1,0 +1,326 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"pref/internal/value"
+)
+
+func timeMonth(m int) time.Month { return time.Month(m) }
+
+// ValExpr is a scalar expression over a row, evaluated after binding to a
+// schema. Values use the engine's int64 encoding.
+type ValExpr interface {
+	// Bind resolves column references against a schema, returning an
+	// evaluator closure. Binding errors indicate plan-construction bugs.
+	Bind(s Schema) (func(value.Tuple) int64, error)
+	// Kind reports the result kind under the given schema.
+	Kind(s Schema) value.Kind
+	String() string
+}
+
+// BoolExpr is a predicate over a row.
+type BoolExpr interface {
+	Bind(s Schema) (func(value.Tuple) bool, error)
+	String() string
+}
+
+// ---- scalar expressions ----
+
+type colExpr struct{ name string }
+
+// Col references a column by its alias-qualified name.
+func Col(name string) ValExpr { return colExpr{name} }
+
+func (c colExpr) Bind(s Schema) (func(value.Tuple) int64, error) {
+	i := s.Index(c.name)
+	if i < 0 {
+		return nil, fmt.Errorf("plan: unknown column %q (have %v)", c.name, s.Names())
+	}
+	return func(t value.Tuple) int64 { return t[i] }, nil
+}
+
+func (c colExpr) Kind(s Schema) value.Kind {
+	if i := s.Index(c.name); i >= 0 {
+		return s[i].Kind
+	}
+	return value.Int
+}
+
+func (c colExpr) String() string { return c.name }
+
+type litExpr struct {
+	v    int64
+	kind value.Kind
+}
+
+// Lit is an integer literal.
+func Lit(v int64) ValExpr { return litExpr{v, value.Int} }
+
+// MoneyLit is a money literal in dollars.
+func MoneyLit(dollars float64) ValExpr {
+	return litExpr{value.FromMoney(dollars), value.Money}
+}
+
+// DateLit is a date literal (year, month, day).
+func DateLit(y, m, d int) ValExpr {
+	return litExpr{value.FromDate(y, timeMonth(m), d), value.Date}
+}
+
+func (l litExpr) Bind(Schema) (func(value.Tuple) int64, error) {
+	return func(value.Tuple) int64 { return l.v }, nil
+}
+func (l litExpr) Kind(Schema) value.Kind { return l.kind }
+func (l litExpr) String() string         { return fmt.Sprintf("%d", l.v) }
+
+// Func is a computed scalar over named input columns; fn receives the
+// column values in the order of cols. Used for derived measures such as
+// extendedprice·(1−discount).
+type funcExpr struct {
+	cols []string
+	kind value.Kind
+	name string
+	fn   func([]int64) int64
+}
+
+// F builds a computed scalar expression.
+func F(name string, kind value.Kind, cols []string, fn func([]int64) int64) ValExpr {
+	return funcExpr{cols: cols, kind: kind, name: name, fn: fn}
+}
+
+func (f funcExpr) Bind(s Schema) (func(value.Tuple) int64, error) {
+	idx := make([]int, len(f.cols))
+	for i, c := range f.cols {
+		j := s.Index(c)
+		if j < 0 {
+			return nil, fmt.Errorf("plan: func %s: unknown column %q", f.name, c)
+		}
+		idx[i] = j
+	}
+	buf := make([]int64, len(idx))
+	return func(t value.Tuple) int64 {
+		for i, j := range idx {
+			buf[i] = t[j]
+		}
+		return f.fn(buf)
+	}, nil
+}
+func (f funcExpr) Kind(Schema) value.Kind { return f.kind }
+func (f funcExpr) String() string         { return f.name + "(" + strings.Join(f.cols, ",") + ")" }
+
+// ---- predicates ----
+
+// CmpOp is a comparison operator.
+type CmpOp int
+
+// Comparison operators.
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+func (o CmpOp) String() string {
+	return [...]string{"=", "<>", "<", "<=", ">", ">="}[o]
+}
+
+func (o CmpOp) apply(a, b int64) bool {
+	switch o {
+	case EQ:
+		return a == b
+	case NE:
+		return a != b
+	case LT:
+		return a < b
+	case LE:
+		return a <= b
+	case GT:
+		return a > b
+	case GE:
+		return a >= b
+	default:
+		return false
+	}
+}
+
+type cmpExpr struct {
+	l, r ValExpr
+	op   CmpOp
+}
+
+// Cmp compares two scalar expressions.
+func Cmp(l ValExpr, op CmpOp, r ValExpr) BoolExpr { return cmpExpr{l, r, op} }
+
+// Eq is Cmp(l, EQ, r); analogous helpers exist for the other operators.
+func Eq(l, r ValExpr) BoolExpr { return Cmp(l, EQ, r) }
+
+// Lt is the < comparison.
+func Lt(l, r ValExpr) BoolExpr { return Cmp(l, LT, r) }
+
+// Le is the <= comparison.
+func Le(l, r ValExpr) BoolExpr { return Cmp(l, LE, r) }
+
+// Gt is the > comparison.
+func Gt(l, r ValExpr) BoolExpr { return Cmp(l, GT, r) }
+
+// Ge is the >= comparison.
+func Ge(l, r ValExpr) BoolExpr { return Cmp(l, GE, r) }
+
+// Ne is the <> comparison.
+func Ne(l, r ValExpr) BoolExpr { return Cmp(l, NE, r) }
+
+func (c cmpExpr) Bind(s Schema) (func(value.Tuple) bool, error) {
+	lf, err := c.l.Bind(s)
+	if err != nil {
+		return nil, err
+	}
+	rf, err := c.r.Bind(s)
+	if err != nil {
+		return nil, err
+	}
+	op := c.op
+	return func(t value.Tuple) bool {
+		a, b := lf(t), rf(t)
+		if a == Null || b == Null {
+			return false
+		}
+		return op.apply(a, b)
+	}, nil
+}
+func (c cmpExpr) String() string { return c.l.String() + c.op.String() + c.r.String() }
+
+type andExpr struct{ xs []BoolExpr }
+
+// And is the conjunction of predicates (true when empty).
+func And(xs ...BoolExpr) BoolExpr { return andExpr{xs} }
+
+func (a andExpr) Bind(s Schema) (func(value.Tuple) bool, error) {
+	fs := make([]func(value.Tuple) bool, len(a.xs))
+	for i, x := range a.xs {
+		f, err := x.Bind(s)
+		if err != nil {
+			return nil, err
+		}
+		fs[i] = f
+	}
+	return func(t value.Tuple) bool {
+		for _, f := range fs {
+			if !f(t) {
+				return false
+			}
+		}
+		return true
+	}, nil
+}
+func (a andExpr) String() string { return joinExprs(a.xs, " AND ") }
+
+type orExpr struct{ xs []BoolExpr }
+
+// Or is the disjunction of predicates (false when empty).
+func Or(xs ...BoolExpr) BoolExpr { return orExpr{xs} }
+
+func (o orExpr) Bind(s Schema) (func(value.Tuple) bool, error) {
+	fs := make([]func(value.Tuple) bool, len(o.xs))
+	for i, x := range o.xs {
+		f, err := x.Bind(s)
+		if err != nil {
+			return nil, err
+		}
+		fs[i] = f
+	}
+	return func(t value.Tuple) bool {
+		for _, f := range fs {
+			if f(t) {
+				return true
+			}
+		}
+		return false
+	}, nil
+}
+func (o orExpr) String() string { return joinExprs(o.xs, " OR ") }
+
+type notExpr struct{ x BoolExpr }
+
+// Not negates a predicate.
+func Not(x BoolExpr) BoolExpr { return notExpr{x} }
+
+func (n notExpr) Bind(s Schema) (func(value.Tuple) bool, error) {
+	f, err := n.x.Bind(s)
+	if err != nil {
+		return nil, err
+	}
+	return func(t value.Tuple) bool { return !f(t) }, nil
+}
+func (n notExpr) String() string { return "NOT(" + n.x.String() + ")" }
+
+// In tests membership of a column in a literal set.
+func In(col string, vals ...int64) BoolExpr {
+	set := make(map[int64]bool, len(vals))
+	for _, v := range vals {
+		set[v] = true
+	}
+	return inExpr{col, set, vals}
+}
+
+type inExpr struct {
+	col  string
+	set  map[int64]bool
+	vals []int64
+}
+
+func (e inExpr) Bind(s Schema) (func(value.Tuple) bool, error) {
+	i := s.Index(e.col)
+	if i < 0 {
+		return nil, fmt.Errorf("plan: unknown column %q in IN", e.col)
+	}
+	return func(t value.Tuple) bool { return e.set[t[i]] }, nil
+}
+func (e inExpr) String() string { return fmt.Sprintf("%s IN %v", e.col, e.vals) }
+
+// EqualityBindings extracts column = constant facts from the top-level
+// conjunction of a predicate (Eq comparisons and single-value INs). Used
+// for partition pruning.
+func EqualityBindings(p BoolExpr) map[string]int64 {
+	out := map[string]int64{}
+	var walk func(BoolExpr)
+	walk = func(p BoolExpr) {
+		switch e := p.(type) {
+		case andExpr:
+			for _, x := range e.xs {
+				walk(x)
+			}
+		case cmpExpr:
+			if e.op != EQ {
+				return
+			}
+			if c, ok := e.l.(colExpr); ok {
+				if l, ok := e.r.(litExpr); ok {
+					out[c.name] = l.v
+				}
+			} else if c, ok := e.r.(colExpr); ok {
+				if l, ok := e.l.(litExpr); ok {
+					out[c.name] = l.v
+				}
+			}
+		case inExpr:
+			if len(e.vals) == 1 {
+				out[e.col] = e.vals[0]
+			}
+		}
+	}
+	walk(p)
+	return out
+}
+
+func joinExprs(xs []BoolExpr, sep string) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = "(" + x.String() + ")"
+	}
+	return strings.Join(parts, sep)
+}

@@ -1,0 +1,580 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"pref/internal/catalog"
+	"pref/internal/partition"
+	"pref/internal/value"
+)
+
+// Options toggles the query optimizations of Section 2.2, so the
+// effectiveness experiment of Figure 9 can run both ways.
+type Options struct {
+	// DisableHasRefOpt turns off rewriting semi/anti joins against the
+	// referenced table into hasRef-index filters.
+	DisableHasRefOpt bool
+	// DisableDupIndex turns off the dup-bitmap-based local duplicate
+	// elimination; PREF duplicates are then removed by a full value-based
+	// distinct with repartitioning.
+	DisableDupIndex bool
+	// Sizes supplies base-table cardinalities; when present, misaligned
+	// equi joins may broadcast a much smaller side instead of
+	// re-partitioning both (nil disables the heuristic).
+	Sizes map[string]int
+	// DisablePruning turns off partition pruning for point filters on
+	// partitioning columns (ablation).
+	DisablePruning bool
+}
+
+// Rewritten is the output of the rewrite: a physical plan annotated with
+// the schema of every operator and the root's properties.
+type Rewritten struct {
+	Root    Node
+	Schemas map[Node]Schema
+	Props   map[Node]*Prop
+}
+
+// Schema returns the annotated schema of a node.
+func (r *Rewritten) Schema(n Node) Schema { return r.Schemas[n] }
+
+// RootProp returns the properties of the root operator.
+func (r *Rewritten) RootProp() *Prop { return r.Props[r.Root] }
+
+// Explain renders the physical plan with each operator's partitioning
+// properties — an EXPLAIN for the Section 2.2 rewrite.
+func (r *Rewritten) Explain() string {
+	var sb strings.Builder
+	var walk func(Node, int)
+	walk = func(n Node, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(n.String())
+		if p := r.Props[n]; p != nil {
+			sb.WriteString("   ")
+			sb.WriteString(p.String())
+		}
+		sb.WriteByte('\n')
+		for _, c := range n.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(r.Root, 0)
+	return sb.String()
+}
+
+// Rewriter performs the bottom-up rewrite of Section 2.2 against one
+// partitioned database configuration.
+type Rewriter struct {
+	Schema *catalog.Schema
+	Cfg    *partition.Config
+	Opt    Options
+
+	out     *Rewritten
+	aliases map[string]bool
+}
+
+// Rewrite turns a logical SPJA plan into an executable physical plan:
+// it decides per operator whether the inputs need re-partitioning or
+// PREF-duplicate elimination, and applies the hasRef semi/anti-join
+// optimizations.
+func Rewrite(root Node, schema *catalog.Schema, cfg *partition.Config, opt Options) (*Rewritten, error) {
+	r := &Rewriter{
+		Schema:  schema,
+		Cfg:     cfg,
+		Opt:     opt,
+		out:     &Rewritten{Schemas: map[Node]Schema{}, Props: map[Node]*Prop{}},
+		aliases: map[string]bool{},
+	}
+	phys, prop, sch, err := r.rewrite(root)
+	if err != nil {
+		return nil, err
+	}
+	phys, prop, sch, err = r.finalizeRoot(phys, prop, sch)
+	if err != nil {
+		return nil, err
+	}
+	r.out.Root = phys
+	r.out.Schemas[phys] = sch
+	r.out.Props[phys] = prop
+	return r.out, nil
+}
+
+// finalizeRoot makes a plan's output presentable: PREF duplicates are
+// eliminated (the paper assumes a top-level projection does this) and the
+// hidden index columns are dropped. TopK roots re-apply their final pass
+// above the cleanup so ordering survives.
+func (r *Rewriter) finalizeRoot(root Node, prop *Prop, sch Schema) (Node, *Prop, Schema, error) {
+	if topk, ok := root.(*TopKNode); ok && topk.Final {
+		child, cprop, csch, err := r.finalizeRoot(topk.Child, r.out.Props[topk.Child], r.out.Schemas[topk.Child])
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if child == topk.Child {
+			return root, prop, sch, nil
+		}
+		nt := &TopKNode{Child: child, Order: topk.Order, Limit: topk.Limit, Final: true}
+		_ = cprop
+		n, p, s := r.note(nt, csch, prop)
+		return n, p, s, nil
+	}
+
+	root, prop, sch = r.dedup(root, prop, sch)
+	hidden := false
+	for _, f := range sch {
+		if isHiddenCol(f.Name) {
+			hidden = true
+			break
+		}
+	}
+	if !hidden {
+		return root, prop, sch, nil
+	}
+	var names []string
+	var exprs []ValExpr
+	out := make(Schema, 0, len(sch))
+	for _, f := range sch {
+		if isHiddenCol(f.Name) {
+			continue
+		}
+		names = append(names, f.Name)
+		exprs = append(exprs, Col(f.Name))
+		out = append(out, f)
+	}
+	p := &ProjectNode{Child: root, Exprs: exprs, Names: names}
+	n, pr, s := r.note(p, out, prop.clone())
+	return n, pr, s, nil
+}
+
+// note records the annotation of a produced physical node.
+func (r *Rewriter) note(n Node, sch Schema, p *Prop) (Node, *Prop, Schema) {
+	r.out.Schemas[n] = sch
+	r.out.Props[n] = p
+	return n, p, sch
+}
+
+func (r *Rewriter) rewrite(n Node) (Node, *Prop, Schema, error) {
+	switch n := n.(type) {
+	case *ScanNode:
+		return r.rewriteScan(n)
+	case *FilterNode:
+		return r.rewriteFilter(n)
+	case *ProjectNode:
+		return r.rewriteProject(n)
+	case *JoinNode:
+		return r.rewriteJoin(n)
+	case *AggregateNode:
+		return r.rewriteAggregate(n)
+	case *TopKNode:
+		return r.rewriteTopK(n)
+	default:
+		return nil, nil, nil, fmt.Errorf("plan: cannot rewrite node %T (already physical?)", n)
+	}
+}
+
+func (r *Rewriter) rewriteScan(n *ScanNode) (Node, *Prop, Schema, error) {
+	t := r.Schema.Table(n.Table)
+	if t == nil {
+		return nil, nil, nil, fmt.Errorf("plan: unknown table %s", n.Table)
+	}
+	if r.aliases[n.Alias] {
+		return nil, nil, nil, fmt.Errorf("plan: duplicate alias %s", n.Alias)
+	}
+	r.aliases[n.Alias] = true
+	ts := r.Cfg.Scheme(n.Table)
+	if ts == nil {
+		return nil, nil, nil, fmt.Errorf("plan: table %s has no partitioning scheme", n.Table)
+	}
+
+	sch := make(Schema, 0, t.NumCols()+2)
+	for _, c := range t.Columns {
+		sch = append(sch, Field{Name: Qualify(n.Alias, c.Name), Kind: c.Kind})
+	}
+	prop := &Prop{Parts: r.Cfg.NumPartitions, Placed: map[string]PlacedEntry{}}
+	switch ts.Method {
+	case partition.Replicated:
+		prop.Repl = true
+	case partition.Hash:
+		prop.HashCols = qualifyAll(n.Alias, ts.Cols)
+		prop.Placed[n.Alias] = PlacedEntry{Table: n.Table, Scheme: ts}
+	case partition.Pref:
+		sch = append(sch,
+			Field{Name: DupCol(n.Alias), Kind: value.Int},
+			Field{Name: HasRefCol(n.Alias), Kind: value.Int},
+		)
+		prop.Placed[n.Alias] = PlacedEntry{Table: n.Table, Scheme: ts}
+		if mapped, ok := r.Cfg.HashEquivalent(n.Table); ok {
+			// The whole PREF chain bottoms out at a hash seed on the
+			// predicate columns: placement is provably identical to hash
+			// partitioning on the mapped columns, duplicate-free. This
+			// unlocks case (1) joins, local aggregation, and safe
+			// semi/anti/outer execution on this table.
+			prop.HashCols = qualifyAll(n.Alias, mapped)
+		} else if !r.Cfg.DupFree(r.Schema, n.Table) {
+			// Redundancy-free chains (unique-key references all the way
+			// to a duplicate-free seed, Section 3.4) provably store each
+			// tuple once; only genuinely duplicated tables carry live
+			// dup columns.
+			prop.DupCols = []string{DupCol(n.Alias)}
+		}
+	default: // RoundRobin, Range: placement known but not join-exploitable
+		prop.Placed[n.Alias] = PlacedEntry{Table: n.Table, Scheme: ts}
+	}
+	node, p, s := r.note(n, sch, prop)
+	return node, p, s, nil
+}
+
+func (r *Rewriter) rewriteFilter(n *FilterNode) (Node, *Prop, Schema, error) {
+	child, prop, sch, err := r.rewrite(n.Child)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if _, err := n.Pred.Bind(sch); err != nil {
+		return nil, nil, nil, err
+	}
+	if !r.Opt.DisablePruning {
+		r.tryPrune(child, prop, n.Pred)
+	}
+	f := &FilterNode{Child: child, Pred: n.Pred}
+	node, p, s := r.note(f, sch, prop.clone())
+	return node, p, s, nil
+}
+
+// tryPrune restricts a scanned table to the single partition that can
+// contain matching rows when the filter pins all partitioning columns to
+// constants. Sound for hash tables, hash-equivalent PREF chains (their
+// placement — including orphans — is exactly the hash function), and
+// range tables. This is the "partition pruning for PREF" the paper's
+// conclusion names as future work.
+func (r *Rewriter) tryPrune(child Node, prop *Prop, pred BoolExpr) {
+	scan := pruneTarget(child)
+	if scan == nil || scan.Prune != nil || prop.Repl {
+		return
+	}
+	bindings := EqualityBindings(pred)
+	if len(bindings) == 0 {
+		return
+	}
+
+	// Hash / hash-equivalent placement: all hash columns must be bound.
+	if prop.HashCols != nil {
+		vals := make(value.Tuple, len(prop.HashCols))
+		cols := make([]int, len(prop.HashCols))
+		for i, c := range prop.HashCols {
+			v, ok := bindings[c]
+			if !ok {
+				return
+			}
+			vals[i] = v
+			cols[i] = i
+		}
+		p := int(value.HashTuple(vals, cols) % uint64(prop.Parts))
+		scan.Prune = []int{p}
+		return
+	}
+
+	// Range placement: the bound column pins the partition via the bounds.
+	ts := r.Cfg.Scheme(scan.Table)
+	if ts != nil && ts.Method == partition.Range {
+		if v, ok := bindings[Qualify(scan.Alias, ts.Cols[0])]; ok {
+			scan.Prune = []int{partition.RangeTarget(v, ts.Bounds)}
+		}
+	}
+}
+
+// pruneTarget unwraps physical filter chains down to a prunable scan.
+func pruneTarget(n Node) *ScanNode {
+	for {
+		switch x := n.(type) {
+		case *ScanNode:
+			return x
+		case *FilterNode:
+			n = x.Child
+		default:
+			return nil
+		}
+	}
+}
+
+// dedup wraps child with a PREF-duplicate elimination when it has live dup
+// columns: the dup-index filter normally, or the pessimistic value-based
+// distinct when the optimization is disabled.
+func (r *Rewriter) dedup(child Node, prop *Prop, sch Schema) (Node, *Prop, Schema) {
+	if !prop.Dup() {
+		return child, prop, sch
+	}
+	np := prop.clone()
+	np.DupCols = nil
+	if !r.Opt.DisableDupIndex {
+		d := &DistinctPrefNode{Child: child, DupCols: append([]string(nil), prop.DupCols...)}
+		n, p, s := r.note(d, sch, np)
+		return n, p, s
+	}
+	// Fallback: distinct by row value (excluding hidden index columns),
+	// which requires a repartition by content.
+	var cols []string
+	for _, c := range sch {
+		if !isHiddenCol(c.Name) {
+			cols = append(cols, c.Name)
+		}
+	}
+	np.HashCols = nil
+	np.Placed = map[string]PlacedEntry{}
+	d := &DistinctByValueNode{Child: child, Cols: cols}
+	n, p, s := r.note(d, sch, np)
+	return n, p, s
+}
+
+func isHiddenCol(name string) bool {
+	return strings.HasSuffix(name, ".__dup") || strings.HasSuffix(name, ".__hasref")
+}
+
+func (r *Rewriter) rewriteProject(n *ProjectNode) (Node, *Prop, Schema, error) {
+	child, prop, sch, err := r.rewrite(n.Child)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if len(n.Exprs) != len(n.Names) {
+		return nil, nil, nil, fmt.Errorf("plan: projection arity mismatch")
+	}
+	// Section 2.2: projection never re-partitions, but eliminates PREF
+	// duplicates first when Dup(oin)=1.
+	child, prop, sch = r.dedup(child, prop, sch)
+
+	out := make(Schema, len(n.Exprs))
+	for i, e := range n.Exprs {
+		if _, err := e.Bind(sch); err != nil {
+			return nil, nil, nil, err
+		}
+		out[i] = Field{Name: n.Names[i], Kind: e.Kind(sch)}
+	}
+	p := &ProjectNode{Child: child, Exprs: n.Exprs, Names: n.Names}
+	// Placement survives projection (rows don't move); hash/placed
+	// properties referencing dropped columns simply become unusable by
+	// later matching, which is sound.
+	node, pr, s := r.note(p, out, prop.clone())
+	return node, pr, s, nil
+}
+
+func (r *Rewriter) rewriteAggregate(n *AggregateNode) (Node, *Prop, Schema, error) {
+	child, prop, sch, err := r.rewrite(n.Child)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	if len(n.GroupBy) == 0 {
+		return r.rewriteGlobalAgg(n, child, prop, sch)
+	}
+
+	outSchema := func(in Schema) Schema {
+		out := make(Schema, 0, len(n.GroupBy)+len(n.Aggs))
+		for _, g := range n.GroupBy {
+			out = append(out, Field{Name: g, Kind: in[in.MustIndex(g)].Kind})
+		}
+		for _, a := range n.Aggs {
+			out = append(out, Field{Name: a.As, Kind: kindOfAgg(a, in)})
+		}
+		return out
+	}
+	if err := r.checkAggBinds(n, sch); err != nil {
+		return nil, nil, nil, err
+	}
+
+	// Local aggregation is possible when the input is replicated (each
+	// node aggregates its own full copy) or hash-partitioned with the
+	// partitioning columns covered by the group-by list (equal group keys
+	// then imply one partition; the paper states the prefix special case,
+	// set containment modulo equivalences is the general sound rule).
+	local := prop.Repl ||
+		(prop.HashCols != nil && hashCoveredBy(prop, n.GroupBy) && !prop.Dup())
+	if local {
+		agg := &AggregateNode{Child: child, GroupBy: n.GroupBy, Aggs: n.Aggs}
+		np := &Prop{Parts: prop.Parts, Repl: prop.Repl, Placed: map[string]PlacedEntry{}}
+		// The hash property survives only if its column names survive the
+		// aggregation's output schema.
+		if allIn(prop.HashCols, n.GroupBy) {
+			np.HashCols = prop.HashCols
+		}
+		node, p, s := r.note(agg, outSchema(sch), np)
+		return node, p, s, nil
+	}
+
+	// Otherwise re-partition by the group-by columns (removing PREF
+	// duplicates in transit) and aggregate locally after.
+	rep, _, _ := r.repartition(child, prop, sch, n.GroupBy)
+	agg := &AggregateNode{Child: rep, GroupBy: n.GroupBy, Aggs: n.Aggs}
+	np := &Prop{Parts: prop.Parts, HashCols: n.GroupBy, Placed: map[string]PlacedEntry{}}
+	node, p, s := r.note(agg, outSchema(sch), np)
+	return node, p, s, nil
+}
+
+// dupColsFor returns the dup columns a shipping operator must dedup on;
+// when the dup-index optimization is disabled the rewriter inserts an
+// explicit value distinct first, so the shipper gets none.
+func dupColsFor(r *Rewriter, prop *Prop) []string {
+	if r.Opt.DisableDupIndex {
+		return nil
+	}
+	return append([]string(nil), prop.DupCols...)
+}
+
+// preShipDedup inserts the pessimistic value-based distinct before a
+// shipping operator when the dup index may not be used.
+func (r *Rewriter) preShipDedup(child Node, prop *Prop, sch Schema) (Node, *Prop, Schema) {
+	if !r.Opt.DisableDupIndex || !prop.Dup() {
+		return child, prop, sch
+	}
+	return r.dedup(child, prop, sch)
+}
+
+func (r *Rewriter) rewriteGlobalAgg(n *AggregateNode, child Node, prop *Prop, sch Schema) (Node, *Prop, Schema, error) {
+	if err := r.checkAggBinds(n, sch); err != nil {
+		return nil, nil, nil, err
+	}
+
+	// COUNT(DISTINCT) states cannot be merged from partials; gather the
+	// (deduplicated) rows and aggregate at the coordinator instead.
+	for _, a := range n.Aggs {
+		if a.Fn == CountDistinctFn {
+			return r.rewriteGatheredAgg(n, child, prop, sch)
+		}
+	}
+
+	// Eliminate PREF duplicates locally, pre-aggregate per partition,
+	// gather the partials, and merge at the coordinator.
+	child, prop, sch = r.dedup(child, prop, sch)
+
+	partial := &PartialAggNode{Child: child, GroupBy: nil, Aggs: n.Aggs}
+	psch := partialSchema(nil, n.Aggs, sch)
+	r.note(partial, psch, &Prop{Parts: prop.Parts})
+
+	g := &GatherNode{Child: partial, OneCopy: prop.Repl}
+	r.note(g, psch, &Prop{Parts: prop.Parts, Gathered: true})
+
+	fin := &FinalAggNode{Child: g, GroupBy: nil, Aggs: n.Aggs}
+	out := make(Schema, 0, len(n.Aggs))
+	for _, a := range n.Aggs {
+		out = append(out, Field{Name: a.As, Kind: kindOfAgg(a, sch)})
+	}
+	node, p, s := r.note(fin, out, &Prop{Parts: prop.Parts, Gathered: true})
+	return node, p, s, nil
+}
+
+// rewriteTopK turns ORDER BY … LIMIT into a per-partition partial top-k,
+// a gather of the survivors, and a final ordered pass at the coordinator.
+// With a limit, each partition ships at most Limit rows; without one,
+// TopK is a plain gathered ORDER BY.
+func (r *Rewriter) rewriteTopK(n *TopKNode) (Node, *Prop, Schema, error) {
+	child, prop, sch, err := r.rewrite(n.Child)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for _, o := range n.Order {
+		if sch.Index(o.Col) < 0 {
+			return nil, nil, nil, fmt.Errorf("plan: unknown order column %q", o.Col)
+		}
+	}
+	child, prop, sch = r.dedup(child, prop, sch)
+
+	partial := &TopKNode{Child: child, Order: n.Order, Limit: n.Limit}
+	r.note(partial, sch, &Prop{Parts: prop.Parts})
+
+	g := &GatherNode{Child: partial, OneCopy: prop.Repl}
+	r.note(g, sch, &Prop{Parts: prop.Parts, Gathered: true})
+
+	final := &TopKNode{Child: g, Order: n.Order, Limit: n.Limit, Final: true}
+	node, p, s := r.note(final, sch, &Prop{Parts: prop.Parts, Gathered: true})
+	return node, p, s, nil
+}
+
+// rewriteGatheredAgg ships the full (deduplicated) input to the
+// coordinator and aggregates there — the fallback for global aggregates
+// whose states do not merge (COUNT DISTINCT).
+func (r *Rewriter) rewriteGatheredAgg(n *AggregateNode, child Node, prop *Prop, sch Schema) (Node, *Prop, Schema, error) {
+	child, prop, sch = r.dedup(child, prop, sch)
+	g := &GatherNode{Child: child, OneCopy: prop.Repl}
+	r.note(g, sch, &Prop{Parts: prop.Parts, Gathered: true})
+	agg := &AggregateNode{Child: g, GroupBy: nil, Aggs: n.Aggs}
+	out := make(Schema, 0, len(n.Aggs))
+	for _, a := range n.Aggs {
+		out = append(out, Field{Name: a.As, Kind: kindOfAgg(a, sch)})
+	}
+	node, p, s := r.note(agg, out, &Prop{Parts: prop.Parts, Gathered: true})
+	return node, p, s, nil
+}
+
+func (r *Rewriter) checkAggBinds(n *AggregateNode, sch Schema) error {
+	for _, g := range n.GroupBy {
+		if sch.Index(g) < 0 {
+			return fmt.Errorf("plan: unknown group-by column %q", g)
+		}
+	}
+	for _, a := range n.Aggs {
+		if a.Arg != nil {
+			if _, err := a.Arg.Bind(sch); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// partialSchema is the intermediate schema of PartialAggNode: group
+// columns followed by per-aggregate state columns (AVG keeps sum+count).
+func partialSchema(groupBy []string, aggs []AggExpr, in Schema) Schema {
+	out := make(Schema, 0, len(groupBy)+len(aggs)+1)
+	for _, g := range groupBy {
+		out = append(out, Field{Name: g, Kind: in[in.MustIndex(g)].Kind})
+	}
+	for _, a := range aggs {
+		if a.Fn == AvgFn {
+			out = append(out,
+				Field{Name: a.As + "$sum", Kind: value.Float},
+				Field{Name: a.As + "$cnt", Kind: value.Int})
+		} else {
+			out = append(out, Field{Name: a.As, Kind: kindOfAgg(a, in)})
+		}
+	}
+	return out
+}
+
+// allIn reports whether every element of a appears literally in b.
+func allIn(a, b []string) bool {
+	if len(a) == 0 {
+		return false
+	}
+	for _, x := range a {
+		ok := false
+		for _, y := range b {
+			if x == y {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// hashCoveredBy reports whether every hash column is among the group-by
+// columns, directly or via an equivalence.
+func hashCoveredBy(p *Prop, groupBy []string) bool {
+	if len(p.HashCols) == 0 {
+		return false
+	}
+	for _, h := range p.HashCols {
+		ok := false
+		for _, g := range groupBy {
+			if p.equivSame(h, g) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,228 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"pref/internal/partition"
+)
+
+// equivalence matching: after l⋈ps on (partkey,suppkey), a join on
+// ps.partkey matches part's scheme declared against... (see tpch Q9).
+func TestEquivalenceMatchingThroughJoin(t *testing.T) {
+	s := testSchema() // customer/orders/lineitem/nation
+	cfg := partition.NewConfig(4)
+	cfg.SetHash("customer", "custkey")
+	cfg.SetPref("orders", "customer", []string{"custkey"}, []string{"custkey"})
+	cfg.SetPref("lineitem", "orders", []string{"orderkey"}, []string{"orderkey"})
+	cfg.SetReplicated("nation")
+
+	// (o ⋈ l on orderkey) then join customer on o.custkey=c.custkey:
+	// direct match. Now the same but joining on l-side equivalent column:
+	// after the inner join, l.orderkey ≡ o.orderkey; a (contrived) second
+	// join keyed through the equivalence must still be local.
+	ol := Join(Scan("orders", "o"), Scan("lineitem", "l"),
+		Inner, []string{"o.orderkey"}, []string{"l.orderkey"})
+	// join customer via o.custkey (customer referenced by orders' scheme).
+	j := Join(ol, Scan("customer", "c"), Inner, []string{"o.custkey"}, []string{"c.custkey"})
+	rw, err := Rewrite(j, s, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countNodes(rw.Root, isRepart) != 0 {
+		t.Fatalf("chain join must stay local:\n%s", Format(rw.Root))
+	}
+	p := rw.Props[rw.Root]
+	if !p.equivSame("o.orderkey", "l.orderkey") {
+		t.Fatal("inner join must record o.orderkey ≡ l.orderkey")
+	}
+}
+
+func TestEquivClassesMergeTransitively(t *testing.T) {
+	var classes [][]string
+	classes = addEquiv(classes, "a", "b")
+	classes = addEquiv(classes, "c", "d")
+	classes = addEquiv(classes, "b", "c") // merges both groups
+	p := &Prop{Equiv: classes}
+	if !p.equivSame("a", "d") {
+		t.Fatalf("a ≡ d should hold transitively, classes = %v", classes)
+	}
+	if p.equivSame("a", "zzz") {
+		t.Fatal("unrelated columns must not be equivalent")
+	}
+	if !p.equivSame("x", "x") {
+		t.Fatal("reflexivity")
+	}
+}
+
+func TestOuterJoinDoesNotAddEquivalence(t *testing.T) {
+	s := testSchema()
+	cfg := prefChainCfg(4)
+	j := Join(Scan("customer", "c"), Scan("orders", "o"),
+		LeftOuter, []string{"c.custkey"}, []string{"o.custkey"})
+	rw, err := Rewrite(j, s, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rw.Props[rw.Root]
+	// o.custkey can be NULL on unmatched rows: not equivalent.
+	if p.equivSame("c.custkey", "o.custkey") {
+		t.Fatal("left outer join must not record predicate equivalence")
+	}
+}
+
+func TestBroadcastHeuristic(t *testing.T) {
+	s := testSchema()
+	// Misaligned join: orders hash(orderkey) ⋈ customer hash(name) on
+	// custkey. With sizes making customer tiny, it should broadcast.
+	cfg := partition.NewConfig(8)
+	cfg.SetHash("orders", "orderkey")
+	cfg.SetHash("customer", "name")
+	cfg.SetHash("lineitem", "linekey")
+	cfg.SetReplicated("nation")
+	mk := func() *JoinNode {
+		return Join(Scan("orders", "o"), Scan("customer", "c"),
+			Inner, []string{"o.custkey"}, []string{"c.custkey"})
+	}
+
+	sizes := map[string]int{"orders": 100000, "customer": 50, "lineitem": 1, "nation": 1}
+	rw, err := Rewrite(mk(), s, cfg, Options{Sizes: sizes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcasts := countNodes(rw.Root, func(n Node) bool { _, ok := n.(*BroadcastNode); return ok })
+	if bcasts != 1 || countNodes(rw.Root, isRepart) != 0 {
+		t.Fatalf("tiny side should broadcast:\n%s", Format(rw.Root))
+	}
+
+	// Comparable sizes: repartition both.
+	sizes2 := map[string]int{"orders": 1000, "customer": 900, "lineitem": 1, "nation": 1}
+	rw2, err := Rewrite(mk(), s, cfg, Options{Sizes: sizes2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countNodes(rw2.Root, func(n Node) bool { _, ok := n.(*BroadcastNode); return ok }) != 0 {
+		t.Fatalf("comparable sides must repartition:\n%s", Format(rw2.Root))
+	}
+
+	// No sizes: heuristic off.
+	rw3, err := Rewrite(mk(), s, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countNodes(rw3.Root, func(n Node) bool { _, ok := n.(*BroadcastNode); return ok }) != 0 {
+		t.Fatal("no sizes ⇒ no broadcast heuristic")
+	}
+}
+
+func TestBroadcastLeftOnlyForInner(t *testing.T) {
+	s := testSchema()
+	cfg := partition.NewConfig(8)
+	cfg.SetHash("orders", "orderkey")
+	cfg.SetHash("customer", "name")
+	cfg.SetHash("lineitem", "linekey")
+	cfg.SetReplicated("nation")
+	sizes := map[string]int{"orders": 50, "customer": 100000, "lineitem": 1, "nation": 1}
+
+	// Inner: left (orders) is tiny → broadcast left.
+	inner := Join(Scan("orders", "o"), Scan("customer", "c"),
+		Inner, []string{"o.custkey"}, []string{"c.custkey"})
+	rw, err := Rewrite(inner, s, cfg, Options{Sizes: sizes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countNodes(rw.Root, func(n Node) bool { _, ok := n.(*BroadcastNode); return ok }) != 1 {
+		t.Fatalf("inner join should broadcast the tiny left side:\n%s", Format(rw.Root))
+	}
+
+	// Anti: broadcasting the LEFT (output) side is unsound — must not.
+	anti := Join(Scan("orders", "o2"), Scan("customer", "c2"),
+		Anti, []string{"o2.custkey"}, []string{"c2.custkey"})
+	rw2, err := Rewrite(anti, s, cfg, Options{Sizes: sizes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range findNodes(rw2.Root, func(n Node) bool { _, ok := n.(*BroadcastNode); return ok }) {
+		if _, isScanLeft := n.(*BroadcastNode).Child.(*ScanNode); isScanLeft {
+			if strings.Contains(Format(n), "orders") {
+				t.Fatalf("anti join must not broadcast its left side:\n%s", Format(rw2.Root))
+			}
+		}
+	}
+}
+
+func TestEstimateRows(t *testing.T) {
+	s := testSchema()
+	cfg := prefChainCfg(4)
+	r := &Rewriter{Schema: s, Cfg: cfg, Opt: Options{Sizes: map[string]int{
+		"orders": 1000, "lineitem": 4000, "customer": 100, "nation": 5,
+	}}}
+	if got := r.estimateRows(Scan("orders", "o")); got != 1000 {
+		t.Fatalf("scan estimate = %v", got)
+	}
+	f := Filter(Scan("orders", "o"), Gt(Col("o.total"), Lit(1)))
+	if got := r.estimateRows(f); got != 250 {
+		t.Fatalf("filter estimate = %v", got)
+	}
+	j := Join(Scan("lineitem", "l"), Scan("orders", "o2"),
+		Inner, []string{"l.orderkey"}, []string{"o2.orderkey"})
+	if got := r.estimateRows(j); got != 4000 {
+		t.Fatalf("join estimate = %v (max of inputs)", got)
+	}
+	semi := Join(Scan("orders", "o3"), Scan("lineitem", "l2"),
+		Semi, []string{"o3.orderkey"}, []string{"l2.orderkey"})
+	if got := r.estimateRows(semi); got != 1000 {
+		t.Fatalf("semi estimate = %v (left side)", got)
+	}
+	unknown := &Rewriter{Schema: s, Cfg: cfg, Opt: Options{Sizes: map[string]int{}}}
+	if got := unknown.estimateRows(Scan("orders", "x")); got >= 0 {
+		t.Fatalf("unknown size must be negative, got %v", got)
+	}
+}
+
+func TestLocalAggViaSetContainment(t *testing.T) {
+	s := testSchema()
+	cfg := partition.NewConfig(4)
+	cfg.SetHash("orders", "custkey")
+	cfg.SetHash("customer", "custkey")
+	cfg.SetHash("lineitem", "linekey")
+	cfg.SetReplicated("nation")
+	// Group by (total, custkey): custkey is NOT a prefix but covers the
+	// hash column — local per the set-containment rule.
+	agg := Aggregate(Scan("orders", "o"), []string{"o.total", "o.custkey"}, Count("n"))
+	rw, err := Rewrite(agg, s, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countNodes(rw.Root, isRepart) != 0 {
+		t.Fatalf("covered group-by must aggregate locally:\n%s", Format(rw.Root))
+	}
+}
+
+func TestDupFreeChainScanHasNoDupCols(t *testing.T) {
+	s := testSchema()
+	// customer HASH(custkey); orders PREF on customer (custkey = pk):
+	// orders is dup-free but NOT hash-equivalent on any of its own
+	// columns' hash... actually it IS hash-equivalent (custkey mapped).
+	// Use a two-hop chain where equivalence breaks but dup-freeness holds:
+	// lineitem PREF on orders via orderkey (pk of orders).
+	cfg := partition.NewConfig(4)
+	cfg.SetHash("customer", "custkey")
+	cfg.SetPref("orders", "customer", []string{"custkey"}, []string{"custkey"})
+	cfg.SetPref("lineitem", "orders", []string{"orderkey"}, []string{"orderkey"})
+	cfg.SetReplicated("nation")
+
+	if _, ok := cfg.HashEquivalent("lineitem"); ok {
+		t.Fatal("lineitem must not be hash-equivalent (orderkey ∉ orders' equivalent cols)")
+	}
+	if !cfg.DupFree(s, "lineitem") {
+		t.Fatal("lineitem must be provably dup-free (unique-key chain)")
+	}
+	rw, err := Rewrite(Scan("lineitem", "l"), s, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.RootProp().Dup() {
+		t.Fatalf("dup-free chain scan must carry no dup columns: %v", rw.RootProp())
+	}
+}

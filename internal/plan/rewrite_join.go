@@ -1,0 +1,543 @@
+package plan
+
+import (
+	"fmt"
+
+	"pref/internal/partition"
+)
+
+func (r *Rewriter) rewriteJoin(n *JoinNode) (Node, *Prop, Schema, error) {
+	if len(n.LeftCols) != len(n.RightCols) {
+		return nil, nil, nil, fmt.Errorf("plan: join column lists differ in length")
+	}
+
+	// Optimization of Section 2.2: a semi/anti join of a PREF table R
+	// against its bare referenced table S on the partitioning predicate is
+	// a filter on R's hasRef index — no join at all.
+	if (n.Type == Semi || n.Type == Anti) && !r.Opt.DisableHasRefOpt {
+		if node, prop, sch, ok, err := r.tryHasRefRewrite(n); err != nil || ok {
+			return node, prop, sch, err
+		}
+	}
+
+	left, lp, ls, err := r.rewrite(n.Left)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	right, rp, rs, err := r.rewrite(n.Right)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for _, c := range n.LeftCols {
+		if ls.Index(c) < 0 {
+			return nil, nil, nil, fmt.Errorf("plan: join column %q not in left input %v", c, ls.Names())
+		}
+	}
+	for _, c := range n.RightCols {
+		if rs.Index(c) < 0 {
+			return nil, nil, nil, fmt.Errorf("plan: join column %q not in right input %v", c, rs.Names())
+		}
+	}
+
+	outSchema := ls.Concat(rs)
+	if n.Type == Semi || n.Type == Anti {
+		outSchema = ls
+	}
+	if n.Residual != nil {
+		if _, err := n.Residual.Bind(ls.Concat(rs)); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+
+	// Cross/theta joins execute as broadcast joins (Section 2.2 "Other
+	// joins"): ship the (deduplicated) build side to every node.
+	if len(n.LeftCols) == 0 {
+		return r.broadcastJoin(n, left, lp, ls, right, rp, rs, outSchema)
+	}
+
+	// Replicated inputs join locally with anything.
+	if lp.Repl || rp.Repl {
+		return r.replicatedJoin(n, left, lp, ls, right, rp, rs, outSchema)
+	}
+
+	// Case (1): both inputs hash-partitioned on keys implied equal by the
+	// join predicate (directly or via upstream equivalences). All
+	// partners of a key share a partition, so every join type (including
+	// anti/outer, whose absence test must be locally decidable) is safe.
+	if lp.HashCols != nil && rp.HashCols != nil && lp.Parts == rp.Parts &&
+		hashAligned(lp, rp, n.LeftCols, n.RightCols) {
+		j := r.physJoin(n, left, right)
+		np := &Prop{
+			Parts:    lp.Parts,
+			HashCols: lp.HashCols,
+			Placed:   unionPlaced(lp.Placed, rp.Placed),
+			DupCols:  append(append([]string(nil), lp.DupCols...), rp.DupCols...),
+			Equiv:    r.joinEquiv(n, lp, rp),
+		}
+		if n.Type == Semi || n.Type == Anti {
+			np.Placed = lp.Placed
+			np.DupCols = append([]string(nil), lp.DupCols...)
+			np.Equiv = lp.Equiv
+		}
+		node, p, s := r.note(j, outSchema, np)
+		return node, p, s, nil
+	}
+
+	// Cases (2) and (3): one input carries a PREF scheme whose
+	// partitioning predicate is this join predicate and whose referenced
+	// table is placed intact on the other input.
+	if refd, ok := r.prefMatch(lp, n.LeftCols, rp, n.RightCols); ok && r.prefJoinSafe(n, refd) {
+		j := r.physJoin(n, left, right)
+		refdProp := rp
+		if refd == "left" {
+			refdProp = lp
+		}
+		np := &Prop{
+			Parts:  lp.Parts,
+			Placed: unionPlaced(lp.Placed, rp.Placed),
+			// Dup(o) follows the referenced input (case 3); when the
+			// referenced side is the single-copy seed placement its
+			// DupCols are empty, recovering case (2)'s Dup(o)=0.
+			DupCols: append([]string(nil), refdProp.DupCols...),
+			Equiv:   r.joinEquiv(n, lp, rp),
+		}
+		// A hash property survives only if it came from the referenced
+		// side's placement (rows stay where the referenced side was).
+		np.HashCols = refdProp.HashCols
+		if n.Type == Semi || n.Type == Anti {
+			np.Placed = lp.Placed
+			np.DupCols = append([]string(nil), lp.DupCols...)
+			np.Equiv = lp.Equiv
+		}
+		node, p, s := r.note(j, outSchema, np)
+		return node, p, s, nil
+	}
+
+	// Fallback: a side already hash-partitioned on the join keys is left
+	// alone and only the other is re-partitioned; when neither is
+	// aligned, a broadcast of a much smaller side can beat shuffling both
+	// (the classic distributed-join choice; needs Options.Sizes).
+	leftOK := lp.HashCols != nil && sameCols(lp.HashCols, n.LeftCols) && !lp.Dup()
+	rightOK := rp.HashCols != nil && sameCols(rp.HashCols, n.RightCols) && !rp.Dup()
+	if !leftOK && !rightOK {
+		if side, ok := r.broadcastSide(n); ok {
+			return r.broadcastEqui(n, side, left, lp, ls, right, rp, rs, outSchema)
+		}
+	}
+	if !leftOK {
+		left, lp, ls = r.repartition(left, lp, ls, n.LeftCols)
+	}
+	if !rightOK {
+		right, rp, rs = r.repartition(right, rp, rs, n.RightCols)
+	}
+	j := r.physJoin(n, left, right)
+	np := &Prop{
+		Parts:    lp.Parts,
+		HashCols: n.LeftCols,
+		Placed:   unionPlaced(lp.Placed, rp.Placed),
+		DupCols:  append(append([]string(nil), lp.DupCols...), rp.DupCols...),
+		Equiv:    r.joinEquiv(n, lp, rp),
+	}
+	if n.Type == Semi || n.Type == Anti {
+		np.Placed = lp.Placed
+		np.DupCols = append([]string(nil), lp.DupCols...)
+		np.Equiv = lp.Equiv
+	}
+	node, p, s := r.note(j, outSchema, np)
+	return node, p, s, nil
+}
+
+// joinEquiv derives the output equivalence classes of a join: both sides'
+// classes survive, and an inner join adds the predicate's equalities
+// (outer joins do not — the right side may be null-extended).
+func (r *Rewriter) joinEquiv(n *JoinNode, lp, rp *Prop) [][]string {
+	out := unionEquiv(lp.Equiv, rp.Equiv)
+	if n.Type == Inner {
+		for i := range n.LeftCols {
+			out = addEquiv(out, n.LeftCols[i], n.RightCols[i])
+		}
+	}
+	return out
+}
+
+// hashAligned reports whether the two hash placements provably co-locate
+// all rows with equal join keys: every positional hash-column pair must be
+// implied equal by the join predicate, modulo each side's equivalences.
+func hashAligned(lp, rp *Prop, leftCols, rightCols []string) bool {
+	if len(lp.HashCols) != len(rp.HashCols) {
+		return false
+	}
+	used := make([]bool, len(leftCols))
+	for i := range lp.HashCols {
+		found := false
+		for j := range leftCols {
+			if used[j] {
+				continue
+			}
+			if lp.equivSame(lp.HashCols[i], leftCols[j]) && rp.equivSame(rp.HashCols[i], rightCols[j]) {
+				used[j] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// broadcastSide decides whether to broadcast one side of a misaligned
+// equi join instead of re-partitioning both, using the coarse cardinality
+// estimates derived from Options.Sizes. Returns "left" or "right".
+// Broadcasting the left side is only sound for inner joins (pairs form at
+// the kept right rows); semi/anti/outer must broadcast the build side.
+func (r *Rewriter) broadcastSide(n *JoinNode) (string, bool) {
+	if r.Opt.Sizes == nil {
+		return "", false
+	}
+	lEst := r.estimateRows(n.Left)
+	rEst := r.estimateRows(n.Right)
+	if lEst < 0 || rEst < 0 {
+		return "", false
+	}
+	parts := float64(r.Cfg.NumPartitions)
+	repartition := lEst + rEst
+	if rEst*(parts-1) < repartition {
+		return "right", true
+	}
+	if n.Type == Inner && lEst*(parts-1) < repartition {
+		return "left", true
+	}
+	return "", false
+}
+
+// broadcastEqui executes a misaligned equi join by broadcasting one side.
+func (r *Rewriter) broadcastEqui(n *JoinNode, side string,
+	left Node, lp *Prop, ls Schema, right Node, rp *Prop, rs Schema,
+	outSchema Schema) (Node, *Prop, Schema, error) {
+
+	if side == "right" {
+		right, rp, rs = r.preShipDedup(right, rp, rs)
+		b := &BroadcastNode{Child: right, DupCols: dupColsFor(r, rp), OneCopy: rp.Repl}
+		r.note(b, rs, &Prop{Parts: rp.Parts, Repl: true, Placed: map[string]PlacedEntry{}})
+		j := r.physJoin(n, left, b)
+		np := &Prop{
+			Parts:    lp.Parts,
+			HashCols: lp.HashCols,
+			Placed:   lp.Placed,
+			DupCols:  append([]string(nil), lp.DupCols...),
+			Equiv:    r.joinEquiv(n, lp, rp),
+		}
+		if n.Type == Semi || n.Type == Anti {
+			np.Equiv = lp.Equiv
+		}
+		node, p, s := r.note(j, outSchema, np)
+		return node, p, s, nil
+	}
+
+	// Broadcast left (inner only): rows pair up where the right side
+	// lives, so the output inherits the right placement. The broadcast
+	// dedups the left copies in flight — a duplicated broadcast side
+	// would multiply pairs.
+	left, lp, ls = r.preShipDedup(left, lp, ls)
+	b := &BroadcastNode{Child: left, DupCols: dupColsFor(r, lp), OneCopy: lp.Repl}
+	r.note(b, ls, &Prop{Parts: lp.Parts, Repl: true, Placed: map[string]PlacedEntry{}})
+	j := r.physJoin(n, b, right)
+	np := &Prop{
+		Parts:    rp.Parts,
+		HashCols: rp.HashCols,
+		Placed:   rp.Placed,
+		DupCols:  append([]string(nil), rp.DupCols...),
+		Equiv:    r.joinEquiv(n, lp, rp),
+	}
+	node, p, s := r.note(j, outSchema, np)
+	return node, p, s, nil
+}
+
+// estimateRows is the crude cardinality model behind the broadcast
+// heuristic: base-table sizes, a fixed selectivity per filter, pk-fk
+// joins bounded by the larger input. −1 means "unknown" (a scan without a
+// registered size), which disables the heuristic.
+func (r *Rewriter) estimateRows(n Node) float64 {
+	const filterSelectivity = 0.25
+	switch n := n.(type) {
+	case *ScanNode:
+		if sz, ok := r.Opt.Sizes[n.Table]; ok {
+			return float64(sz)
+		}
+		return -1
+	case *FilterNode:
+		c := r.estimateRows(n.Child)
+		if c < 0 {
+			return -1
+		}
+		return c * filterSelectivity
+	case *JoinNode:
+		l, rr := r.estimateRows(n.Left), r.estimateRows(n.Right)
+		if l < 0 || rr < 0 {
+			return -1
+		}
+		switch n.Type {
+		case Semi, Anti:
+			return l
+		default:
+			if l > rr {
+				return l
+			}
+			return rr
+		}
+	case *AggregateNode:
+		c := r.estimateRows(n.Child)
+		if c < 0 {
+			return -1
+		}
+		return c * 0.2
+	case *ProjectNode:
+		return r.estimateRows(n.Child)
+	default:
+		if ch := n.Children(); len(ch) == 1 {
+			return r.estimateRows(ch[0])
+		}
+		return -1
+	}
+}
+
+// physJoin clones the logical join around the physical children.
+func (r *Rewriter) physJoin(n *JoinNode, left, right Node) *JoinNode {
+	return &JoinNode{
+		Left: left, Right: right, Type: n.Type,
+		LeftCols: n.LeftCols, RightCols: n.RightCols, Residual: n.Residual,
+	}
+}
+
+// prefJoinSafe guards the PREF co-location cases for join types whose
+// match-absence test must be locally decidable (Semi/Anti/LeftOuter):
+//
+//   - refd == "left": the left (output) side is the referenced input, so
+//     by Definition 1 every matching referencing tuple has a copy wherever
+//     the left row lives — the full partner set is locally visible, even
+//     with filters or residual predicates. Always safe.
+//   - refd == "right": the left side is the referencing input, whose
+//     copies each see only a local subset of partners. Safe only against
+//     the bare referenced table (then every copy either has a local
+//     partner or is a global orphan) with no residual.
+func (r *Rewriter) prefJoinSafe(n *JoinNode, refd string) bool {
+	if n.Type == Inner {
+		return true
+	}
+	if refd == "left" {
+		return true
+	}
+	_, bare := n.Right.(*ScanNode)
+	return bare && n.Residual == nil
+}
+
+// prefMatch implements the shared core of cases (2) and (3): it reports
+// which side is the referenced input ("left"/"right") when some placed
+// PREF scheme's partitioning predicate equals the join predicate and its
+// referenced table is placed intact on the other side.
+func (r *Rewriter) prefMatch(lp *Prop, leftCols []string, rp *Prop, rightCols []string) (string, bool) {
+	if lp.Parts != rp.Parts {
+		return "", false
+	}
+	// Try left as the referencing input…
+	if r.matchOneDirection(lp, leftCols, rp, rightCols) {
+		return "right", true
+	}
+	// …then right.
+	if r.matchOneDirection(rp, rightCols, lp, leftCols) {
+		return "left", true
+	}
+	return "", false
+}
+
+// matchOneDirection checks whether some alias on the referencing side has
+// a PREF scheme whose predicate equals the join predicate — modulo column
+// equivalences established upstream — and whose referenced table is
+// placed intact on the referenced side.
+func (r *Rewriter) matchOneDirection(ringProp *Prop, ringCols []string, refdProp *Prop, refdCols []string) bool {
+	for alias, entry := range ringProp.Placed {
+		sch := entry.Scheme
+		if sch == nil || sch.Method != partition.Pref {
+			continue
+		}
+		for refdAlias, refdEntry := range refdProp.Placed {
+			if refdEntry.Table != sch.RefTable {
+				continue
+			}
+			if refdEntry.Scheme != r.Cfg.Scheme(sch.RefTable) {
+				continue
+			}
+			if pairsMatchEquiv(
+				ringProp, ringCols, refdProp, refdCols,
+				qualifyAll(alias, sch.Pred.ReferencingCols),
+				qualifyAll(refdAlias, sch.Pred.ReferencedCols),
+			) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// pairsMatchEquiv reports whether the join pairing (joinA[j], joinB[j])
+// covers every wanted pair (wantA[i], wantB[i]) up to per-side column
+// equivalence.
+func pairsMatchEquiv(aProp *Prop, joinA []string, bProp *Prop, joinB []string, wantA, wantB []string) bool {
+	if len(joinA) != len(wantA) {
+		return false
+	}
+	used := make([]bool, len(joinA))
+	for i := range wantA {
+		found := false
+		for j := range joinA {
+			if used[j] {
+				continue
+			}
+			if aProp.equivSame(joinA[j], wantA[i]) && bProp.equivSame(joinB[j], wantB[i]) {
+				used[j] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// replicatedJoin joins against a replicated side locally.
+func (r *Rewriter) replicatedJoin(n *JoinNode, left Node, lp *Prop, ls Schema,
+	right Node, rp *Prop, rs Schema, outSchema Schema) (Node, *Prop, Schema, error) {
+
+	// Semi/Anti/LeftOuter against a replicated right side are safe: the
+	// full partner set is present on every node. The reverse (replicated
+	// left, partitioned right) is NOT locally decidable for those types —
+	// fall back to re-partitioning both sides.
+	if lp.Repl && !rp.Repl && n.Type != Inner {
+		left, lp, ls = r.repartition(left, lp, ls, n.LeftCols)
+		right, rp, rs = r.repartition(right, rp, rs, n.RightCols)
+		j := r.physJoin(n, left, right)
+		np := &Prop{Parts: lp.Parts, HashCols: n.LeftCols, Placed: map[string]PlacedEntry{}}
+		node, p, s := r.note(j, outSchema, np)
+		return node, p, s, nil
+	}
+
+	j := r.physJoin(n, left, right)
+	np := &Prop{Parts: lp.Parts, Equiv: r.joinEquiv(n, lp, rp)}
+	switch {
+	case lp.Repl && rp.Repl:
+		np.Repl = true
+		np.Placed = map[string]PlacedEntry{}
+	case lp.Repl:
+		np.HashCols = rp.HashCols
+		np.Placed = rp.Placed
+		np.DupCols = append([]string(nil), rp.DupCols...)
+	default:
+		np.HashCols = lp.HashCols
+		np.Placed = lp.Placed
+		np.DupCols = append([]string(nil), lp.DupCols...)
+	}
+	if n.Type == Semi || n.Type == Anti {
+		np.Placed = lp.Placed
+		np.DupCols = append([]string(nil), lp.DupCols...)
+		np.HashCols = lp.HashCols
+		np.Repl = lp.Repl
+		np.Equiv = lp.Equiv
+	}
+	node, p, s := r.note(j, outSchema, np)
+	return node, p, s, nil
+}
+
+// broadcastJoin ships the deduplicated right side to every node and joins
+// locally; correct for any join type because the full build side is
+// present everywhere.
+func (r *Rewriter) broadcastJoin(n *JoinNode, left Node, lp *Prop, ls Schema,
+	right Node, rp *Prop, rs Schema, outSchema Schema) (Node, *Prop, Schema, error) {
+
+	left, lp, ls = r.preShipDedup(left, lp, ls)
+	right, rp, rs = r.preShipDedup(right, rp, rs)
+
+	var bright Node = &BroadcastNode{Child: right, DupCols: dupColsFor(r, rp), OneCopy: rp.Repl}
+	r.note(bright, rs, &Prop{Parts: rp.Parts, Repl: true, Placed: map[string]PlacedEntry{}})
+
+	// The probe side must also be duplicate-free, or pair copies multiply.
+	left, lp, ls = r.dedup(left, lp, ls)
+
+	j := r.physJoin(n, left, bright)
+	np := &Prop{
+		Parts:    lp.Parts,
+		HashCols: lp.HashCols,
+		Placed:   lp.Placed,
+		Repl:     lp.Repl,
+	}
+	node, p, s := r.note(j, outSchema, np)
+	return node, p, s, nil
+}
+
+// repartition wraps child in a hash re-partitioning on cols, eliminating
+// PREF duplicates in transit.
+func (r *Rewriter) repartition(child Node, prop *Prop, sch Schema, cols []string) (Node, *Prop, Schema) {
+	child, prop, sch = r.preShipDedup(child, prop, sch)
+	rep := &RepartitionNode{Child: child, Cols: cols, DupCols: dupColsFor(r, prop), OneCopy: prop.Repl}
+	np := &Prop{Parts: prop.Parts, HashCols: cols, Placed: map[string]PlacedEntry{}}
+	r.note(rep, sch, np)
+	return rep, np, sch
+}
+
+// tryHasRefRewrite recognizes σ_{hasRef=…}(R) patterns: a semi (anti) join
+// of R against its bare referenced table S on exactly R's partitioning
+// predicate becomes a filter hasRef=1 (hasRef=0) on R.
+func (r *Rewriter) tryHasRefRewrite(n *JoinNode) (Node, *Prop, Schema, bool, error) {
+	if n.Residual != nil {
+		return nil, nil, nil, false, nil
+	}
+	rightScan, ok := n.Right.(*ScanNode)
+	if !ok {
+		return nil, nil, nil, false, nil
+	}
+	leftAlias, leftTable, ok := baseScan(n.Left)
+	if !ok {
+		return nil, nil, nil, false, nil
+	}
+	ts := r.Cfg.Scheme(leftTable)
+	if ts == nil || ts.Method != partition.Pref || ts.RefTable != rightScan.Table {
+		return nil, nil, nil, false, nil
+	}
+	if !colPairsEqual(
+		n.LeftCols, n.RightCols,
+		qualifyAll(leftAlias, ts.Pred.ReferencingCols),
+		qualifyAll(rightScan.Alias, ts.Pred.ReferencedCols),
+	) {
+		return nil, nil, nil, false, nil
+	}
+
+	left, lp, ls, err := r.rewrite(n.Left)
+	if err != nil {
+		return nil, nil, nil, true, err
+	}
+	want := int64(1)
+	if n.Type == Anti {
+		want = 0
+	}
+	f := &FilterNode{Child: left, Pred: Eq(Col(HasRefCol(leftAlias)), Lit(want))}
+	node, p, s := r.note(f, ls, lp.clone())
+	return node, p, s, true, nil
+}
+
+// baseScan unwraps Filter chains down to a ScanNode, returning its alias
+// and table.
+func baseScan(n Node) (alias, tbl string, ok bool) {
+	for {
+		switch x := n.(type) {
+		case *ScanNode:
+			return x.Alias, x.Table, true
+		case *FilterNode:
+			n = x.Child
+		default:
+			return "", "", false
+		}
+	}
+}

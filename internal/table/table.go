@@ -1,0 +1,184 @@
+// Package table provides in-memory row storage: unpartitioned base tables
+// and partitioned tables whose partitions carry the two PREF bitmap indexes
+// from Section 2 of the paper (dup and hasRef).
+package table
+
+import (
+	"fmt"
+
+	"pref/internal/bitset"
+	"pref/internal/catalog"
+	"pref/internal/value"
+)
+
+// Data is an unpartitioned table: metadata plus its rows.
+type Data struct {
+	Meta *catalog.Table
+	Rows []value.Tuple
+}
+
+// NewData returns an empty table for the given metadata.
+func NewData(meta *catalog.Table) *Data {
+	return &Data{Meta: meta}
+}
+
+// Append adds a row after checking its arity.
+func (d *Data) Append(t value.Tuple) error {
+	if len(t) != d.Meta.NumCols() {
+		return fmt.Errorf("table %s: row arity %d, want %d", d.Meta.Name, len(t), d.Meta.NumCols())
+	}
+	d.Rows = append(d.Rows, t)
+	return nil
+}
+
+// MustAppend is Append that panics on error; for test fixtures.
+func (d *Data) MustAppend(t value.Tuple) {
+	if err := d.Append(t); err != nil {
+		panic(err)
+	}
+}
+
+// Len reports the number of rows.
+func (d *Data) Len() int { return len(d.Rows) }
+
+// Partition is one horizontal fragment of a partitioned table. Dup and
+// HasRef are the bitmap indexes of Section 2.1: Dup marks copies beyond a
+// tuple's globally first stored occurrence (so a dup=0 filter eliminates
+// exactly the PREF-induced duplicates), HasRef marks tuples that have at
+// least one partitioning partner in the referenced table (the paper's hasS).
+type Partition struct {
+	Rows   []value.Tuple
+	Dup    *bitset.Bitset
+	HasRef *bitset.Bitset
+}
+
+// NewPartition returns an empty partition with empty bitmap indexes.
+func NewPartition() *Partition {
+	return &Partition{Dup: bitset.New(0), HasRef: bitset.New(0)}
+}
+
+// Append stores one tuple copy with its index bits.
+func (p *Partition) Append(t value.Tuple, dup, hasRef bool) {
+	p.Rows = append(p.Rows, t)
+	p.Dup.Append(dup)
+	p.HasRef.Append(hasRef)
+}
+
+// Len reports the number of stored tuple copies.
+func (p *Partition) Len() int { return len(p.Rows) }
+
+// Partitioned is a horizontally partitioned table.
+type Partitioned struct {
+	Meta *catalog.Table
+	// Parts has one entry per logical node.
+	Parts []*Partition
+	// OriginalRows is the pre-partitioning cardinality |T|; the stored
+	// cardinality |T^P| may be larger due to PREF duplicates or replication.
+	OriginalRows int
+	// Replicated marks a fully replicated table (every partition holds
+	// every row).
+	Replicated bool
+}
+
+// NewPartitioned returns a partitioned table with n empty partitions.
+func NewPartitioned(meta *catalog.Table, n int) *Partitioned {
+	parts := make([]*Partition, n)
+	for i := range parts {
+		parts[i] = NewPartition()
+	}
+	return &Partitioned{Meta: meta, Parts: parts}
+}
+
+// NumPartitions reports the partition count.
+func (pt *Partitioned) NumPartitions() int { return len(pt.Parts) }
+
+// StoredRows reports |T^P|: total stored tuple copies across partitions.
+func (pt *Partitioned) StoredRows() int {
+	n := 0
+	for _, p := range pt.Parts {
+		n += p.Len()
+	}
+	return n
+}
+
+// DuplicateRows reports how many stored copies are PREF duplicates.
+func (pt *Partitioned) DuplicateRows() int {
+	n := 0
+	for _, p := range pt.Parts {
+		n += p.Dup.Count()
+	}
+	return n
+}
+
+// Redundancy reports |T^P|/|T| − 1 for this single table (0 = none).
+func (pt *Partitioned) Redundancy() float64 {
+	if pt.OriginalRows == 0 {
+		return 0
+	}
+	return float64(pt.StoredRows())/float64(pt.OriginalRows) - 1
+}
+
+// Database is a set of unpartitioned tables keyed by name.
+type Database struct {
+	Schema *catalog.Schema
+	Tables map[string]*Data
+}
+
+// NewDatabase returns an empty database with one Data per schema table.
+func NewDatabase(s *catalog.Schema) *Database {
+	db := &Database{Schema: s, Tables: make(map[string]*Data)}
+	for _, t := range s.Tables() {
+		db.Tables[t.Name] = NewData(t)
+	}
+	return db
+}
+
+// Without returns a database view excluding the named tables (sharing the
+// remaining tables' data). Design algorithms use it to drop small
+// fully-replicated tables before partitioning (Section 3.1).
+func (db *Database) Without(names ...string) *Database {
+	out := &Database{Schema: db.Schema.Without(names...), Tables: make(map[string]*Data)}
+	for _, t := range out.Schema.Tables() {
+		out.Tables[t.Name] = db.Tables[t.Name]
+	}
+	return out
+}
+
+// TotalRows reports |D|: the sum of all table cardinalities.
+func (db *Database) TotalRows() int {
+	n := 0
+	for _, t := range db.Tables {
+		n += t.Len()
+	}
+	return n
+}
+
+// PartitionedDatabase is the result of applying a partitioning
+// configuration to a Database.
+type PartitionedDatabase struct {
+	Schema *catalog.Schema
+	Tables map[string]*Partitioned
+	N      int // number of partitions / nodes
+}
+
+// TotalStoredRows reports |D^P|.
+func (pdb *PartitionedDatabase) TotalStoredRows() int {
+	n := 0
+	for _, t := range pdb.Tables {
+		n += t.StoredRows()
+	}
+	return n
+}
+
+// DataRedundancy reports DR = |D^P|/|D| − 1 (Section 3.3), where |D| is the
+// sum of original cardinalities of the partitioned tables.
+func (pdb *PartitionedDatabase) DataRedundancy() float64 {
+	orig := 0
+	for _, t := range pdb.Tables {
+		orig += t.OriginalRows
+	}
+	if orig == 0 {
+		return 0
+	}
+	return float64(pdb.TotalStoredRows())/float64(orig) - 1
+}

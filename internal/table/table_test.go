@@ -1,0 +1,99 @@
+package table
+
+import (
+	"testing"
+
+	"pref/internal/catalog"
+	"pref/internal/value"
+)
+
+func meta(t *testing.T) *catalog.Table {
+	t.Helper()
+	return catalog.MustTable("t", []catalog.Column{{Name: "a", Kind: value.Int}, {Name: "b", Kind: value.Int}}, "a")
+}
+
+func TestDataAppend(t *testing.T) {
+	d := NewData(meta(t))
+	if err := d.Append(value.Tuple{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Append(value.Tuple{1}); err == nil {
+		t.Fatal("arity mismatch must error")
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+}
+
+func TestPartitionBitmaps(t *testing.T) {
+	p := NewPartition()
+	p.Append(value.Tuple{1, 10}, false, true)
+	p.Append(value.Tuple{1, 10}, true, true)
+	p.Append(value.Tuple{2, 20}, false, false)
+	if p.Len() != 3 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	if p.Dup.Count() != 1 {
+		t.Fatalf("dup count = %d", p.Dup.Count())
+	}
+	if p.HasRef.Count() != 2 {
+		t.Fatalf("hasRef count = %d", p.HasRef.Count())
+	}
+	if !p.Dup.Get(1) || p.Dup.Get(0) || p.Dup.Get(2) {
+		t.Fatal("dup bits wrong")
+	}
+}
+
+func TestPartitionedCounts(t *testing.T) {
+	pt := NewPartitioned(meta(t), 3)
+	pt.OriginalRows = 2
+	pt.Parts[0].Append(value.Tuple{1, 10}, false, true)
+	pt.Parts[1].Append(value.Tuple{1, 10}, true, true)
+	pt.Parts[2].Append(value.Tuple{2, 20}, false, true)
+	if pt.StoredRows() != 3 {
+		t.Fatalf("StoredRows = %d", pt.StoredRows())
+	}
+	if pt.DuplicateRows() != 1 {
+		t.Fatalf("DuplicateRows = %d", pt.DuplicateRows())
+	}
+	if got := pt.Redundancy(); got != 0.5 {
+		t.Fatalf("Redundancy = %v, want 0.5", got)
+	}
+}
+
+func TestRedundancyZeroOriginal(t *testing.T) {
+	pt := NewPartitioned(meta(t), 2)
+	if pt.Redundancy() != 0 {
+		t.Fatal("empty table redundancy should be 0")
+	}
+}
+
+func TestDatabaseRedundancy(t *testing.T) {
+	s := catalog.NewSchema("s")
+	m := catalog.MustTable("t", []catalog.Column{{Name: "a", Kind: value.Int}}, "a")
+	s.MustAddTable(m)
+	db := NewDatabase(s)
+	if db.Tables["t"] == nil {
+		t.Fatal("database should pre-create table data")
+	}
+	db.Tables["t"].MustAppend(value.Tuple{1})
+	db.Tables["t"].MustAppend(value.Tuple{2})
+	if db.TotalRows() != 2 {
+		t.Fatalf("TotalRows = %d", db.TotalRows())
+	}
+
+	pdb := &PartitionedDatabase{Schema: s, Tables: map[string]*Partitioned{}, N: 2}
+	pt := NewPartitioned(m, 2)
+	pt.OriginalRows = 2
+	pt.Parts[0].Append(value.Tuple{1}, false, true)
+	pt.Parts[1].Append(value.Tuple{1}, true, true)
+	pt.Parts[1].Append(value.Tuple{2}, false, true)
+	pt.Parts[0].Append(value.Tuple{2}, true, true)
+	pdb.Tables["t"] = pt
+	if pdb.TotalStoredRows() != 4 {
+		t.Fatalf("TotalStoredRows = %d", pdb.TotalStoredRows())
+	}
+	if got := pdb.DataRedundancy(); got != 1.0 {
+		t.Fatalf("DataRedundancy = %v, want 1.0 (each tuple stored twice)", got)
+	}
+}

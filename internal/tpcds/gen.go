@@ -1,0 +1,259 @@
+package tpcds
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pref/internal/table"
+	"pref/internal/value"
+)
+
+// TPCDS bundles a generated database with its scale factor.
+type TPCDS struct {
+	DB *table.Database
+	SF float64
+}
+
+// zipf draws skewed keys in [1, n] — TPC-DS fact-table foreign keys are
+// heavily skewed (hot items, hot customers), which is what drives the
+// higher estimation error of Figure 13.
+type zipf struct {
+	z *rand.Zipf
+	n int
+}
+
+func newZipf(rng *rand.Rand, n int) *zipf {
+	if n < 2 {
+		n = 2
+	}
+	return &zipf{z: rand.NewZipf(rng, 1.3, 1, uint64(n-1)), n: n}
+}
+
+func (z *zipf) draw() int64 { return int64(z.z.Uint64()) + 1 }
+
+// Generate builds a deterministic, skewed TPC-DS database. SF 1 matches
+// the official fact-table cardinalities scaled down by 100 (the schema
+// shape, skew, and cardinality *ratios* are what the design algorithms
+// consume; absolute sizes are irrelevant to DL/DR).
+func Generate(sf float64, seed int64) *TPCDS {
+	if sf <= 0 {
+		sf = 0.01
+	}
+	rng := rand.New(rand.NewSource(seed))
+	db := table.NewDatabase(Schema())
+
+	n := func(base int, min int) int {
+		v := int(sf * float64(base))
+		if v < min {
+			return min
+		}
+		return v
+	}
+	nCustomer := n(1000, 50)
+	nAddress := n(500, 25)
+	nCdemo := n(1900, 40)
+	nHdemo := n(720, 20)
+	nItem := n(180, 20)
+	nDate := n(730, 100) // two years of days
+	nTime := n(864, 48)
+	nStore := 12
+	nCC := 6
+	nCatPage := n(117, 10)
+	nWebSite := 30
+	nWebPage := 60
+	nWarehouse := 5
+	nPromo := n(30, 5)
+	nReason := 35
+	nShipMode := 20
+	nIncomeBand := 20
+
+	nSS := n(28800, 400)
+	nCS := n(14400, 200)
+	nWS := n(7200, 100)
+	nSR := nSS / 10
+	nCR := nCS / 10
+	nWR := nWS / 10
+	nInv := n(11700, 200)
+
+	add := func(tbl string, rows ...value.Tuple) {
+		for _, r := range rows {
+			db.Tables[tbl].MustAppend(r)
+		}
+	}
+	dict := func(tbl, col string) *value.Dict { return db.Schema.Table(tbl).Dict(col) }
+
+	states := []string{"CA", "NY", "TX", "WA", "GA", "IL", "OH", "MI", "TN", "SD"}
+	cats := []string{"Books", "Electronics", "Home", "Jewelry", "Men", "Music", "Shoes", "Sports", "Women", "Children"}
+
+	// ---- dimensions ----
+	for i := 1; i <= nDate; i++ {
+		add("date_dim", value.Tuple{int64(i), int64(1998 + (i / 365)), int64(1 + (i/30)%12), int64(1 + i%28)})
+	}
+	for i := 1; i <= nTime; i++ {
+		add("time_dim", value.Tuple{int64(i), int64(i / 36), int64(i % 60)})
+	}
+	for i := 1; i <= nItem; i++ {
+		add("item", value.Tuple{int64(i),
+			dict("item", "i_item_id").Code(fmt.Sprintf("ITEM%06d", i)),
+			dict("item", "i_brand").Code(fmt.Sprintf("Brand#%d", 1+i%20)),
+			dict("item", "i_category").Code(cats[i%len(cats)]),
+			value.FromMoney(0.5 + float64(i%100)),
+		})
+	}
+	for i := 1; i <= nAddress; i++ {
+		add("customer_address", value.Tuple{int64(i),
+			dict("customer_address", "ca_state").Code(states[rng.Intn(len(states))]),
+			dict("customer_address", "ca_city").Code(fmt.Sprintf("city-%d", i%97)),
+			dict("customer_address", "ca_county").Code(fmt.Sprintf("county-%d", i%31)),
+		})
+	}
+	genders := []string{"M", "F"}
+	marital := []string{"S", "M", "D", "W", "U"}
+	edu := []string{"Primary", "Secondary", "College", "2 yr Degree", "4 yr Degree", "Advanced Degree", "Unknown"}
+	for i := 1; i <= nCdemo; i++ {
+		add("customer_demographics", value.Tuple{int64(i),
+			dict("customer_demographics", "cd_gender").Code(genders[i%2]),
+			dict("customer_demographics", "cd_marital_status").Code(marital[i%5]),
+			dict("customer_demographics", "cd_education_status").Code(edu[i%7]),
+		})
+	}
+	for i := 1; i <= nIncomeBand; i++ {
+		add("income_band", value.Tuple{int64(i), int64(i * 10000), int64((i + 1) * 10000)})
+	}
+	for i := 1; i <= nHdemo; i++ {
+		add("household_demographics", value.Tuple{int64(i),
+			int64(1 + i%nIncomeBand), int64(i % 10), int64(i % 5)})
+	}
+	for i := 1; i <= nCustomer; i++ {
+		add("customer", value.Tuple{int64(i),
+			dict("customer", "c_customer_id").Code(fmt.Sprintf("CUST%08d", i)),
+			int64(1 + rng.Intn(nAddress)),
+			int64(1 + rng.Intn(nCdemo)),
+			int64(1 + rng.Intn(nHdemo)),
+			int64(1930 + rng.Intn(70)),
+		})
+	}
+	for i := 1; i <= nStore; i++ {
+		add("store", value.Tuple{int64(i),
+			dict("store", "s_store_name").Code(fmt.Sprintf("store-%d", i)),
+			dict("store", "s_state").Code(states[i%len(states)]),
+			dict("store", "s_county").Code(fmt.Sprintf("county-%d", i%31)),
+		})
+	}
+	for i := 1; i <= nCC; i++ {
+		add("call_center", value.Tuple{int64(i),
+			dict("call_center", "cc_name").Code(fmt.Sprintf("cc-%d", i)),
+			dict("call_center", "cc_manager").Code(fmt.Sprintf("mgr-%d", i)),
+		})
+	}
+	for i := 1; i <= nCatPage; i++ {
+		add("catalog_page", value.Tuple{int64(i),
+			dict("catalog_page", "cp_department").Code(fmt.Sprintf("dept-%d", i%10))})
+	}
+	for i := 1; i <= nWebSite; i++ {
+		add("web_site", value.Tuple{int64(i),
+			dict("web_site", "web_name").Code(fmt.Sprintf("site-%d", i))})
+	}
+	for i := 1; i <= nWebPage; i++ {
+		add("web_page", value.Tuple{int64(i),
+			dict("web_page", "wp_type").Code([]string{"order", "browse", "review"}[i%3])})
+	}
+	for i := 1; i <= nWarehouse; i++ {
+		add("warehouse", value.Tuple{int64(i),
+			dict("warehouse", "w_warehouse_name").Code(fmt.Sprintf("wh-%d", i)),
+			dict("warehouse", "w_state").Code(states[i%len(states)]),
+		})
+	}
+	for i := 1; i <= nPromo; i++ {
+		add("promotion", value.Tuple{int64(i),
+			dict("promotion", "p_channel_email").Code([]string{"Y", "N"}[i%2]),
+			dict("promotion", "p_channel_tv").Code([]string{"Y", "N"}[(i/2)%2]),
+		})
+	}
+	for i := 1; i <= nReason; i++ {
+		add("reason", value.Tuple{int64(i),
+			dict("reason", "r_reason_desc").Code(fmt.Sprintf("reason-%d", i))})
+	}
+	for i := 1; i <= nShipMode; i++ {
+		add("ship_mode", value.Tuple{int64(i),
+			dict("ship_mode", "sm_type").Code([]string{"EXPRESS", "OVERNIGHT", "REGULAR", "TWO DAY", "LIBRARY"}[i%5])})
+	}
+
+	// ---- facts (skewed) ----
+	itemZ := newZipf(rng, nItem)
+	custZ := newZipf(rng, nCustomer)
+	dateZ := newZipf(rng, nDate)
+
+	type sale struct{ item, order int64 }
+	var ssSales, csSales, wsSales []sale
+
+	for i := 1; i <= nSS; i++ {
+		it, cu, dt := itemZ.draw(), custZ.draw(), dateZ.draw()
+		add("store_sales", value.Tuple{
+			dt, int64(1 + rng.Intn(nTime)), it, cu,
+			int64(1 + rng.Intn(nCdemo)), int64(1 + rng.Intn(nHdemo)), int64(1 + rng.Intn(nAddress)),
+			int64(1 + rng.Intn(nStore)), int64(1 + rng.Intn(nPromo)), int64(i),
+			int64(1 + rng.Intn(100)), value.FromMoney(rng.Float64() * 200),
+		})
+		ssSales = append(ssSales, sale{it, int64(i)})
+	}
+	for i := 1; i <= nCS; i++ {
+		it, cu, dt := itemZ.draw(), custZ.draw(), dateZ.draw()
+		add("catalog_sales", value.Tuple{
+			dt, int64(1 + rng.Intn(nTime)), it, cu,
+			int64(1 + rng.Intn(nCdemo)), int64(1 + rng.Intn(nHdemo)), int64(1 + rng.Intn(nAddress)),
+			int64(1 + rng.Intn(nCC)), int64(1 + rng.Intn(nCatPage)),
+			int64(1 + rng.Intn(nShipMode)), int64(1 + rng.Intn(nWarehouse)),
+			int64(1 + rng.Intn(nPromo)), int64(i),
+			int64(1 + rng.Intn(100)), value.FromMoney(rng.Float64() * 300),
+		})
+		csSales = append(csSales, sale{it, int64(i)})
+	}
+	for i := 1; i <= nWS; i++ {
+		it, cu, dt := itemZ.draw(), custZ.draw(), dateZ.draw()
+		add("web_sales", value.Tuple{
+			dt, int64(1 + rng.Intn(nTime)), it, cu,
+			int64(1 + rng.Intn(nHdemo)), int64(1 + rng.Intn(nAddress)),
+			int64(1 + rng.Intn(nWebSite)), int64(1 + rng.Intn(nWebPage)),
+			int64(1 + rng.Intn(nShipMode)), int64(1 + rng.Intn(nWarehouse)),
+			int64(1 + rng.Intn(nPromo)), int64(i),
+			int64(1 + rng.Intn(100)), value.FromMoney(rng.Float64() * 250),
+		})
+		wsSales = append(wsSales, sale{it, int64(i)})
+	}
+	// Returns reference an existing sale (the composite fk).
+	for i := 0; i < nSR; i++ {
+		s := ssSales[rng.Intn(len(ssSales))]
+		add("store_returns", value.Tuple{
+			dateZ.draw(), s.item, custZ.draw(), int64(1 + rng.Intn(nStore)),
+			int64(1 + rng.Intn(nReason)), s.order,
+			int64(1 + rng.Intn(20)), value.FromMoney(rng.Float64() * 100),
+		})
+	}
+	for i := 0; i < nCR; i++ {
+		s := csSales[rng.Intn(len(csSales))]
+		add("catalog_returns", value.Tuple{
+			dateZ.draw(), s.item, custZ.draw(), int64(1 + rng.Intn(nCC)),
+			int64(1 + rng.Intn(nReason)), s.order,
+			int64(1 + rng.Intn(20)), value.FromMoney(rng.Float64() * 100),
+		})
+	}
+	for i := 0; i < nWR; i++ {
+		s := wsSales[rng.Intn(len(wsSales))]
+		add("web_returns", value.Tuple{
+			dateZ.draw(), s.item, custZ.draw(), int64(1 + rng.Intn(nWebPage)),
+			int64(1 + rng.Intn(nReason)), s.order,
+			int64(1 + rng.Intn(20)), value.FromMoney(rng.Float64() * 100),
+		})
+	}
+	seen := map[[3]int64]bool{}
+	for i := 0; i < nInv; i++ {
+		k := [3]int64{int64(1 + rng.Intn(nDate)), itemZ.draw(), int64(1 + rng.Intn(nWarehouse))}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		add("inventory", value.Tuple{k[0], k[1], k[2], int64(rng.Intn(1000))})
+	}
+	return &TPCDS{DB: db, SF: sf}
+}

@@ -1,0 +1,259 @@
+package tpcds
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pref/internal/design"
+)
+
+// edgeCatalog names every referential join edge of the schema; query specs
+// are composed from these shorthands. Composite keys use '+'.
+var edgeCatalog = map[string]string{
+	// store_sales
+	"ss-d":  "store_sales.ss_sold_date_sk=date_dim.d_date_sk",
+	"ss-t":  "store_sales.ss_sold_time_sk=time_dim.t_time_sk",
+	"ss-i":  "store_sales.ss_item_sk=item.i_item_sk",
+	"ss-c":  "store_sales.ss_customer_sk=customer.c_customer_sk",
+	"ss-cd": "store_sales.ss_cdemo_sk=customer_demographics.cd_demo_sk",
+	"ss-hd": "store_sales.ss_hdemo_sk=household_demographics.hd_demo_sk",
+	"ss-ca": "store_sales.ss_addr_sk=customer_address.ca_address_sk",
+	"ss-s":  "store_sales.ss_store_sk=store.s_store_sk",
+	"ss-p":  "store_sales.ss_promo_sk=promotion.p_promo_sk",
+	// store_returns
+	"sr-d":  "store_returns.sr_returned_date_sk=date_dim.d_date_sk",
+	"sr-i":  "store_returns.sr_item_sk=item.i_item_sk",
+	"sr-c":  "store_returns.sr_customer_sk=customer.c_customer_sk",
+	"sr-s":  "store_returns.sr_store_sk=store.s_store_sk",
+	"sr-r":  "store_returns.sr_reason_sk=reason.r_reason_sk",
+	"sr-ss": "store_returns.sr_item_sk+sr_ticket_number=store_sales.ss_item_sk+ss_ticket_number",
+	// catalog_sales
+	"cs-d":  "catalog_sales.cs_sold_date_sk=date_dim.d_date_sk",
+	"cs-t":  "catalog_sales.cs_sold_time_sk=time_dim.t_time_sk",
+	"cs-cd": "catalog_sales.cs_bill_cdemo_sk=customer_demographics.cd_demo_sk",
+	"cs-hd": "catalog_sales.cs_bill_hdemo_sk=household_demographics.hd_demo_sk",
+	"cs-i":  "catalog_sales.cs_item_sk=item.i_item_sk",
+	"cs-ca": "catalog_sales.cs_bill_addr_sk=customer_address.ca_address_sk",
+	"cs-c":  "catalog_sales.cs_bill_customer_sk=customer.c_customer_sk",
+	"cs-cc": "catalog_sales.cs_call_center_sk=call_center.cc_call_center_sk",
+	"cs-cp": "catalog_sales.cs_catalog_page_sk=catalog_page.cp_catalog_page_sk",
+	"cs-sm": "catalog_sales.cs_ship_mode_sk=ship_mode.sm_ship_mode_sk",
+	"cs-w":  "catalog_sales.cs_warehouse_sk=warehouse.w_warehouse_sk",
+	"cs-p":  "catalog_sales.cs_promo_sk=promotion.p_promo_sk",
+	// catalog_returns
+	"cr-d":  "catalog_returns.cr_returned_date_sk=date_dim.d_date_sk",
+	"cr-i":  "catalog_returns.cr_item_sk=item.i_item_sk",
+	"cr-c":  "catalog_returns.cr_returning_customer_sk=customer.c_customer_sk",
+	"cr-cc": "catalog_returns.cr_call_center_sk=call_center.cc_call_center_sk",
+	"cr-r":  "catalog_returns.cr_reason_sk=reason.r_reason_sk",
+	"cr-cs": "catalog_returns.cr_item_sk+cr_order_number=catalog_sales.cs_item_sk+cs_order_number",
+	// web_sales
+	"ws-d":     "web_sales.ws_sold_date_sk=date_dim.d_date_sk",
+	"ws-t":     "web_sales.ws_sold_time_sk=time_dim.t_time_sk",
+	"ws-hd":    "web_sales.ws_bill_hdemo_sk=household_demographics.hd_demo_sk",
+	"ws-i":     "web_sales.ws_item_sk=item.i_item_sk",
+	"ws-ca":    "web_sales.ws_bill_addr_sk=customer_address.ca_address_sk",
+	"ws-c":     "web_sales.ws_bill_customer_sk=customer.c_customer_sk",
+	"ws-wsite": "web_sales.ws_web_site_sk=web_site.web_site_sk",
+	"ws-wp":    "web_sales.ws_web_page_sk=web_page.wp_web_page_sk",
+	"ws-sm":    "web_sales.ws_ship_mode_sk=ship_mode.sm_ship_mode_sk",
+	"ws-w":     "web_sales.ws_warehouse_sk=warehouse.w_warehouse_sk",
+	"ws-p":     "web_sales.ws_promo_sk=promotion.p_promo_sk",
+	// web_returns
+	"wr-d":  "web_returns.wr_returned_date_sk=date_dim.d_date_sk",
+	"wr-i":  "web_returns.wr_item_sk=item.i_item_sk",
+	"wr-c":  "web_returns.wr_returning_customer_sk=customer.c_customer_sk",
+	"wr-wp": "web_returns.wr_web_page_sk=web_page.wp_web_page_sk",
+	"wr-r":  "web_returns.wr_reason_sk=reason.r_reason_sk",
+	"wr-ws": "web_returns.wr_item_sk+wr_order_number=web_sales.ws_item_sk+ws_order_number",
+	// inventory
+	"inv-d": "inventory.inv_date_sk=date_dim.d_date_sk",
+	"inv-i": "inventory.inv_item_sk=item.i_item_sk",
+	"inv-w": "inventory.inv_warehouse_sk=warehouse.w_warehouse_sk",
+	// customer snowflake
+	"c-ca":  "customer.c_current_addr_sk=customer_address.ca_address_sk",
+	"c-cd":  "customer.c_current_cdemo_sk=customer_demographics.cd_demo_sk",
+	"c-hd":  "customer.c_current_hdemo_sk=household_demographics.hd_demo_sk",
+	"hd-ib": "household_demographics.hd_income_band_sk=income_band.ib_income_band_sk",
+}
+
+// parseEdge turns "a.c1+c2=b.d1+d2" into a QueryJoin.
+func parseEdge(spec string) design.QueryJoin {
+	half := strings.SplitN(spec, "=", 2)
+	parse := func(s string) (string, []string) {
+		dot := strings.Index(s, ".")
+		return s[:dot], strings.Split(s[dot+1:], "+")
+	}
+	ta, ca := parse(half[0])
+	tb, cb := parse(half[1])
+	return design.QueryJoin{TableA: ta, ColsA: ca, TableB: tb, ColsB: cb}
+}
+
+// q builds one SPJA-block spec from edge shorthands; "~table" adds a
+// joinless table.
+func q(name string, refs ...string) design.Query {
+	out := design.Query{Name: name}
+	for _, r := range refs {
+		if strings.HasPrefix(r, "~") {
+			out.Tables = append(out.Tables, r[1:])
+			continue
+		}
+		spec, ok := edgeCatalog[r]
+		if !ok {
+			panic(fmt.Sprintf("tpcds: unknown edge shorthand %q", r))
+		}
+		out.Joins = append(out.Joins, parseEdge(spec))
+	}
+	return out
+}
+
+// Workload returns all 99 TPC-DS queries as join-graph specs. Queries
+// built from several SPJA blocks (unions, year-over-year self-comparisons,
+// channel roll-ups) are emitted one spec per block — named "qN#k" — which
+// is exactly the paper's "after separating SPJA subqueries" preprocessing
+// (99 queries → individual connected components, Section 5.3).
+func Workload() []design.Query {
+	var w []design.Query
+	add := func(qs ...design.Query) { w = append(w, qs...) }
+
+	add(q("q1", "sr-d", "sr-s", "sr-c"))
+	add(q("q2#1", "ws-d"), q("q2#2", "cs-d"))
+	add(q("q3", "ss-d", "ss-i"))
+	add(q("q4#1", "ss-d", "ss-c"), q("q4#2", "cs-d", "cs-c"), q("q4#3", "ws-d", "ws-c"))
+	add(q("q5#1", "ss-d", "ss-s", "sr-d", "sr-s"),
+		q("q5#2", "cs-d", "cs-cp", "cr-d"),
+		q("q5#3", "ws-d", "ws-wsite", "wr-d", "wr-ws"))
+	add(q("q6", "ss-d", "ss-i", "ss-c", "c-ca"))
+	add(q("q7", "ss-d", "ss-i", "ss-cd", "ss-p"))
+	add(q("q8", "ss-d", "ss-s", "ss-c", "c-ca"))
+	add(q("q9", "~store_sales"))
+	add(q("q10", "c-ca", "c-cd", "ss-c", "ss-d", "ws-c", "ws-d", "cs-c", "cs-d"))
+	add(q("q11#1", "ss-d", "ss-c"), q("q11#2", "ws-d", "ws-c"))
+	add(q("q12", "ws-d", "ws-i"))
+	add(q("q13", "ss-d", "ss-s", "ss-cd", "ss-hd", "ss-ca"))
+	add(q("q14#1", "ss-d", "ss-i"), q("q14#2", "cs-d", "cs-i"), q("q14#3", "ws-d", "ws-i"))
+	add(q("q15", "cs-d", "cs-c", "c-ca"))
+	add(q("q16", "cs-d", "cs-cc", "cr-cs"))
+	add(q("q17", "ss-d", "ss-i", "ss-s", "sr-ss", "sr-d", "cr-d", "cr-i"))
+	add(q("q18", "cs-d", "cs-i", "cs-c", "cs-cd", "c-ca"))
+	add(q("q19", "ss-d", "ss-i", "ss-c", "ss-s", "c-ca"))
+	add(q("q20", "cs-d", "cs-i"))
+	add(q("q21", "inv-d", "inv-i", "inv-w"))
+	add(q("q22", "inv-d", "inv-i", "inv-w"))
+	add(q("q23#1", "ss-d", "ss-i"), q("q23#2", "ss-d", "ss-c"),
+		q("q23#3", "cs-d", "cs-c"), q("q23#4", "ws-d", "ws-c"))
+	add(q("q24", "ss-s", "ss-i", "ss-c", "sr-ss", "c-ca"))
+	add(q("q25", "ss-d", "ss-i", "ss-s", "sr-ss", "sr-d", "cs-d", "cs-i"))
+	add(q("q26", "cs-d", "cs-i", "cs-cd", "cs-p"))
+	add(q("q27", "ss-d", "ss-i", "ss-s", "ss-cd"))
+	add(q("q28", "~store_sales"))
+	add(q("q29", "ss-d", "ss-i", "ss-s", "sr-ss", "sr-d", "cs-d", "cs-i"))
+	add(q("q30", "wr-d", "wr-c", "c-ca"))
+	add(q("q31#1", "ss-d", "ss-ca"), q("q31#2", "ws-d", "ws-ca"))
+	add(q("q32", "cs-d", "cs-i"))
+	add(q("q33#1", "ss-d", "ss-i", "ss-ca"), q("q33#2", "cs-d", "cs-i", "cs-ca"),
+		q("q33#3", "ws-d", "ws-i", "ws-ca"))
+	add(q("q34", "ss-d", "ss-s", "ss-hd", "ss-c"))
+	add(q("q35", "c-ca", "c-cd", "ss-c", "ss-d", "ws-c", "ws-d", "cs-c", "cs-d"))
+	add(q("q36", "ss-d", "ss-i", "ss-s"))
+	add(q("q37", "inv-d", "inv-i", "cs-i"))
+	add(q("q38#1", "ss-d", "ss-c"), q("q38#2", "cs-d", "cs-c"), q("q38#3", "ws-d", "ws-c"))
+	add(q("q39", "inv-d", "inv-i", "inv-w"))
+	add(q("q40", "cs-d", "cs-i", "cs-w", "cr-cs"))
+	add(q("q41", "~item"))
+	add(q("q42", "ss-d", "ss-i"))
+	add(q("q43", "ss-d", "ss-s"))
+	add(q("q44", "ss-i"))
+	add(q("q45", "ws-d", "ws-i", "ws-c", "c-ca"))
+	add(q("q46", "ss-d", "ss-s", "ss-hd", "ss-ca", "ss-c", "c-ca"))
+	add(q("q47", "ss-d", "ss-i", "ss-s"))
+	add(q("q48", "ss-d", "ss-s", "ss-cd", "ss-ca"))
+	add(q("q49#1", "ws-d", "wr-ws"), q("q49#2", "cs-d", "cr-cs"), q("q49#3", "ss-d", "sr-ss"))
+	add(q("q50", "ss-s", "ss-d", "sr-ss", "sr-d"))
+	add(q("q51#1", "ws-d", "ws-i"), q("q51#2", "ss-d", "ss-i"))
+	add(q("q52", "ss-d", "ss-i"))
+	add(q("q53", "ss-d", "ss-i", "ss-s"))
+	add(q("q54#1", "cs-d", "cs-i", "cs-c"), q("q54#2", "ws-d", "ws-i", "ws-c"),
+		q("q54#3", "ss-d", "ss-c", "c-ca"))
+	add(q("q55", "ss-d", "ss-i"))
+	add(q("q56#1", "ss-d", "ss-i", "ss-ca"), q("q56#2", "cs-d", "cs-i", "cs-ca"),
+		q("q56#3", "ws-d", "ws-i", "ws-ca"))
+	add(q("q57", "cs-d", "cs-i", "cs-cc"))
+	add(q("q58#1", "ss-d", "ss-i"), q("q58#2", "cs-d", "cs-i"), q("q58#3", "ws-d", "ws-i"))
+	add(q("q59", "ss-d", "ss-s"))
+	add(q("q60#1", "ss-d", "ss-i", "ss-ca"), q("q60#2", "cs-d", "cs-i", "cs-ca"),
+		q("q60#3", "ws-d", "ws-i", "ws-ca"))
+	add(q("q61", "ss-d", "ss-i", "ss-s", "ss-p", "ss-c", "c-ca"))
+	add(q("q62", "ws-d", "ws-sm", "ws-wsite", "ws-w"))
+	add(q("q63", "ss-d", "ss-i", "ss-s"))
+	add(q("q64", "ss-d", "ss-i", "ss-s", "ss-c", "sr-ss", "c-ca", "c-cd", "c-hd", "hd-ib", "ss-p"))
+	add(q("q65", "ss-d", "ss-s", "ss-i"))
+	add(q("q66#1", "ws-d", "ws-t", "ws-sm", "ws-w"), q("q66#2", "cs-d", "cs-t", "cs-sm", "cs-w"))
+	add(q("q67", "ss-d", "ss-i", "ss-s"))
+	add(q("q68", "ss-d", "ss-s", "ss-hd", "ss-ca", "ss-c", "c-ca"))
+	add(q("q69", "c-ca", "c-cd", "ss-c", "ss-d", "ws-c", "ws-d", "cs-c", "cs-d"))
+	add(q("q70", "ss-d", "ss-s"))
+	add(q("q71#1", "ws-d", "ws-i", "ws-t"), q("q71#2", "cs-d", "cs-i", "cs-t"),
+		q("q71#3", "ss-d", "ss-i", "ss-t"))
+	add(q("q72", "cs-d", "cs-i", "cs-cd", "cs-hd", "inv-i", "inv-d", "inv-w", "cs-p", "cr-cs"))
+	add(q("q73", "ss-d", "ss-s", "ss-hd", "ss-c"))
+	add(q("q74#1", "ss-d", "ss-c"), q("q74#2", "ws-d", "ws-c"))
+	add(q("q75#1", "cs-d", "cs-i", "cr-cs"), q("q75#2", "ss-d", "ss-i", "sr-ss"),
+		q("q75#3", "ws-d", "ws-i", "wr-ws"))
+	add(q("q76#1", "ss-i", "ss-d"), q("q76#2", "ws-i", "ws-d"), q("q76#3", "cs-i", "cs-d"))
+	add(q("q77#1", "ss-d", "ss-s", "sr-d", "sr-s"), q("q77#2", "cs-d", "cr-d"),
+		q("q77#3", "ws-d", "ws-wp", "wr-d", "wr-wp"))
+	add(q("q78#1", "ss-d", "sr-ss"), q("q78#2", "ws-d", "wr-ws"), q("q78#3", "cs-d", "cr-cs"))
+	add(q("q79", "ss-d", "ss-s", "ss-hd", "ss-c"))
+	add(q("q80#1", "ss-d", "ss-s", "ss-i", "ss-p", "sr-ss"),
+		q("q80#2", "cs-d", "cs-cc", "cs-i", "cs-p", "cr-cs"),
+		q("q80#3", "ws-d", "ws-wsite", "ws-i", "ws-p", "wr-ws"))
+	add(q("q81", "cr-d", "cr-c", "c-ca"))
+	add(q("q82", "inv-d", "inv-i", "ss-i"))
+	add(q("q83#1", "sr-i", "sr-d"), q("q83#2", "cr-i", "cr-d"), q("q83#3", "wr-i", "wr-d"))
+	add(q("q84", "c-ca", "c-cd", "c-hd", "hd-ib", "sr-c"))
+	add(q("q85", "ws-d", "wr-ws", "wr-r", "wr-c", "c-cd", "c-ca"))
+	add(q("q86", "ws-d", "ws-i"))
+	add(q("q87#1", "ss-d", "ss-c"), q("q87#2", "cs-d", "cs-c"), q("q87#3", "ws-d", "ws-c"))
+	add(q("q88", "ss-t", "ss-hd", "ss-s"))
+	add(q("q89", "ss-d", "ss-i", "ss-s"))
+	add(q("q90", "ws-t", "ws-wp", "ws-hd"))
+	add(q("q91", "cr-d", "cr-cc", "cr-c", "c-cd", "c-hd", "c-ca"))
+	add(q("q92", "ws-d", "ws-i"))
+	add(q("q93", "ss-i", "sr-ss", "sr-r"))
+	add(q("q94", "ws-d", "ws-ca", "ws-wsite", "wr-ws"))
+	add(q("q95", "ws-d", "ws-ca", "ws-wsite", "wr-ws"))
+	add(q("q96", "ss-t", "ss-hd", "ss-s"))
+	add(q("q97#1", "ss-d"), q("q97#2", "cs-d"))
+	add(q("q98", "ss-d", "ss-i"))
+	add(q("q99", "cs-d", "cs-w", "cs-sm", "cs-cc"))
+
+	return w
+}
+
+// NumQueries is the nominal TPC-DS query count represented by Workload.
+const NumQueries = 99
+
+// QueryNames returns the distinct base query names (q1..q99) covered.
+func QueryNames() []string {
+	seen := map[string]bool{}
+	for _, qq := range Workload() {
+		base := qq.Name
+		if i := strings.Index(base, "#"); i >= 0 {
+			base = base[:i]
+		}
+		seen[base] = true
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		var a, b int
+		fmt.Sscanf(names[i], "q%d", &a)
+		fmt.Sscanf(names[j], "q%d", &b)
+		return a < b
+	})
+	return names
+}

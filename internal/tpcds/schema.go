@@ -1,0 +1,205 @@
+// Package tpcds is a from-scratch TPC-DS substrate: the 24-table snowflake
+// schema (7 fact + 17 dimension tables) with its referential constraints,
+// a deterministic generator with Zipf-skewed foreign keys (TPC-DS data is
+// skewed, unlike TPC-H — the property Figure 13 exploits), and all 99
+// queries as join-graph workload specs for the workload-driven design
+// algorithm. TPC-DS queries are never executed in the paper's evaluation,
+// only designed against, so no executable plans are provided.
+package tpcds
+
+import (
+	"pref/internal/catalog"
+	"pref/internal/value"
+)
+
+func ik(name string) catalog.Column { return catalog.Column{Name: name, Kind: value.Int} }
+func sk(name string) catalog.Column { return catalog.Column{Name: name, Kind: value.Str} }
+func mk(name string) catalog.Column { return catalog.Column{Name: name, Kind: value.Money} }
+
+// Schema returns the 24-table TPC-DS schema. Column sets are reduced to
+// the keys plus representative attributes — the design algorithms consume
+// keys, sizes, and join-key histograms only.
+func Schema() *catalog.Schema {
+	s := catalog.NewSchema("tpcds")
+
+	// ---- dimensions ----
+	s.MustAddTable(catalog.MustTable("date_dim",
+		[]catalog.Column{ik("d_date_sk"), ik("d_year"), ik("d_moy"), ik("d_dom")}, "d_date_sk"))
+	s.MustAddTable(catalog.MustTable("time_dim",
+		[]catalog.Column{ik("t_time_sk"), ik("t_hour"), ik("t_minute")}, "t_time_sk"))
+	s.MustAddTable(catalog.MustTable("item",
+		[]catalog.Column{ik("i_item_sk"), sk("i_item_id"), sk("i_brand"), sk("i_category"), mk("i_current_price")}, "i_item_sk"))
+	s.MustAddTable(catalog.MustTable("customer",
+		[]catalog.Column{ik("c_customer_sk"), sk("c_customer_id"), ik("c_current_addr_sk"), ik("c_current_cdemo_sk"), ik("c_current_hdemo_sk"), ik("c_birth_year")}, "c_customer_sk"))
+	s.MustAddTable(catalog.MustTable("customer_address",
+		[]catalog.Column{ik("ca_address_sk"), sk("ca_state"), sk("ca_city"), sk("ca_county")}, "ca_address_sk"))
+	s.MustAddTable(catalog.MustTable("customer_demographics",
+		[]catalog.Column{ik("cd_demo_sk"), sk("cd_gender"), sk("cd_marital_status"), sk("cd_education_status")}, "cd_demo_sk"))
+	s.MustAddTable(catalog.MustTable("household_demographics",
+		[]catalog.Column{ik("hd_demo_sk"), ik("hd_income_band_sk"), ik("hd_dep_count"), ik("hd_vehicle_count")}, "hd_demo_sk"))
+	s.MustAddTable(catalog.MustTable("income_band",
+		[]catalog.Column{ik("ib_income_band_sk"), ik("ib_lower_bound"), ik("ib_upper_bound")}, "ib_income_band_sk"))
+	s.MustAddTable(catalog.MustTable("store",
+		[]catalog.Column{ik("s_store_sk"), sk("s_store_name"), sk("s_state"), sk("s_county")}, "s_store_sk"))
+	s.MustAddTable(catalog.MustTable("call_center",
+		[]catalog.Column{ik("cc_call_center_sk"), sk("cc_name"), sk("cc_manager")}, "cc_call_center_sk"))
+	s.MustAddTable(catalog.MustTable("catalog_page",
+		[]catalog.Column{ik("cp_catalog_page_sk"), sk("cp_department")}, "cp_catalog_page_sk"))
+	s.MustAddTable(catalog.MustTable("web_site",
+		[]catalog.Column{ik("web_site_sk"), sk("web_name")}, "web_site_sk"))
+	s.MustAddTable(catalog.MustTable("web_page",
+		[]catalog.Column{ik("wp_web_page_sk"), sk("wp_type")}, "wp_web_page_sk"))
+	s.MustAddTable(catalog.MustTable("warehouse",
+		[]catalog.Column{ik("w_warehouse_sk"), sk("w_warehouse_name"), sk("w_state")}, "w_warehouse_sk"))
+	s.MustAddTable(catalog.MustTable("promotion",
+		[]catalog.Column{ik("p_promo_sk"), sk("p_channel_email"), sk("p_channel_tv")}, "p_promo_sk"))
+	s.MustAddTable(catalog.MustTable("reason",
+		[]catalog.Column{ik("r_reason_sk"), sk("r_reason_desc")}, "r_reason_sk"))
+	s.MustAddTable(catalog.MustTable("ship_mode",
+		[]catalog.Column{ik("sm_ship_mode_sk"), sk("sm_type")}, "sm_ship_mode_sk"))
+
+	// ---- fact tables ----
+	s.MustAddTable(catalog.MustTable("store_sales", []catalog.Column{
+		ik("ss_sold_date_sk"), ik("ss_sold_time_sk"), ik("ss_item_sk"), ik("ss_customer_sk"),
+		ik("ss_cdemo_sk"), ik("ss_hdemo_sk"), ik("ss_addr_sk"), ik("ss_store_sk"),
+		ik("ss_promo_sk"), ik("ss_ticket_number"), ik("ss_quantity"), mk("ss_sales_price"),
+	}, "ss_item_sk", "ss_ticket_number"))
+	s.MustAddTable(catalog.MustTable("store_returns", []catalog.Column{
+		ik("sr_returned_date_sk"), ik("sr_item_sk"), ik("sr_customer_sk"), ik("sr_store_sk"),
+		ik("sr_reason_sk"), ik("sr_ticket_number"), ik("sr_return_quantity"), mk("sr_return_amt"),
+	}, "sr_item_sk", "sr_ticket_number"))
+	s.MustAddTable(catalog.MustTable("catalog_sales", []catalog.Column{
+		ik("cs_sold_date_sk"), ik("cs_sold_time_sk"), ik("cs_item_sk"), ik("cs_bill_customer_sk"),
+		ik("cs_bill_cdemo_sk"), ik("cs_bill_hdemo_sk"), ik("cs_bill_addr_sk"), ik("cs_call_center_sk"),
+		ik("cs_catalog_page_sk"), ik("cs_ship_mode_sk"), ik("cs_warehouse_sk"), ik("cs_promo_sk"),
+		ik("cs_order_number"), ik("cs_quantity"), mk("cs_sales_price"),
+	}, "cs_item_sk", "cs_order_number"))
+	s.MustAddTable(catalog.MustTable("catalog_returns", []catalog.Column{
+		ik("cr_returned_date_sk"), ik("cr_item_sk"), ik("cr_returning_customer_sk"),
+		ik("cr_call_center_sk"), ik("cr_reason_sk"), ik("cr_order_number"),
+		ik("cr_return_quantity"), mk("cr_return_amount"),
+	}, "cr_item_sk", "cr_order_number"))
+	s.MustAddTable(catalog.MustTable("web_sales", []catalog.Column{
+		ik("ws_sold_date_sk"), ik("ws_sold_time_sk"), ik("ws_item_sk"), ik("ws_bill_customer_sk"),
+		ik("ws_bill_hdemo_sk"), ik("ws_bill_addr_sk"), ik("ws_web_site_sk"),
+		ik("ws_web_page_sk"), ik("ws_ship_mode_sk"), ik("ws_warehouse_sk"), ik("ws_promo_sk"),
+		ik("ws_order_number"), ik("ws_quantity"), mk("ws_sales_price"),
+	}, "ws_item_sk", "ws_order_number"))
+	s.MustAddTable(catalog.MustTable("web_returns", []catalog.Column{
+		ik("wr_returned_date_sk"), ik("wr_item_sk"), ik("wr_returning_customer_sk"),
+		ik("wr_web_page_sk"), ik("wr_reason_sk"), ik("wr_order_number"),
+		ik("wr_return_quantity"), mk("wr_return_amt"),
+	}, "wr_item_sk", "wr_order_number"))
+	s.MustAddTable(catalog.MustTable("inventory", []catalog.Column{
+		ik("inv_date_sk"), ik("inv_item_sk"), ik("inv_warehouse_sk"), ik("inv_quantity_on_hand"),
+	}, "inv_date_sk", "inv_item_sk", "inv_warehouse_sk"))
+
+	type fk struct {
+		from  string
+		fcols []string
+		to    string
+		tcols []string
+	}
+	fks := []fk{
+		// customer snowflake
+		{"customer", []string{"c_current_addr_sk"}, "customer_address", []string{"ca_address_sk"}},
+		{"customer", []string{"c_current_cdemo_sk"}, "customer_demographics", []string{"cd_demo_sk"}},
+		{"customer", []string{"c_current_hdemo_sk"}, "household_demographics", []string{"hd_demo_sk"}},
+		{"household_demographics", []string{"hd_income_band_sk"}, "income_band", []string{"ib_income_band_sk"}},
+		// store_sales
+		{"store_sales", []string{"ss_sold_date_sk"}, "date_dim", []string{"d_date_sk"}},
+		{"store_sales", []string{"ss_sold_time_sk"}, "time_dim", []string{"t_time_sk"}},
+		{"store_sales", []string{"ss_item_sk"}, "item", []string{"i_item_sk"}},
+		{"store_sales", []string{"ss_customer_sk"}, "customer", []string{"c_customer_sk"}},
+		{"store_sales", []string{"ss_cdemo_sk"}, "customer_demographics", []string{"cd_demo_sk"}},
+		{"store_sales", []string{"ss_hdemo_sk"}, "household_demographics", []string{"hd_demo_sk"}},
+		{"store_sales", []string{"ss_addr_sk"}, "customer_address", []string{"ca_address_sk"}},
+		{"store_sales", []string{"ss_store_sk"}, "store", []string{"s_store_sk"}},
+		{"store_sales", []string{"ss_promo_sk"}, "promotion", []string{"p_promo_sk"}},
+		// store_returns
+		{"store_returns", []string{"sr_returned_date_sk"}, "date_dim", []string{"d_date_sk"}},
+		{"store_returns", []string{"sr_item_sk"}, "item", []string{"i_item_sk"}},
+		{"store_returns", []string{"sr_customer_sk"}, "customer", []string{"c_customer_sk"}},
+		{"store_returns", []string{"sr_store_sk"}, "store", []string{"s_store_sk"}},
+		{"store_returns", []string{"sr_reason_sk"}, "reason", []string{"r_reason_sk"}},
+		{"store_returns", []string{"sr_item_sk", "sr_ticket_number"}, "store_sales", []string{"ss_item_sk", "ss_ticket_number"}},
+		// catalog_sales
+		{"catalog_sales", []string{"cs_sold_date_sk"}, "date_dim", []string{"d_date_sk"}},
+		{"catalog_sales", []string{"cs_sold_time_sk"}, "time_dim", []string{"t_time_sk"}},
+		{"catalog_sales", []string{"cs_bill_cdemo_sk"}, "customer_demographics", []string{"cd_demo_sk"}},
+		{"catalog_sales", []string{"cs_bill_hdemo_sk"}, "household_demographics", []string{"hd_demo_sk"}},
+		{"catalog_sales", []string{"cs_bill_addr_sk"}, "customer_address", []string{"ca_address_sk"}},
+		{"catalog_sales", []string{"cs_item_sk"}, "item", []string{"i_item_sk"}},
+		{"catalog_sales", []string{"cs_bill_customer_sk"}, "customer", []string{"c_customer_sk"}},
+		{"catalog_sales", []string{"cs_call_center_sk"}, "call_center", []string{"cc_call_center_sk"}},
+		{"catalog_sales", []string{"cs_catalog_page_sk"}, "catalog_page", []string{"cp_catalog_page_sk"}},
+		{"catalog_sales", []string{"cs_ship_mode_sk"}, "ship_mode", []string{"sm_ship_mode_sk"}},
+		{"catalog_sales", []string{"cs_warehouse_sk"}, "warehouse", []string{"w_warehouse_sk"}},
+		{"catalog_sales", []string{"cs_promo_sk"}, "promotion", []string{"p_promo_sk"}},
+		// catalog_returns
+		{"catalog_returns", []string{"cr_returned_date_sk"}, "date_dim", []string{"d_date_sk"}},
+		{"catalog_returns", []string{"cr_item_sk"}, "item", []string{"i_item_sk"}},
+		{"catalog_returns", []string{"cr_returning_customer_sk"}, "customer", []string{"c_customer_sk"}},
+		{"catalog_returns", []string{"cr_call_center_sk"}, "call_center", []string{"cc_call_center_sk"}},
+		{"catalog_returns", []string{"cr_reason_sk"}, "reason", []string{"r_reason_sk"}},
+		{"catalog_returns", []string{"cr_item_sk", "cr_order_number"}, "catalog_sales", []string{"cs_item_sk", "cs_order_number"}},
+		// web_sales
+		{"web_sales", []string{"ws_sold_date_sk"}, "date_dim", []string{"d_date_sk"}},
+		{"web_sales", []string{"ws_sold_time_sk"}, "time_dim", []string{"t_time_sk"}},
+		{"web_sales", []string{"ws_bill_hdemo_sk"}, "household_demographics", []string{"hd_demo_sk"}},
+		{"web_sales", []string{"ws_bill_addr_sk"}, "customer_address", []string{"ca_address_sk"}},
+		{"web_sales", []string{"ws_item_sk"}, "item", []string{"i_item_sk"}},
+		{"web_sales", []string{"ws_bill_customer_sk"}, "customer", []string{"c_customer_sk"}},
+		{"web_sales", []string{"ws_web_site_sk"}, "web_site", []string{"web_site_sk"}},
+		{"web_sales", []string{"ws_web_page_sk"}, "web_page", []string{"wp_web_page_sk"}},
+		{"web_sales", []string{"ws_ship_mode_sk"}, "ship_mode", []string{"sm_ship_mode_sk"}},
+		{"web_sales", []string{"ws_warehouse_sk"}, "warehouse", []string{"w_warehouse_sk"}},
+		{"web_sales", []string{"ws_promo_sk"}, "promotion", []string{"p_promo_sk"}},
+		// web_returns
+		{"web_returns", []string{"wr_returned_date_sk"}, "date_dim", []string{"d_date_sk"}},
+		{"web_returns", []string{"wr_item_sk"}, "item", []string{"i_item_sk"}},
+		{"web_returns", []string{"wr_returning_customer_sk"}, "customer", []string{"c_customer_sk"}},
+		{"web_returns", []string{"wr_web_page_sk"}, "web_page", []string{"wp_web_page_sk"}},
+		{"web_returns", []string{"wr_reason_sk"}, "reason", []string{"r_reason_sk"}},
+		{"web_returns", []string{"wr_item_sk", "wr_order_number"}, "web_sales", []string{"ws_item_sk", "ws_order_number"}},
+		// inventory
+		{"inventory", []string{"inv_date_sk"}, "date_dim", []string{"d_date_sk"}},
+		{"inventory", []string{"inv_item_sk"}, "item", []string{"i_item_sk"}},
+		{"inventory", []string{"inv_warehouse_sk"}, "warehouse", []string{"w_warehouse_sk"}},
+	}
+	for _, f := range fks {
+		s.MustAddFK(catalog.ForeignKey{
+			Name: "fk_" + f.from + "_" + f.to, FromTable: f.from, FromCols: f.fcols,
+			ToTable: f.to, ToCols: f.tcols, ToIsUnique: true,
+		})
+	}
+	return s
+}
+
+// FactTables lists the 7 fact tables.
+func FactTables() []string {
+	return []string{"store_sales", "store_returns", "catalog_sales", "catalog_returns",
+		"web_sales", "web_returns", "inventory"}
+}
+
+// SmallTables lists the tiny dimensions (< 1000 rows at any SF) that the
+// paper's SD variants exclude and replicate (Section 5.3 removes 5 such
+// tables).
+func SmallTables() []string {
+	return []string{"store", "call_center", "web_site", "warehouse", "reason",
+		"ship_mode", "income_band", "web_page", "promotion"}
+}
+
+// Stars maps each fact table to its direct dimensions — the manual
+// "Individual Stars" decomposition of Section 5.3.
+func Stars() map[string][]string {
+	return map[string][]string{
+		"store_sales":     {"date_dim", "time_dim", "item", "customer", "customer_demographics", "household_demographics", "customer_address", "store", "promotion"},
+		"store_returns":   {"date_dim", "item", "customer", "store", "reason"},
+		"catalog_sales":   {"date_dim", "item", "customer", "call_center", "catalog_page", "ship_mode", "warehouse", "promotion"},
+		"catalog_returns": {"date_dim", "item", "customer", "call_center", "reason"},
+		"web_sales":       {"date_dim", "item", "customer", "web_site", "web_page", "ship_mode", "warehouse", "promotion"},
+		"web_returns":     {"date_dim", "item", "customer", "web_page", "reason"},
+		"inventory":       {"date_dim", "item", "warehouse"},
+	}
+}

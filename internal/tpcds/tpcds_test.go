@@ -1,0 +1,228 @@
+package tpcds
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"pref/internal/design"
+	"pref/internal/partition"
+	"pref/internal/value"
+)
+
+func gen(t testing.TB) *TPCDS {
+	t.Helper()
+	return Generate(0.5, 11)
+}
+
+func TestSchemaHas24Tables(t *testing.T) {
+	s := Schema()
+	if got := len(s.TableNames()); got != 24 {
+		t.Fatalf("tables = %d, want 24", got)
+	}
+	if got := len(FactTables()); got != 7 {
+		t.Fatalf("fact tables = %d, want 7", got)
+	}
+	for _, f := range FactTables() {
+		if s.Table(f) == nil {
+			t.Errorf("missing fact table %s", f)
+		}
+	}
+	stars := Stars()
+	if len(stars) != 7 {
+		t.Fatalf("stars = %d", len(stars))
+	}
+	for fact, dims := range stars {
+		if s.Table(fact) == nil {
+			t.Errorf("star fact %s missing", fact)
+		}
+		for _, d := range dims {
+			if s.Table(d) == nil {
+				t.Errorf("star dim %s missing", d)
+			}
+		}
+	}
+}
+
+func TestGeneratorIntegrity(t *testing.T) {
+	d := gen(t)
+	db := d.DB
+	// Every fk must resolve.
+	for _, fk := range db.Schema.FKs {
+		to := db.Tables[fk.ToTable]
+		toIdx, err := to.Meta.ColIndexes(fk.ToCols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := map[value.Key]bool{}
+		for _, r := range to.Rows {
+			keys[value.MakeKey(r, toIdx)] = true
+		}
+		from := db.Tables[fk.FromTable]
+		fromIdx, err := from.Meta.ColIndexes(fk.FromCols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range from.Rows {
+			if !keys[value.MakeKey(r, fromIdx)] {
+				t.Fatalf("fk %s: dangling reference %v", fk.Name, r)
+			}
+		}
+	}
+	// store_sales is the biggest fact; inventory is dense.
+	if db.Tables["store_sales"].Len() < db.Tables["web_sales"].Len() {
+		t.Fatal("store_sales should dominate web_sales")
+	}
+}
+
+func TestGeneratorSkew(t *testing.T) {
+	d := gen(t)
+	db := d.DB
+	// Zipf fks: the hottest item should absorb far more than the uniform
+	// share of store_sales.
+	counts := map[int64]int{}
+	idx := db.Tables["store_sales"].Meta.ColIndex("ss_item_sk")
+	for _, r := range db.Tables["store_sales"].Rows {
+		counts[r[idx]]++
+	}
+	max, total := 0, 0
+	for _, c := range counts {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	nItem := db.Tables["item"].Len()
+	uniformShare := float64(total) / float64(nItem)
+	if float64(max) < 5*uniformShare {
+		t.Fatalf("hottest item %d sales vs uniform %f — not skewed enough", max, uniformShare)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := Generate(0.2, 3)
+	b := Generate(0.2, 3)
+	if !reflect.DeepEqual(a.DB.Tables["store_sales"].Rows, b.DB.Tables["store_sales"].Rows) {
+		t.Fatal("same seed must generate identical data")
+	}
+}
+
+func TestWorkloadCovers99Queries(t *testing.T) {
+	names := QueryNames()
+	if len(names) != 99 {
+		t.Fatalf("workload covers %d distinct queries, want 99", len(names))
+	}
+	if names[0] != "q1" || names[98] != "q99" {
+		t.Fatalf("query names = %v … %v", names[0], names[98])
+	}
+	// All edges must reference schema tables & columns.
+	s := Schema()
+	for _, qq := range Workload() {
+		for _, e := range qq.Joins {
+			for _, end := range []struct {
+				tbl  string
+				cols []string
+			}{{e.TableA, e.ColsA}, {e.TableB, e.ColsB}} {
+				tb := s.Table(end.tbl)
+				if tb == nil {
+					t.Fatalf("%s: unknown table %s", qq.Name, end.tbl)
+				}
+				if _, err := tb.ColIndexes(end.cols); err != nil {
+					t.Fatalf("%s: %v", qq.Name, err)
+				}
+			}
+		}
+	}
+}
+
+func TestWorkloadBlockSeparation(t *testing.T) {
+	// Multi-block queries are emitted per SPJA block.
+	blocks := 0
+	for _, qq := range Workload() {
+		if strings.Contains(qq.Name, "#") {
+			blocks++
+		}
+	}
+	if blocks < 30 {
+		t.Fatalf("only %d separated blocks; the union/rollup queries should contribute many", blocks)
+	}
+}
+
+func TestSDOnTPCDS(t *testing.T) {
+	d := Generate(0.2, 5)
+	reduced := d.DB.Without(SmallTables()...)
+	des, err := design.SchemaDriven(reduced, design.SDOptions{Parts: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := des.Config.Clone()
+	for _, tbl := range SmallTables() {
+		cfg.SetReplicated(tbl)
+	}
+	pdb, err := partition.Apply(d.DB, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pdb.TotalStoredRows() < d.DB.TotalRows() {
+		t.Fatal("partitioning lost tuples")
+	}
+	if des.DL <= 0 || des.DL > 1 {
+		t.Fatalf("DL = %v", des.DL)
+	}
+}
+
+func TestWDOnTPCDSWorkloadMerges(t *testing.T) {
+	d := Generate(0.2, 5)
+	reduced := d.DB.Without(SmallTables()...)
+	w := filterWorkload(Workload(), SmallTables())
+	wd, err := design.WorkloadDriven(reduced, w, design.WDOptions{Parts: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("units: %d → %d → %d groups", wd.UnitsBeforeMerge, wd.UnitsAfterPhase1, len(wd.Groups))
+	// Paper: 165 components → 17 after phase 1 → 7 (the fact-table count).
+	// Our query encodings differ slightly; require the same order of
+	// magnitude of merging.
+	if wd.UnitsBeforeMerge < 99 {
+		t.Fatalf("units before merge = %d, want ≥ 99", wd.UnitsBeforeMerge)
+	}
+	if wd.UnitsAfterPhase1 > 40 {
+		t.Fatalf("phase 1 left %d units, want aggressive containment merging", wd.UnitsAfterPhase1)
+	}
+	if len(wd.Groups) > 15 {
+		t.Fatalf("final groups = %d, want ≈ the fact-table count", len(wd.Groups))
+	}
+	dr, err := wd.EstimatedDR(design.SizesOf(reduced))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr < 0 || dr > float64(10) {
+		t.Fatalf("estimated DR = %v", dr)
+	}
+}
+
+// filterWorkload drops edges touching excluded tables.
+func filterWorkload(w []design.Query, excluded []string) []design.Query {
+	drop := map[string]bool{}
+	for _, t := range excluded {
+		drop[t] = true
+	}
+	var out []design.Query
+	for _, qq := range w {
+		nq := design.Query{Name: qq.Name}
+		for _, tb := range qq.Tables {
+			if !drop[tb] {
+				nq.Tables = append(nq.Tables, tb)
+			}
+		}
+		for _, e := range qq.Joins {
+			if !drop[e.TableA] && !drop[e.TableB] {
+				nq.Joins = append(nq.Joins, e)
+			}
+		}
+		if len(nq.Tables)+len(nq.Joins) > 0 {
+			out = append(out, nq)
+		}
+	}
+	return out
+}

@@ -1,0 +1,240 @@
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pref/internal/table"
+	"pref/internal/value"
+)
+
+// Cardinalities at scale factor 1, per the TPC-H specification.
+const (
+	sfSupplier = 10_000
+	sfCustomer = 150_000
+	sfPart     = 200_000
+	sfOrders   = 1_500_000
+)
+
+// TPCH bundles a generated database with its scale factor.
+type TPCH struct {
+	DB *table.Database
+	SF float64
+}
+
+var (
+	regions  = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	nations  = []string{"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"}
+	segments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	prios    = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	modes    = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	instr    = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+	brands   = []string{"Brand#11", "Brand#12", "Brand#13", "Brand#21", "Brand#22", "Brand#23", "Brand#31", "Brand#32", "Brand#33", "Brand#41", "Brand#42", "Brand#43", "Brand#51", "Brand#52", "Brand#53"}
+	types    = []string{"PROMO ANODIZED TIN", "PROMO BURNISHED COPPER", "PROMO PLATED STEEL", "ECONOMY ANODIZED STEEL", "ECONOMY BRUSHED NICKEL", "STANDARD POLISHED BRASS", "STANDARD PLATED TIN", "MEDIUM BURNISHED NICKEL", "MEDIUM PLATED COPPER", "LARGE BRUSHED BRASS", "LARGE POLISHED COPPER", "SMALL PLATED STEEL"}
+	conts    = []string{"SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PACK", "WRAP JAR"}
+)
+
+// nations[i] belongs to region i%5, as in the dbgen seed data.
+
+// Generate builds a deterministic TPC-H database at the given scale
+// factor. SF 1 matches the official cardinalities; experiments here run
+// at reduced SF with identical ratios, so locality/redundancy results are
+// unchanged (they are scale-free).
+func Generate(sf float64, seed int64) *TPCH {
+	if sf <= 0 {
+		sf = 0.001
+	}
+	rng := rand.New(rand.NewSource(seed))
+	db := table.NewDatabase(Schema())
+
+	nSupp := atLeast(4, sf*sfSupplier)
+	nCust := atLeast(10, sf*sfCustomer)
+	nPart := atLeast(8, sf*sfPart)
+	nOrd := atLeast(20, sf*sfOrders)
+
+	// region
+	rt := db.Schema.Table("region")
+	for i, name := range regions {
+		db.Tables["region"].MustAppend(value.Tuple{
+			int64(i), rt.Dict("name").Code(name), rt.Dict("comment").Code("region comment"),
+		})
+	}
+
+	// nation: nation i in region i%5.
+	nt := db.Schema.Table("nation")
+	for i, name := range nations {
+		db.Tables["nation"].MustAppend(value.Tuple{
+			int64(i), nt.Dict("name").Code(name), int64(i % 5), nt.Dict("comment").Code("nation comment"),
+		})
+	}
+
+	// supplier
+	st := db.Schema.Table("supplier")
+	for i := 0; i < nSupp; i++ {
+		db.Tables["supplier"].MustAppend(value.Tuple{
+			int64(i + 1),
+			st.Dict("name").Code(fmt.Sprintf("Supplier#%09d", i+1)),
+			st.Dict("address").Code(fmt.Sprintf("addr-s-%d", i+1)),
+			int64(rng.Intn(25)),
+			st.Dict("phone").Code(fmt.Sprintf("%d-555-%04d", 10+i%25, i%10000)),
+			value.FromMoney(-999.99 + rng.Float64()*10998.98),
+			st.Dict("comment").Code(suppComment(rng, i)),
+		})
+	}
+
+	// customer: phone country code 10..34 (nationkey+10 per spec).
+	ct := db.Schema.Table("customer")
+	for i := 0; i < nCust; i++ {
+		nk := int64(rng.Intn(25))
+		db.Tables["customer"].MustAppend(value.Tuple{
+			int64(i + 1),
+			ct.Dict("name").Code(fmt.Sprintf("Customer#%09d", i+1)),
+			ct.Dict("address").Code(fmt.Sprintf("addr-c-%d", i+1)),
+			nk,
+			ct.Dict("phone").Code(fmt.Sprintf("%d-555-%04d", nk+10, i%10000)),
+			nk + 10,
+			value.FromMoney(-999.99 + rng.Float64()*10998.98),
+			ct.Dict("mktsegment").Code(segments[rng.Intn(len(segments))]),
+			ct.Dict("comment").Code("customer comment"),
+		})
+	}
+
+	// part
+	pt := db.Schema.Table("part")
+	for i := 0; i < nPart; i++ {
+		db.Tables["part"].MustAppend(value.Tuple{
+			int64(i + 1),
+			pt.Dict("name").Code(fmt.Sprintf("part name %d", i+1)),
+			pt.Dict("mfgr").Code(fmt.Sprintf("Manufacturer#%d", 1+i%5)),
+			pt.Dict("brand").Code(brands[rng.Intn(len(brands))]),
+			pt.Dict("type").Code(types[rng.Intn(len(types))]),
+			int64(1 + rng.Intn(50)),
+			pt.Dict("container").Code(conts[rng.Intn(len(conts))]),
+			value.FromMoney(900 + float64(i%200)/10),
+			pt.Dict("comment").Code("part comment"),
+		})
+	}
+
+	// partsupp: 4 suppliers per part via the dbgen permutation so every
+	// generated lineitem (partkey, suppkey) hits an existing partsupp row.
+	pst := db.Schema.Table("partsupp")
+	for p := 1; p <= nPart; p++ {
+		for j := 0; j < 4; j++ {
+			db.Tables["partsupp"].MustAppend(value.Tuple{
+				int64(p), psSuppkey(p, j, nSupp),
+				int64(1 + rng.Intn(9999)),
+				value.FromMoney(1 + rng.Float64()*999),
+				pst.Dict("comment").Code("partsupp comment"),
+			})
+		}
+	}
+
+	// orders + lineitem. Per the spec only two thirds of customers ever
+	// place an order (custkey % 3 != 0 in our encoding).
+	ot := db.Schema.Table("orders")
+	lt := db.Schema.Table("lineitem")
+	startDate := value.FromDate(1992, 1, 1)
+	endDate := value.FromDate(1998, 8, 2)
+	dateRange := endDate - startDate
+	for o := 1; o <= nOrd; o++ {
+		ck := int64(1 + rng.Intn(nCust))
+		for ck%3 == 0 {
+			ck = int64(1 + rng.Intn(nCust))
+		}
+		odate := startDate + rng.Int63n(dateRange)
+		nLines := 1 + rng.Intn(7)
+		var total int64
+		for ln := 1; ln <= nLines; ln++ {
+			pk := 1 + rng.Intn(nPart)
+			sk := psSuppkey(pk, rng.Intn(4), nSupp)
+			qty := int64(1 + rng.Intn(50))
+			price := value.FromMoney(float64(qty) * (900 + float64(pk%200)/10) / 10)
+			disc := int64(rng.Intn(11))
+			tax := int64(rng.Intn(9))
+			ship := odate + 1 + rng.Int63n(121)
+			commit := odate + 30 + rng.Int63n(61)
+			receipt := ship + 1 + rng.Int63n(30)
+			rf := "N"
+			if receipt <= value.FromDate(1995, 6, 17) {
+				if rng.Intn(2) == 0 {
+					rf = "R"
+				} else {
+					rf = "A"
+				}
+			}
+			ls := "O"
+			if ship <= value.FromDate(1995, 6, 17) {
+				ls = "F"
+			}
+			db.Tables["lineitem"].MustAppend(value.Tuple{
+				int64(o), int64(pk), sk, int64(ln), qty, price, disc, tax,
+				lt.Dict("returnflag").Code(rf),
+				lt.Dict("linestatus").Code(ls),
+				ship, commit, receipt,
+				lt.Dict("shipinstruct").Code(instr[rng.Intn(len(instr))]),
+				lt.Dict("shipmode").Code(modes[rng.Intn(len(modes))]),
+				lt.Dict("comment").Code("lineitem comment"),
+			})
+			total += price * (100 - disc) / 100
+		}
+		status := "O"
+		if odate < value.FromDate(1995, 1, 1) {
+			status = "F"
+		}
+		db.Tables["orders"].MustAppend(value.Tuple{
+			int64(o), ck,
+			ot.Dict("orderstatus").Code(status),
+			total,
+			odate,
+			ot.Dict("orderpriority").Code(prios[rng.Intn(len(prios))]),
+			ot.Dict("clerk").Code(fmt.Sprintf("Clerk#%09d", 1+rng.Intn(1000))),
+			0,
+			ot.Dict("comment").Code(orderComment(rng)),
+		})
+	}
+	return &TPCH{DB: db, SF: sf}
+}
+
+// psSuppkey is dbgen's part→supplier permutation: supplier j of part p.
+func psSuppkey(p, j, nSupp int) int64 {
+	return int64((p+j*(nSupp/4+(p-1)/nSupp))%nSupp + 1)
+}
+
+// suppComment plants the Q16 "Customer Complaints" marker in a fixed
+// fraction of supplier comments, as dbgen does.
+func suppComment(rng *rand.Rand, i int) string {
+	if i%200 == 7 {
+		return "Customer Complaints supplier"
+	}
+	return "supplier comment"
+}
+
+// orderComment plants the Q13 "special requests" marker in a fraction of
+// order comments.
+func orderComment(rng *rand.Rand) string {
+	if rng.Intn(100) < 2 {
+		return "special requests order"
+	}
+	return "order comment"
+}
+
+func atLeast(min int, v float64) int {
+	n := int(v)
+	if n < min {
+		return min
+	}
+	return n
+}
+
+// Code looks up the dictionary code of a string constant for a column;
+// it panics if the constant was never generated (a query-construction
+// bug at experiment scale).
+func (t *TPCH) Code(tbl, col, s string) int64 {
+	d := t.DB.Schema.Table(tbl).Dict(col)
+	if c, ok := d.Lookup(s); ok {
+		return c
+	}
+	// Unseen constants get a fresh code: predicates simply match nothing,
+	// mirroring a constant absent from the generated data.
+	return d.Code(s)
+}

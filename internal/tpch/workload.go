@@ -1,0 +1,121 @@
+package tpch
+
+import "pref/internal/design"
+
+// j builds one equi-join edge spec.
+func j(ta string, ca []string, tb string, cb []string) design.QueryJoin {
+	return design.QueryJoin{TableA: ta, ColsA: ca, TableB: tb, ColsB: cb}
+}
+
+func one(c string) []string { return []string{c} }
+
+// Workload returns the join-graph abstraction of all 22 TPC-H queries for
+// the workload-driven design algorithm (Section 4.1): tables plus
+// equi-join predicates. Aliases collapse onto table nodes (the paper does
+// not duplicate nodes), and non-equi predicates are omitted from the
+// graphs by construction.
+func Workload() []design.Query {
+	return []design.Query{
+		{Name: "Q1", Tables: []string{"lineitem"}},
+		{Name: "Q2", Joins: []design.QueryJoin{
+			j("part", one("partkey"), "partsupp", one("partkey")),
+			j("partsupp", one("suppkey"), "supplier", one("suppkey")),
+			j("supplier", one("nationkey"), "nation", one("nationkey")),
+			j("nation", one("regionkey"), "region", one("regionkey")),
+		}},
+		{Name: "Q3", Joins: []design.QueryJoin{
+			j("customer", one("custkey"), "orders", one("custkey")),
+			j("orders", one("orderkey"), "lineitem", one("orderkey")),
+		}},
+		{Name: "Q4", Joins: []design.QueryJoin{
+			j("orders", one("orderkey"), "lineitem", one("orderkey")),
+		}},
+		{Name: "Q5", Joins: []design.QueryJoin{
+			j("customer", one("custkey"), "orders", one("custkey")),
+			j("orders", one("orderkey"), "lineitem", one("orderkey")),
+			j("lineitem", one("suppkey"), "supplier", one("suppkey")),
+			j("customer", one("nationkey"), "supplier", one("nationkey")),
+			j("supplier", one("nationkey"), "nation", one("nationkey")),
+			j("nation", one("regionkey"), "region", one("regionkey")),
+		}},
+		{Name: "Q6", Tables: []string{"lineitem"}},
+		{Name: "Q7", Joins: []design.QueryJoin{
+			j("supplier", one("suppkey"), "lineitem", one("suppkey")),
+			j("orders", one("orderkey"), "lineitem", one("orderkey")),
+			j("customer", one("custkey"), "orders", one("custkey")),
+			j("supplier", one("nationkey"), "nation", one("nationkey")),
+			j("customer", one("nationkey"), "nation", one("nationkey")),
+		}},
+		{Name: "Q8", Joins: []design.QueryJoin{
+			j("part", one("partkey"), "lineitem", one("partkey")),
+			j("supplier", one("suppkey"), "lineitem", one("suppkey")),
+			j("lineitem", one("orderkey"), "orders", one("orderkey")),
+			j("orders", one("custkey"), "customer", one("custkey")),
+			j("customer", one("nationkey"), "nation", one("nationkey")),
+			j("nation", one("regionkey"), "region", one("regionkey")),
+			j("supplier", one("nationkey"), "nation", one("nationkey")),
+		}},
+		{Name: "Q9", Joins: []design.QueryJoin{
+			j("part", one("partkey"), "lineitem", one("partkey")),
+			j("supplier", one("suppkey"), "lineitem", one("suppkey")),
+			j("lineitem", []string{"partkey", "suppkey"}, "partsupp", []string{"partkey", "suppkey"}),
+			j("lineitem", one("orderkey"), "orders", one("orderkey")),
+			j("supplier", one("nationkey"), "nation", one("nationkey")),
+		}},
+		{Name: "Q10", Joins: []design.QueryJoin{
+			j("customer", one("custkey"), "orders", one("custkey")),
+			j("orders", one("orderkey"), "lineitem", one("orderkey")),
+			j("customer", one("nationkey"), "nation", one("nationkey")),
+		}},
+		{Name: "Q11", Joins: []design.QueryJoin{
+			j("partsupp", one("suppkey"), "supplier", one("suppkey")),
+			j("supplier", one("nationkey"), "nation", one("nationkey")),
+		}},
+		{Name: "Q12", Joins: []design.QueryJoin{
+			j("orders", one("orderkey"), "lineitem", one("orderkey")),
+		}},
+		{Name: "Q13", Joins: []design.QueryJoin{
+			j("customer", one("custkey"), "orders", one("custkey")),
+		}},
+		{Name: "Q14", Joins: []design.QueryJoin{
+			j("lineitem", one("partkey"), "part", one("partkey")),
+		}},
+		{Name: "Q15", Joins: []design.QueryJoin{
+			j("supplier", one("suppkey"), "lineitem", one("suppkey")),
+		}},
+		{Name: "Q16", Joins: []design.QueryJoin{
+			j("partsupp", one("partkey"), "part", one("partkey")),
+			j("partsupp", one("suppkey"), "supplier", one("suppkey")),
+		}},
+		{Name: "Q17", Joins: []design.QueryJoin{
+			j("lineitem", one("partkey"), "part", one("partkey")),
+		}},
+		{Name: "Q18", Joins: []design.QueryJoin{
+			j("customer", one("custkey"), "orders", one("custkey")),
+			j("orders", one("orderkey"), "lineitem", one("orderkey")),
+		}},
+		{Name: "Q19", Joins: []design.QueryJoin{
+			j("lineitem", one("partkey"), "part", one("partkey")),
+		}},
+		{Name: "Q20", Joins: []design.QueryJoin{
+			j("supplier", one("suppkey"), "partsupp", one("suppkey")),
+			j("supplier", one("nationkey"), "nation", one("nationkey")),
+		}},
+		{Name: "Q21", Joins: []design.QueryJoin{
+			j("supplier", one("suppkey"), "lineitem", one("suppkey")),
+			j("lineitem", one("orderkey"), "orders", one("orderkey")),
+			j("supplier", one("nationkey"), "nation", one("nationkey")),
+		}},
+		{Name: "Q22", Joins: []design.QueryJoin{
+			j("customer", one("custkey"), "orders", one("custkey")),
+		}},
+	}
+}
+
+// WorkloadWithout filters the workload's queries to the tables remaining
+// after excluding the given (replicated) tables; edges touching excluded
+// tables are dropped (orphaned endpoints survive as joinless tables),
+// matching how the "wo small tables" variants are designed.
+func WorkloadWithout(excluded ...string) []design.Query {
+	return design.FilterWorkload(Workload(), excluded)
+}

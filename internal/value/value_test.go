@@ -1,0 +1,97 @@
+package value
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFloatRoundTrip(t *testing.T) {
+	f := func(x float64) bool { return ToFloat(FromFloat(x)) == x || x != x }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoney(t *testing.T) {
+	cases := []struct {
+		dollars float64
+		cents   int64
+	}{
+		{0, 0}, {1.00, 100}, {19.99, 1999}, {-2.50, -250}, {0.005, 1}, {-0.005, -1},
+	}
+	for _, c := range cases {
+		if got := FromMoney(c.dollars); got != c.cents {
+			t.Errorf("FromMoney(%v) = %d, want %d", c.dollars, got, c.cents)
+		}
+	}
+	if ToMoney(12345) != 123.45 {
+		t.Errorf("ToMoney(12345) = %v", ToMoney(12345))
+	}
+}
+
+func TestDate(t *testing.T) {
+	if FromDate(1970, time.January, 1) != 0 {
+		t.Fatalf("epoch day = %d", FromDate(1970, time.January, 1))
+	}
+	if FromDate(1970, time.January, 2) != 1 {
+		t.Fatalf("day 2 = %d", FromDate(1970, time.January, 2))
+	}
+	d := FromDate(1995, time.March, 15)
+	back := ToDate(d)
+	if back.Year() != 1995 || back.Month() != time.March || back.Day() != 15 {
+		t.Fatalf("round trip = %v", back)
+	}
+	// Dates are ordered.
+	if FromDate(1994, time.December, 31) >= FromDate(1995, time.January, 1) {
+		t.Fatal("date ordering broken")
+	}
+}
+
+func TestDict(t *testing.T) {
+	d := NewDict()
+	if c, ok := d.Lookup(""); !ok || c != 0 {
+		t.Fatal("empty string must be code 0")
+	}
+	a := d.Code("ASIA")
+	b := d.Code("EUROPE")
+	if a == b || a == 0 || b == 0 {
+		t.Fatalf("codes not distinct: %d %d", a, b)
+	}
+	if d.Code("ASIA") != a {
+		t.Fatal("Code must be stable")
+	}
+	if d.String(a) != "ASIA" || d.String(b) != "EUROPE" {
+		t.Fatal("String decode broken")
+	}
+	if d.String(999) != "" {
+		t.Fatal("out-of-range code should decode to empty")
+	}
+	if d.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", d.Size())
+	}
+	if _, ok := d.Lookup("AFRICA"); ok {
+		t.Fatal("Lookup should not intern")
+	}
+}
+
+func TestTupleClone(t *testing.T) {
+	a := Tuple{1, 2, 3}
+	b := a.Clone()
+	b[0] = 99
+	if a[0] != 1 {
+		t.Fatal("Clone must not alias")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := map[Kind]string{Int: "int", Money: "money", Date: "date", Str: "str", Float: "float"}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%v.String() = %q", uint8(k), k.String())
+		}
+	}
+	if Kind(99).String() != "kind(99)" {
+		t.Errorf("unknown kind string = %q", Kind(99).String())
+	}
+}

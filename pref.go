@@ -1,0 +1,306 @@
+// Package pref is a from-scratch implementation of predicate-based
+// reference partitioning (PREF) and its automated partitioning design
+// algorithms, reproducing "Locality-aware Partitioning in Parallel
+// Database Systems" (Zamanian, Binnig, Salama — SIGMOD 2015).
+//
+// The package bundles everything a shared-nothing analytical system needs
+// to use PREF end to end:
+//
+//   - Schema and data modeling (Schema, Table, Database) with
+//     dictionary-encoded values;
+//   - The partitioning schemes (HASH, ROUND-ROBIN, RANGE, REPLICATED and
+//     PREF) with the dup/hasRef bitmap indexes of the paper's Section 2;
+//   - The schema-driven (SchemaDriven) and workload-driven
+//     (WorkloadDriven) automated design algorithms of Sections 3–4,
+//     including redundancy estimation from (optionally sampled) join-key
+//     histograms;
+//   - SPJA query plans and the locality-aware rewrite of Section 2.2;
+//   - An in-memory parallel execution engine that meters network traffic
+//     and models cluster runtime;
+//   - Tuple-at-a-time bulk loading with partition indexes (Section 2.3);
+//   - TPC-H and TPC-DS substrates (generators, queries, workloads).
+//
+// # Quick start
+//
+//	db := pref.GenerateTPCH(0.01, 42) // deterministic micro TPC-H
+//	d, _ := pref.SchemaDriven(db.DB, pref.SDOptions{Parts: 10})
+//	pdb, _ := pref.Apply(db.DB, d.Config)
+//	q := db.Query("Q3")
+//	res, _ := pref.Run(q, db.DB.Schema, d.Config, pdb)
+//	fmt.Println(len(res.Rows), "rows,", res.Stats.BytesShipped, "bytes shipped")
+//
+// See the examples/ directory for complete programs.
+package pref
+
+import (
+	"pref/internal/bulkload"
+	"pref/internal/catalog"
+	"pref/internal/design"
+	"pref/internal/engine"
+	"pref/internal/partition"
+	"pref/internal/plan"
+	"pref/internal/table"
+	"pref/internal/tpcds"
+	"pref/internal/tpch"
+	"pref/internal/value"
+)
+
+// ---- schema & data ----
+
+// Core schema and storage types.
+type (
+	// Schema is a set of tables plus referential constraints.
+	Schema = catalog.Schema
+	// Table describes one relation (columns, primary key, dictionaries).
+	Table = catalog.Table
+	// Column is one attribute (name + kind).
+	Column = catalog.Column
+	// ForeignKey is a referential constraint between two tables.
+	ForeignKey = catalog.ForeignKey
+	// Database is a set of unpartitioned in-memory tables.
+	Database = table.Database
+	// PartitionedDatabase is a database after partitioning.
+	PartitionedDatabase = table.PartitionedDatabase
+	// Tuple is one row of int64-encoded values.
+	Tuple = value.Tuple
+	// Kind is a column value kind (Int, Money, Date, Str, Float).
+	Kind = value.Kind
+)
+
+// Value kinds.
+const (
+	Int   = value.Int
+	Money = value.Money
+	Date  = value.Date
+	Str   = value.Str
+	Float = value.Float
+)
+
+// NewSchema returns an empty named schema.
+func NewSchema(name string) *Schema { return catalog.NewSchema(name) }
+
+// NewTable builds a table description (errors on duplicate columns).
+func NewTable(name string, cols []Column, pk ...string) (*Table, error) {
+	return catalog.NewTable(name, cols, pk...)
+}
+
+// MustTable is NewTable that panics on error.
+func MustTable(name string, cols []Column, pk ...string) *Table {
+	return catalog.MustTable(name, cols, pk...)
+}
+
+// NewDatabase returns an empty database over a schema.
+func NewDatabase(s *Schema) *Database { return table.NewDatabase(s) }
+
+// ---- partitioning (Section 2) ----
+
+// Partitioning configuration types.
+type (
+	// Config assigns a partitioning scheme to every table.
+	Config = partition.Config
+	// TableScheme is one table's scheme.
+	TableScheme = partition.TableScheme
+	// Predicate is a conjunctive equi-join partitioning predicate.
+	Predicate = partition.Predicate
+)
+
+// Partitioning methods.
+const (
+	Hash       = partition.Hash
+	RoundRobin = partition.RoundRobin
+	Range      = partition.Range
+	Replicated = partition.Replicated
+	Pref       = partition.Pref
+)
+
+// NewConfig returns an empty configuration for n partitions.
+func NewConfig(n int) *Config { return partition.NewConfig(n) }
+
+// Apply partitions a database under a configuration, producing the
+// partitioned database with populated dup/hasRef bitmap indexes.
+func Apply(db *Database, cfg *Config) (*PartitionedDatabase, error) {
+	return partition.Apply(db, cfg)
+}
+
+// ---- automated design (Sections 3 & 4) ----
+
+// Design algorithm types.
+type (
+	// SDOptions configures the schema-driven algorithm.
+	SDOptions = design.SDOptions
+	// WDOptions configures the workload-driven algorithm.
+	WDOptions = design.WDOptions
+	// Design is a schema-driven design result.
+	Design = design.Design
+	// WDDesign is a workload-driven design result.
+	WDDesign = design.WDDesign
+	// Query abstracts a workload query (tables + equi-join predicates).
+	Query = design.Query
+	// QueryJoin is one equi-join predicate of a workload query.
+	QueryJoin = design.QueryJoin
+)
+
+// SchemaDriven runs the schema-driven partitioning design algorithm.
+func SchemaDriven(db *Database, opt SDOptions) (*Design, error) {
+	return design.SchemaDriven(db, opt)
+}
+
+// WorkloadDriven runs the workload-driven partitioning design algorithm.
+func WorkloadDriven(db *Database, queries []Query, opt WDOptions) (*WDDesign, error) {
+	return design.WorkloadDriven(db, queries, opt)
+}
+
+// ---- query plans & execution ----
+
+// Plan and execution types.
+type (
+	// PlanNode is a logical or physical query plan operator.
+	PlanNode = plan.Node
+	// PlanOptions toggles rewrite optimizations and cardinality hints.
+	PlanOptions = plan.Options
+	// Rewritten is a rewritten (physical) plan ready for execution.
+	Rewritten = plan.Rewritten
+	// Result is a completed query with telemetry.
+	Result = engine.Result
+	// Stats is the execution telemetry (bytes shipped, rows, exchanges).
+	Stats = engine.Stats
+	// CostModel converts telemetry into simulated cluster runtime.
+	CostModel = engine.CostModel
+	// ExecOptions tunes the execution model (buffer-pool size etc.).
+	ExecOptions = engine.ExecOptions
+	// ValExpr is a scalar expression.
+	ValExpr = plan.ValExpr
+	// BoolExpr is a predicate expression.
+	BoolExpr = plan.BoolExpr
+	// AggExpr is one aggregate of an aggregation operator.
+	AggExpr = plan.AggExpr
+	// OrderSpec is one ORDER BY term of a TopK operator.
+	OrderSpec = plan.OrderSpec
+)
+
+// Plan construction (see package plan for the full builder set).
+var (
+	// Scan reads a base table under an alias.
+	Scan = plan.Scan
+	// Filter applies a selection predicate.
+	Filter = plan.Filter
+	// Join builds an equi-join.
+	Join = plan.Join
+	// Project projects/renames columns.
+	Project = plan.Project
+	// ProjectCols projects existing columns by name.
+	ProjectCols = plan.ProjectCols
+	// Aggregate groups and aggregates.
+	Aggregate = plan.Aggregate
+	// Col references a column; Lit / MoneyLit / DateLit build literals.
+	Col      = plan.Col
+	Lit      = plan.Lit
+	MoneyLit = plan.MoneyLit
+	DateLit  = plan.DateLit
+	// Eq/Ne/Lt/Le/Gt/Ge/And/Or/Not/In build predicates.
+	Eq  = plan.Eq
+	Ne  = plan.Ne
+	Lt  = plan.Lt
+	Le  = plan.Le
+	Gt  = plan.Gt
+	Ge  = plan.Ge
+	And = plan.And
+	Or  = plan.Or
+	Not = plan.Not
+	In  = plan.In
+	// Sum/Count/CountCol/CountDistinct/Avg/Min/Max build aggregates.
+	Sum           = plan.Sum
+	Count         = plan.Count
+	CountCol      = plan.CountCol
+	CountDistinct = plan.CountDistinct
+	Avg           = plan.Avg
+	Min           = plan.Min
+	Max           = plan.Max
+	// TopK builds an ORDER BY … LIMIT operator.
+	TopK = plan.TopK
+)
+
+// Join types.
+const (
+	Inner     = plan.Inner
+	LeftOuter = plan.LeftOuter
+	Semi      = plan.Semi
+	Anti      = plan.Anti
+)
+
+// Rewrite applies the locality-aware rewrite of Section 2.2 to a logical
+// plan under a partitioning configuration.
+func Rewrite(root PlanNode, s *Schema, cfg *Config, opt PlanOptions) (*Rewritten, error) {
+	return plan.Rewrite(root, s, cfg, opt)
+}
+
+// Execute runs a rewritten plan against a partitioned database.
+func Execute(rw *Rewritten, pdb *PartitionedDatabase) (*Result, error) {
+	return engine.Execute(rw, pdb)
+}
+
+// Run rewrites and executes a logical plan in one step.
+func Run(root PlanNode, s *Schema, cfg *Config, pdb *PartitionedDatabase) (*Result, error) {
+	rw, err := plan.Rewrite(root, s, cfg, plan.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return engine.Execute(rw, pdb)
+}
+
+// DefaultCostModel approximates the paper's commodity cluster.
+func DefaultCostModel() CostModel { return engine.DefaultCostModel() }
+
+// ---- bulk loading (Section 2.3) ----
+
+// Loader incrementally loads tuples into a partitioned database using
+// partition indexes.
+type Loader = bulkload.Loader
+
+// NewLoader prepares a bulk loader for a partitioned database.
+func NewLoader(pdb *PartitionedDatabase, cfg *Config) *Loader {
+	return bulkload.NewLoader(pdb, cfg)
+}
+
+// ---- benchmark substrates ----
+
+// Benchmark substrate types.
+type (
+	// TPCH is a generated TPC-H database with its 22 queries.
+	TPCH = tpch.TPCH
+	// TPCDS is a generated TPC-DS database.
+	TPCDS = tpcds.TPCDS
+)
+
+// GenerateTPCH builds a deterministic TPC-H database at the given scale
+// factor (SF 1 = official cardinalities; experiments use reduced SF).
+func GenerateTPCH(sf float64, seed int64) *TPCH { return tpch.Generate(sf, seed) }
+
+// GenerateTPCDS builds a deterministic, Zipf-skewed TPC-DS database.
+func GenerateTPCDS(sf float64, seed int64) *TPCDS { return tpcds.Generate(sf, seed) }
+
+// TPCHWorkload returns the 22 TPC-H queries as workload specs for
+// WorkloadDriven.
+func TPCHWorkload() []Query { return tpch.Workload() }
+
+// TPCDSWorkload returns the 99 TPC-DS queries (one spec per SPJA block)
+// as workload specs for WorkloadDriven.
+func TPCDSWorkload() []Query { return tpcds.Workload() }
+
+// TPCHQueryNames lists the 22 TPC-H query names in order.
+func TPCHQueryNames() []string { return append([]string(nil), tpch.QueryNames...) }
+
+// FilterWorkload removes (replicated) tables from workload query graphs.
+func FilterWorkload(w []Query, excluded []string) []Query {
+	return design.FilterWorkload(w, excluded)
+}
+
+// FromMoney / ToMoney / FromDate helpers re-exported for data loading.
+var (
+	FromMoney = value.FromMoney
+	ToMoney   = value.ToMoney
+	FromDate  = value.FromDate
+	ToDate    = value.ToDate
+	FromFloat = value.FromFloat
+	ToFloat   = value.ToFloat
+)
