@@ -8,6 +8,8 @@
 //	prefbench -exp fig7          # one experiment
 //	prefbench -exp table1,fig11a # several
 //	prefbench -sf 0.02 -parts 10 # larger data
+//	prefbench -exp fault         # degradation-vs-fault-probability sweep
+//	prefbench -exp fig7 -crash 0.05 -down 2 # fig7 under injected faults
 //	prefbench -list              # available experiment ids
 package main
 
@@ -15,10 +17,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"pref/internal/bench"
+	"pref/internal/fault"
 )
 
 func main() {
@@ -30,6 +34,14 @@ func main() {
 		seed   = flag.Int64("seed", 42, "generator seed")
 		expand = flag.Bool("expand", false, "fig12: sweep every node count 1..100 instead of a coarse grid")
 		list   = flag.Bool("list", false, "list experiment ids and exit")
+
+		crash     = flag.Float64("crash", 0, "fault: per-attempt work-unit crash probability")
+		shipFail  = flag.Float64("shipfail", 0, "fault: per-attempt exchange-shipment failure probability")
+		stragProb = flag.Float64("straggleprob", 0, "fault: straggler probability per work unit")
+		straggle  = flag.Duration("straggle", 0, "fault: straggler delay (e.g. 5ms)")
+		down      = flag.String("down", "", "fault: comma-separated permanently failed node ids")
+		faultSeed = flag.Int64("faultseed", 1, "fault: injection seed")
+		qtimeout  = flag.Duration("qtimeout", 0, "fault: per-query deadline (0 = none)")
 	)
 	flag.Parse()
 
@@ -46,6 +58,23 @@ func main() {
 	p.Parts = *parts
 	p.Seed = *seed
 	p.Expand = *expand
+
+	downNodes, err := parseNodeList(*down)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "prefbench: -down: %v\n", err)
+		os.Exit(1)
+	}
+	if *crash > 0 || *shipFail > 0 || *stragProb > 0 || len(downNodes) > 0 || *qtimeout > 0 {
+		p.Fault = &fault.Policy{
+			Seed:           *faultSeed,
+			DownNodes:      downNodes,
+			CrashProb:      *crash,
+			ShipFailProb:   *shipFail,
+			StragglerProb:  *stragProb,
+			StragglerDelay: *straggle,
+			Timeout:        *qtimeout,
+		}
+	}
 
 	ids := bench.ExperimentOrder
 	if *exp != "all" {
@@ -73,4 +102,19 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+func parseNodeList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad node id %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }

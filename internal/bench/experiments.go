@@ -7,6 +7,7 @@ import (
 	"pref/internal/bulkload"
 	"pref/internal/design"
 	"pref/internal/engine"
+	"pref/internal/fault"
 	"pref/internal/partition"
 	"pref/internal/plan"
 	"pref/internal/table"
@@ -32,6 +33,9 @@ type Params struct {
 	CacheFraction float64
 	// MissFactor is the out-of-cache probe penalty (engine.ExecOptions).
 	MissFactor float64
+	// Fault injects faults into every experiment execution (nil = none).
+	// The "fault" experiment ignores it and sweeps its own policies.
+	Fault *fault.Policy
 }
 
 // DefaultParams returns laptop-scale experiment parameters.
@@ -44,13 +48,12 @@ func DefaultParams() Params {
 
 // execOptions derives the engine execution model for a database size.
 func (p Params) execOptions(totalRows int) engine.ExecOptions {
-	if p.CacheFraction <= 0 {
-		return engine.ExecOptions{}
+	opt := engine.ExecOptions{Fault: p.Fault}
+	if p.CacheFraction > 0 {
+		opt.CacheRows = int(p.CacheFraction * float64(totalRows) / float64(p.Parts))
+		opt.MissFactor = p.MissFactor
 	}
-	return engine.ExecOptions{
-		CacheRows:  int(p.CacheFraction * float64(totalRows) / float64(p.Parts)),
-		MissFactor: p.MissFactor,
-	}
+	return opt
 }
 
 // execVariants are the four execution variants of Figures 7, 8 and 10.
@@ -487,10 +490,11 @@ var Experiments = map[string]func(Params) (*Report, error){
 	"fig12a": Fig12a,
 	"fig12b": Fig12b,
 	"fig13":  Fig13,
+	"fault":  FaultSweep,
 }
 
 // ExperimentOrder lists experiment ids in presentation order.
 var ExperimentOrder = []string{
 	"table1", "fig7", "fig8", "fig9", "fig10",
-	"fig11a", "fig11b", "fig12a", "fig12b", "fig13",
+	"fig11a", "fig11b", "fig12a", "fig12b", "fig13", "fault",
 }

@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestFaultSweepMonotoneDegradation(t *testing.T) {
+	r, err := FaultSweep(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(faultProbs) {
+		t.Fatalf("rows = %d, want %d", len(r.Rows), len(faultProbs))
+	}
+	// Same seed across probabilities ⇒ a higher probability injects a
+	// superset of the faults of a lower one, so latency and bytes are
+	// monotone non-decreasing per variant.
+	for _, v := range faultVariants {
+		for _, col := range []string{v + "_ms", v + "_MB"} {
+			prev := -1.0
+			for _, prob := range faultProbs {
+				row := fmt.Sprintf("p=%.2f", prob)
+				got, ok := r.Value(row, col)
+				if !ok {
+					t.Fatalf("missing cell %s/%s", row, col)
+				}
+				if got < prev {
+					t.Errorf("%s not monotone: %v at %s after %v", col, got, row, prev)
+				}
+				prev = got
+			}
+		}
+	}
+	// Faults must actually bite at the top of the sweep: the fault-free
+	// baseline strictly below the p=0.20 latency for every variant.
+	for _, v := range faultVariants {
+		lo, _ := r.Value("p=0.00", v+"_ms")
+		hi, _ := r.Value("p=0.20", v+"_ms")
+		if hi <= lo {
+			t.Errorf("%s: no latency degradation across the sweep (%v → %v)", v, lo, hi)
+		}
+	}
+}

@@ -65,7 +65,10 @@ func NewTable(name string, cols []Column, pk ...string) (*Table, error) {
 	return t, nil
 }
 
-// MustTable is NewTable that panics on error; for statically known schemas.
+// MustTable is NewTable that panics on error. The panic is reserved for
+// the programmer-error invariant of a statically known (source-literal)
+// schema; fallible paths — loaders, user-supplied schemas — must use
+// NewTable and handle the error.
 func MustTable(name string, cols []Column, pk ...string) *Table {
 	t, err := NewTable(name, cols, pk...)
 	if err != nil {
@@ -141,7 +144,10 @@ func (s *Schema) AddTable(t *Table) error {
 	return nil
 }
 
-// MustAddTable is AddTable that panics on error.
+// MustAddTable is AddTable that panics on error. Reserved for
+// programmer-error invariants (statically known schemas; Without copying
+// an already-valid schema, where duplicates are impossible). Fallible
+// paths must use AddTable and handle the error.
 func (s *Schema) MustAddTable(t *Table) {
 	if err := s.AddTable(t); err != nil {
 		panic(err)
@@ -171,7 +177,9 @@ func (s *Schema) AddFK(fk ForeignKey) error {
 	return nil
 }
 
-// MustAddFK is AddFK that panics on error.
+// MustAddFK is AddFK that panics on error. Reserved for the
+// programmer-error invariant of statically known constraints; fallible
+// paths (runtime-discovered constraints) must use AddFK.
 func (s *Schema) MustAddFK(fk ForeignKey) {
 	if err := s.AddFK(fk); err != nil {
 		panic(err)

@@ -63,7 +63,11 @@ type aggPlanInfo struct {
 func bindAggs(groupBy []string, aggs []plan.AggExpr, sch plan.Schema) (*aggPlanInfo, error) {
 	info := &aggPlanInfo{aggs: aggs}
 	for _, g := range groupBy {
-		info.groupIdx = append(info.groupIdx, sch.MustIndex(g))
+		i, err := sch.IndexOf(g)
+		if err != nil {
+			return nil, err
+		}
+		info.groupIdx = append(info.groupIdx, i)
 	}
 	for _, a := range aggs {
 		if a.Arg == nil {
@@ -167,11 +171,10 @@ func (ex *executor) evalAggregate(n *plan.AggregateNode) ([][]value.Tuple, error
 		return nil, err
 	}
 	sch := ex.rw.Schemas[n.Child]
-	out := make([][]value.Tuple, ex.n)
-	err = ex.forEachPart(func(p int) error {
+	return ex.forEachPart(func(p int) ([]value.Tuple, int, error) {
 		info, err := bindAggs(n.GroupBy, n.Aggs, sch)
 		if err != nil {
-			return err
+			return nil, 0, err
 		}
 		groups := info.accumulate(in[p])
 		if len(n.GroupBy) == 0 && len(groups) == 0 {
@@ -187,13 +190,8 @@ func (ex *executor) evalAggregate(n *plan.AggregateNode) ([][]value.Tuple, error
 			}
 			rows = append(rows, row)
 		}
-		ex.mu.Lock()
-		ex.work(p, len(rows))
-		ex.mu.Unlock()
-		out[p] = rows
-		return nil
+		return rows, len(rows), nil
 	})
-	return out, err
 }
 
 // evalPartialAgg emits per-partition partial states: AVG carries (sum,
@@ -204,11 +202,10 @@ func (ex *executor) evalPartialAgg(n *plan.PartialAggNode) ([][]value.Tuple, err
 		return nil, err
 	}
 	sch := ex.rw.Schemas[n.Child]
-	out := make([][]value.Tuple, ex.n)
-	err = ex.forEachPart(func(p int) error {
+	return ex.forEachPart(func(p int) ([]value.Tuple, int, error) {
 		info, err := bindAggs(n.GroupBy, n.Aggs, sch)
 		if err != nil {
-			return err
+			return nil, 0, err
 		}
 		groups := info.accumulate(in[p])
 		if len(n.GroupBy) == 0 && len(groups) == 0 {
@@ -233,33 +230,39 @@ func (ex *executor) evalPartialAgg(n *plan.PartialAggNode) ([][]value.Tuple, err
 			}
 			rows = append(rows, row)
 		}
-		ex.mu.Lock()
-		ex.work(p, len(rows))
-		ex.mu.Unlock()
-		out[p] = rows
-		return nil
+		return rows, len(rows), nil
 	})
-	return out, err
 }
 
 // evalFinalAgg merges partial states (only the coordinator partition has
-// rows after the preceding Gather).
+// rows after the preceding Gather). The merge is a single work unit on
+// the coordinator node and runs under the same fault model as the
+// fan-out operators.
 func (ex *executor) evalFinalAgg(n *plan.FinalAggNode) ([][]value.Tuple, error) {
 	in, err := ex.eval(n.Child)
 	if err != nil {
 		return nil, err
 	}
 	sch := ex.rw.Schemas[n.Child]
-	out := make([][]value.Tuple, ex.n)
-	for p := 0; p < ex.n; p++ {
-		out[p] = nil
-	}
-	rows, err := mergePartials(n, sch, in[0])
+	op := ex.nextOp()
+	rows, work, err := ex.runUnit(op, 0, func(int) ([]value.Tuple, int, error) {
+		rs, err := mergePartials(n, sch, in[0])
+		if err != nil {
+			return nil, 0, err
+		}
+		return rs, len(rs), nil
+	})
 	if err != nil {
 		return nil, err
 	}
+	out := make([][]value.Tuple, ex.n)
 	out[0] = rows
-	ex.work(0, len(rows))
+	if en := ex.execDst[0]; en != 0 {
+		ex.stats.Failovers++
+		ex.work(en, work)
+	} else {
+		ex.work(0, work)
+	}
 	return out, nil
 }
 

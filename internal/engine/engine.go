@@ -5,13 +5,24 @@
 // boundary. The meter is the experiment substrate: the paper's runtime
 // differences are driven by remote exchanges and per-node data volume,
 // both of which are first-class observables here.
+//
+// Execution is resilient: every per-node unit of work runs under a
+// per-query context.Context (deadline + cancellation), recovers panics
+// into errors, retries injected crashes with capped exponential backoff,
+// and fails work over from permanently failed nodes to a surviving buddy.
+// Base-table partitions on failed nodes are reconstructed from PREF /
+// replication redundancy where the scheme covers them (see recovery.go).
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
+	"pref/internal/fault"
 	"pref/internal/plan"
 	"pref/internal/table"
 	"pref/internal/value"
@@ -20,12 +31,14 @@ import (
 // Stats aggregates the execution telemetry of one query.
 type Stats struct {
 	// BytesShipped counts bytes crossing node boundaries (8 bytes per
-	// column per shipped row).
+	// column per shipped row). Re-shipped exchange attempts count every
+	// time they hit the wire.
 	BytesShipped int64
 	// RowsShipped counts rows crossing node boundaries.
 	RowsShipped int64
 	// RowsProcessed counts rows flowing through all operators on all
-	// nodes (total CPU work proxy).
+	// nodes (total CPU work proxy), including work burned by attempts
+	// that crashed and were discarded.
 	RowsProcessed int64
 	// MaxNodeRows is the largest per-node processed-row count (the
 	// parallel critical path).
@@ -33,6 +46,19 @@ type Stats struct {
 	// Repartitions and Broadcasts count exchange operators executed.
 	Repartitions int
 	Broadcasts   int
+	// Retries counts discarded work-unit attempts and failed exchange
+	// shipments that were retried.
+	Retries int
+	// Failovers counts per-operator partition work units redirected from
+	// a permanently failed node to its surviving buddy.
+	Failovers int
+	// RecoveredRows counts base-table tuple copies reconstructed from
+	// surviving duplicate copies (PREF duplicates, replicas) after a
+	// partition loss.
+	RecoveredRows int64
+	// WastedRows counts rows of work discarded by failed attempts (the
+	// output of crashed units, the payload of failed shipments).
+	WastedRows int64
 }
 
 // Result is a completed query: output schema, gathered rows, telemetry.
@@ -67,7 +93,15 @@ type ExecOptions struct {
 	// MissFactor is the work multiplier for out-of-cache probes
 	// (default 15 when CacheRows > 0).
 	MissFactor float64
+	// Fault configures deterministic fault injection and the resilient
+	// execution paths (retry, failover, redundancy recovery, per-query
+	// timeout). Nil executes fault-free.
+	Fault *fault.Policy
 }
+
+// partUnit computes one partition's slice of an operator: its output rows
+// plus the operator work (a row count) to charge to the executing node.
+type partUnit func(p int) (rows []value.Tuple, work int, err error)
 
 // executor walks the physical plan once per query.
 type executor struct {
@@ -75,8 +109,14 @@ type executor struct {
 	pdb     *table.PartitionedDatabase
 	n       int
 	opt     ExecOptions
+	inj     *fault.Injector
+	ctx     context.Context
+	cancel  context.CancelFunc
+	opSeq   int   // deterministic operator counter (main goroutine only)
+	execDst []int // executing node per logical partition (buddy when down)
 	stats   Stats
-	nodeRow []int64 // per-node processed rows
+	nodeRow []int64                       // per-node processed rows
+	survIdx map[string]map[value.Key]bool // surviving-copy index per table (recovery)
 	mu      sync.Mutex
 }
 
@@ -88,10 +128,37 @@ func Execute(rw *plan.Rewritten, pdb *table.PartitionedDatabase) (*Result, error
 
 // ExecuteOpts is Execute with an explicit execution model.
 func ExecuteOpts(rw *plan.Rewritten, pdb *table.PartitionedDatabase, opt ExecOptions) (*Result, error) {
+	return ExecuteCtx(context.Background(), rw, pdb, opt)
+}
+
+// ExecuteCtx is ExecuteOpts under a caller-supplied context. The query
+// additionally gets its own deadline when the fault policy sets one;
+// cancelling ctx aborts all in-flight per-node work.
+func ExecuteCtx(ctx context.Context, rw *plan.Rewritten, pdb *table.PartitionedDatabase, opt ExecOptions) (*Result, error) {
 	if opt.CacheRows > 0 && opt.MissFactor <= 1 {
 		opt.MissFactor = 15
 	}
-	ex := &executor{rw: rw, pdb: pdb, n: pdb.N, opt: opt, nodeRow: make([]int64, pdb.N)}
+	var inj *fault.Injector
+	if opt.Fault != nil {
+		inj = fault.NewInjector(*opt.Fault)
+	}
+	var cancel context.CancelFunc
+	if t := inj.Timeout(); t > 0 {
+		ctx, cancel = context.WithTimeout(ctx, t)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+
+	execDst, err := buddyMap(pdb.N, inj)
+	if err != nil {
+		return nil, err
+	}
+	ex := &executor{
+		rw: rw, pdb: pdb, n: pdb.N, opt: opt, inj: inj,
+		ctx: ctx, cancel: cancel, execDst: execDst,
+		nodeRow: make([]int64, pdb.N),
+	}
 	parts, err := ex.eval(rw.Root)
 	if err != nil {
 		return nil, err
@@ -105,9 +172,12 @@ func ExecuteOpts(rw *plan.Rewritten, pdb *table.PartitionedDatabase, opt ExecOpt
 		rows = parts[0]
 	default:
 		// Implicit final gather to the coordinator, metered.
+		op := ex.nextOp()
 		for p, rs := range parts {
 			if p != 0 {
-				ex.ship(len(rs), len(sch))
+				if err := ex.shipBatch(op, p, len(rs), len(sch)); err != nil {
+					return nil, err
+				}
 			}
 			rows = append(rows, rs...)
 		}
@@ -118,6 +188,30 @@ func ExecuteOpts(rw *plan.Rewritten, pdb *table.PartitionedDatabase, opt ExecOpt
 		}
 	}
 	return &Result{Schema: sch, Rows: rows, Stats: ex.stats}, nil
+}
+
+// buddyMap assigns every logical partition its executing node: itself, or
+// — for permanently failed nodes — the next surviving node in ring order.
+func buddyMap(n int, inj *fault.Injector) ([]int, error) {
+	dst := make([]int, n)
+	for p := range dst {
+		dst[p] = p
+		if !inj.NodeDown(p) {
+			continue
+		}
+		buddy := -1
+		for d := 1; d < n; d++ {
+			if c := (p + d) % n; !inj.NodeDown(c) {
+				buddy = c
+				break
+			}
+		}
+		if buddy < 0 {
+			return nil, fmt.Errorf("engine: all %d nodes are permanently failed", n)
+		}
+		dst[p] = buddy
+	}
+	return dst, nil
 }
 
 // ship meters rows crossing a node boundary.
@@ -132,24 +226,167 @@ func (ex *executor) work(node, rows int) {
 	ex.nodeRow[node] += int64(rows)
 }
 
-// forEachPart runs fn for every partition concurrently.
-func (ex *executor) forEachPart(fn func(p int) error) error {
+// nextOp returns the next deterministic operator id. eval walks the plan
+// sequentially on the query goroutine, so the sequence is a pure function
+// of the plan — the anchor that keeps fault schedules reproducible.
+func (ex *executor) nextOp() int {
+	op := ex.opSeq
+	ex.opSeq++
+	return op
+}
+
+// forEachPart runs one unit of work per partition concurrently under the
+// fault model and returns the per-partition outputs. The first node error
+// cancels the query context so no further work launches — here for the
+// remaining partitions, and in every downstream operator.
+func (ex *executor) forEachPart(fn partUnit) ([][]value.Tuple, error) {
+	op := ex.nextOp()
+	out := make([][]value.Tuple, ex.n)
 	errs := make([]error, ex.n)
 	var wg sync.WaitGroup
 	for p := 0; p < ex.n; p++ {
+		if err := ex.ctx.Err(); err != nil {
+			errs[p] = err // short-circuit: stop launching work
+			break
+		}
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			errs[p] = fn(p)
+			rows, work, err := ex.runUnit(op, p, fn)
+			if err != nil {
+				errs[p] = err
+				ex.cancel()
+				return
+			}
+			out[p] = rows
+			en := ex.execDst[p]
+			ex.mu.Lock()
+			if en != p {
+				ex.stats.Failovers++
+			}
+			ex.work(en, work)
+			ex.mu.Unlock()
 		}(p)
 	}
 	wg.Wait()
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// firstErr picks the root-cause error, preferring anything over the
+// context.Canceled noise that cancellation propagates to sibling units.
+func firstErr(errs []error) error {
+	var fallback error
 	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, context.Canceled) {
+			return err
+		}
+		if fallback == nil {
+			fallback = err
+		}
+	}
+	return fallback
+}
+
+// runUnit executes one per-partition work unit under the fault model:
+// straggler delay, crash injection with capped exponential backoff, panic
+// recovery, and cancellation checks between attempts. Fault draws are
+// keyed by the executing node, so work failed over from a down node
+// inherits the buddy's fault behaviour.
+func (ex *executor) runUnit(op, p int, fn partUnit) ([]value.Tuple, int, error) {
+	en := ex.execDst[p]
+	max := ex.inj.MaxAttempts()
+	for attempt := 0; ; attempt++ {
+		if err := ex.ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		if d := ex.inj.StragglerDelay(op, en); d > 0 {
+			if err := sleepCtx(ex.ctx, d); err != nil {
+				return nil, 0, err
+			}
+		}
+		rows, work, err := callUnit(fn, p)
 		if err != nil {
+			return nil, 0, err // genuine operator error: retrying cannot help
+		}
+		if !ex.inj.CrashAttempt(op, en, attempt) {
+			return rows, work, nil
+		}
+		// The attempt crashed after doing its work: the output is
+		// discarded, but the CPU it burned still occupied the node.
+		ex.mu.Lock()
+		ex.stats.Retries++
+		ex.stats.WastedRows += int64(work)
+		ex.work(en, work)
+		ex.mu.Unlock()
+		if attempt+1 >= max {
+			return nil, 0, fmt.Errorf("engine: partition %d on node %d: %d crashed attempts: %w",
+				p, en, max, fault.ErrNodeFailed)
+		}
+		if err := sleepCtx(ex.ctx, ex.inj.Backoff(attempt)); err != nil {
+			return nil, 0, err
+		}
+	}
+}
+
+// callUnit invokes fn, converting a goroutine panic into an error so one
+// bad partition fails the query instead of crashing the process.
+func callUnit(fn partUnit, p int) (rows []value.Tuple, work int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine: partition %d: recovered panic: %v", p, r)
+		}
+	}()
+	return fn(p)
+}
+
+// sleepCtx sleeps d unless the context ends first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// shipBatch meters one exchange shipment of rows from src under injected
+// shipment failures: a failed attempt's bytes hit the wire before being
+// re-sent (so BytesShipped degrades) and its payload counts as wasted.
+// Runs on the query goroutine only.
+func (ex *executor) shipBatch(op, src, rows, width int) error {
+	if rows == 0 {
+		return nil
+	}
+	max := ex.inj.MaxAttempts()
+	for attempt := 0; ; attempt++ {
+		if err := ex.ctx.Err(); err != nil {
+			return err
+		}
+		ex.ship(rows, width)
+		if !ex.inj.ShipFail(op, src, attempt) {
+			return nil
+		}
+		ex.stats.Retries++
+		ex.stats.WastedRows += int64(rows)
+		if attempt+1 >= max {
+			return fmt.Errorf("engine: shipment of %d rows from node %d: %d failed attempts: %w",
+				rows, src, max, fault.ErrShipmentFailed)
+		}
+		if err := sleepCtx(ex.ctx, ex.inj.Backoff(attempt)); err != nil {
 			return err
 		}
 	}
-	return nil
 }
 
 func (ex *executor) eval(n plan.Node) ([][]value.Tuple, error) {
@@ -185,6 +422,28 @@ func (ex *executor) eval(n plan.Node) ([][]value.Tuple, error) {
 	}
 }
 
+// scanRows materializes one partition's scan output, appending the hidden
+// dup/hasRef index columns when the scan schema asks for them.
+func scanRows(part *table.Partition, withIndexes bool) []value.Tuple {
+	rows := make([]value.Tuple, 0, len(part.Rows))
+	if withIndexes {
+		for i, r := range part.Rows {
+			nr := make(value.Tuple, len(r)+2)
+			copy(nr, r)
+			if part.Dup.Get(i) {
+				nr[len(r)] = 1
+			}
+			if part.HasRef.Get(i) {
+				nr[len(r)+1] = 1
+			}
+			rows = append(rows, nr)
+		}
+	} else {
+		rows = append(rows, part.Rows...)
+	}
+	return rows
+}
+
 func (ex *executor) evalScan(n *plan.ScanNode) ([][]value.Tuple, error) {
 	pt, ok := ex.pdb.Tables[n.Table]
 	if !ok {
@@ -199,36 +458,22 @@ func (ex *executor) evalScan(n *plan.ScanNode) ([][]value.Tuple, error) {
 			keep[p] = true
 		}
 	}
-	out := make([][]value.Tuple, ex.n)
-	err := ex.forEachPart(func(p int) error {
+	return ex.forEachPart(func(p int) ([]value.Tuple, int, error) {
 		if keep != nil && !keep[p] {
-			out[p] = nil // pruned: the partition cannot contain matches
-			return nil
+			return nil, 0, nil // pruned: the partition cannot contain matches
 		}
-		part := pt.Parts[p]
-		rows := make([]value.Tuple, 0, len(part.Rows))
-		if withIndexes {
-			for i, r := range part.Rows {
-				nr := make(value.Tuple, len(r)+2)
-				copy(nr, r)
-				if part.Dup.Get(i) {
-					nr[len(r)] = 1
-				}
-				if part.HasRef.Get(i) {
-					nr[len(r)+1] = 1
-				}
-				rows = append(rows, nr)
+		if ex.inj.NodeDown(p) {
+			// The node holding this base partition is gone: reconstruct
+			// its scan output from surviving duplicate copies.
+			rows, err := ex.recoverScan(pt, p, withIndexes, len(sch))
+			if err != nil {
+				return nil, 0, err
 			}
-		} else {
-			rows = append(rows, part.Rows...)
+			return rows, len(rows), nil
 		}
-		ex.mu.Lock()
-		ex.work(p, len(rows))
-		ex.mu.Unlock()
-		out[p] = rows
-		return nil
+		rows := scanRows(pt.Parts[p], withIndexes)
+		return rows, len(rows), nil
 	})
-	return out, err
 }
 
 func (ex *executor) evalFilter(n *plan.FilterNode) ([][]value.Tuple, error) {
@@ -237,11 +482,10 @@ func (ex *executor) evalFilter(n *plan.FilterNode) ([][]value.Tuple, error) {
 		return nil, err
 	}
 	sch := ex.rw.Schemas[n.Child]
-	out := make([][]value.Tuple, ex.n)
-	err = ex.forEachPart(func(p int) error {
+	return ex.forEachPart(func(p int) ([]value.Tuple, int, error) {
 		pred, err := n.Pred.Bind(sch)
 		if err != nil {
-			return err
+			return nil, 0, err
 		}
 		var rows []value.Tuple
 		for _, r := range in[p] {
@@ -249,13 +493,8 @@ func (ex *executor) evalFilter(n *plan.FilterNode) ([][]value.Tuple, error) {
 				rows = append(rows, r)
 			}
 		}
-		ex.mu.Lock()
-		ex.work(p, len(rows))
-		ex.mu.Unlock()
-		out[p] = rows
-		return nil
+		return rows, len(rows), nil
 	})
-	return out, err
 }
 
 func (ex *executor) evalProject(n *plan.ProjectNode) ([][]value.Tuple, error) {
@@ -264,13 +503,12 @@ func (ex *executor) evalProject(n *plan.ProjectNode) ([][]value.Tuple, error) {
 		return nil, err
 	}
 	sch := ex.rw.Schemas[n.Child]
-	out := make([][]value.Tuple, ex.n)
-	err = ex.forEachPart(func(p int) error {
+	return ex.forEachPart(func(p int) ([]value.Tuple, int, error) {
 		fns := make([]func(value.Tuple) int64, len(n.Exprs))
 		for i, e := range n.Exprs {
 			f, err := e.Bind(sch)
 			if err != nil {
-				return err
+				return nil, 0, err
 			}
 			fns[i] = f
 		}
@@ -282,26 +520,21 @@ func (ex *executor) evalProject(n *plan.ProjectNode) ([][]value.Tuple, error) {
 			}
 			rows = append(rows, nr)
 		}
-		ex.mu.Lock()
-		ex.work(p, len(rows))
-		ex.mu.Unlock()
-		out[p] = rows
-		return nil
+		return rows, len(rows), nil
 	})
-	return out, err
 }
 
 // dedupRows applies the disjunctive dup=0 filter over the given dup
 // columns (Section 2.2's distinct operator); no movement involved. A Null
 // dup flag means the row was null-extended by an outer join (it has no
 // copy of that table at all) and is kept — such rows exist exactly once.
-func dedupRows(rows []value.Tuple, sch plan.Schema, dupCols []string) []value.Tuple {
+func dedupRows(rows []value.Tuple, sch plan.Schema, dupCols []string) ([]value.Tuple, error) {
 	if len(dupCols) == 0 {
-		return rows
+		return rows, nil
 	}
-	idx := make([]int, len(dupCols))
-	for i, c := range dupCols {
-		idx[i] = sch.MustIndex(c)
+	idx, err := sch.Indexes(dupCols)
+	if err != nil {
+		return nil, err
 	}
 	out := rows[:0:0]
 	for _, r := range rows {
@@ -316,7 +549,7 @@ func dedupRows(rows []value.Tuple, sch plan.Schema, dupCols []string) []value.Tu
 			out = append(out, r)
 		}
 	}
-	return out
+	return out, nil
 }
 
 func (ex *executor) evalDistinctPref(n *plan.DistinctPrefNode) ([][]value.Tuple, error) {
@@ -325,16 +558,13 @@ func (ex *executor) evalDistinctPref(n *plan.DistinctPrefNode) ([][]value.Tuple,
 		return nil, err
 	}
 	sch := ex.rw.Schemas[n.Child]
-	out := make([][]value.Tuple, ex.n)
-	err = ex.forEachPart(func(p int) error {
-		rows := dedupRows(in[p], sch, n.DupCols)
-		ex.mu.Lock()
-		ex.work(p, len(rows))
-		ex.mu.Unlock()
-		out[p] = rows
-		return nil
+	return ex.forEachPart(func(p int) ([]value.Tuple, int, error) {
+		rows, err := dedupRows(in[p], sch, n.DupCols)
+		if err != nil {
+			return nil, 0, err
+		}
+		return rows, len(rows), nil
 	})
-	return out, err
 }
 
 func (ex *executor) evalDistinctByValue(n *plan.DistinctByValueNode) ([][]value.Tuple, error) {
@@ -343,44 +573,40 @@ func (ex *executor) evalDistinctByValue(n *plan.DistinctByValueNode) ([][]value.
 		return nil, err
 	}
 	sch := ex.rw.Schemas[n.Child]
-	idx := make([]int, len(n.Cols))
-	for i, c := range n.Cols {
-		idx[i] = sch.MustIndex(c)
+	idx, err := sch.Indexes(n.Cols)
+	if err != nil {
+		return nil, err
 	}
 	// Shuffle by content so identical rows meet on one node, then keep
 	// one per value.
 	ex.stats.Repartitions++
-	out := make([][]value.Tuple, ex.n)
-	for p := range out {
-		out[p] = nil
-	}
+	op := ex.nextOp()
+	shuffled := make([][]value.Tuple, ex.n)
 	for src, rows := range in {
+		cross := 0
 		for _, r := range rows {
 			dst := int(value.HashTuple(r, idx) % uint64(ex.n))
 			if dst != src {
-				ex.ship(1, len(sch))
+				cross++
 			}
-			out[dst] = append(out[dst], r)
+			shuffled[dst] = append(shuffled[dst], r)
+		}
+		if err := ex.shipBatch(op, src, cross, len(sch)); err != nil {
+			return nil, err
 		}
 	}
-	final := make([][]value.Tuple, ex.n)
-	err = ex.forEachPart(func(p int) error {
-		seen := make(map[value.Key]bool, len(out[p]))
+	return ex.forEachPart(func(p int) ([]value.Tuple, int, error) {
+		seen := make(map[value.Key]bool, len(shuffled[p]))
 		var rows []value.Tuple
-		for _, r := range out[p] {
+		for _, r := range shuffled[p] {
 			k := value.MakeKey(r, idx)
 			if !seen[k] {
 				seen[k] = true
 				rows = append(rows, r)
 			}
 		}
-		ex.mu.Lock()
-		ex.work(p, len(rows))
-		ex.mu.Unlock()
-		final[p] = rows
-		return nil
+		return rows, len(rows), nil
 	})
-	return final, err
 }
 
 func (ex *executor) evalRepartition(n *plan.RepartitionNode) ([][]value.Tuple, error) {
@@ -389,25 +615,35 @@ func (ex *executor) evalRepartition(n *plan.RepartitionNode) ([][]value.Tuple, e
 		return nil, err
 	}
 	sch := ex.rw.Schemas[n.Child]
-	idx := make([]int, len(n.Cols))
-	for i, c := range n.Cols {
-		idx[i] = sch.MustIndex(c)
+	idx, err := sch.Indexes(n.Cols)
+	if err != nil {
+		return nil, err
 	}
 	ex.stats.Repartitions++
+	op := ex.nextOp()
 	out := make([][]value.Tuple, ex.n)
 	for src := 0; src < ex.n; src++ {
 		if n.OneCopy && src != 0 {
 			continue
 		}
-		rows := dedupRows(in[src], sch, n.DupCols)
+		rows, err := dedupRows(in[src], sch, n.DupCols)
+		if err != nil {
+			return nil, err
+		}
+		cross := 0
 		for _, r := range rows {
 			dst := int(value.HashTuple(r, idx) % uint64(ex.n))
 			if dst != src {
-				ex.ship(1, len(sch))
+				cross++
 			}
 			out[dst] = append(out[dst], r)
-			ex.work(dst, 1)
 		}
+		if err := ex.shipBatch(op, src, cross, len(sch)); err != nil {
+			return nil, err
+		}
+	}
+	for dst := 0; dst < ex.n; dst++ {
+		ex.work(ex.execDst[dst], len(out[dst]))
 	}
 	return out, nil
 }
@@ -419,20 +655,26 @@ func (ex *executor) evalBroadcast(n *plan.BroadcastNode) ([][]value.Tuple, error
 	}
 	sch := ex.rw.Schemas[n.Child]
 	ex.stats.Broadcasts++
+	op := ex.nextOp()
 	var all []value.Tuple
 	for src := 0; src < ex.n; src++ {
 		if n.OneCopy && src != 0 {
 			continue
 		}
-		rows := dedupRows(in[src], sch, n.DupCols)
+		rows, err := dedupRows(in[src], sch, n.DupCols)
+		if err != nil {
+			return nil, err
+		}
 		// Each row is shipped to every other node.
-		ex.ship(len(rows)*(ex.n-1), len(sch))
+		if err := ex.shipBatch(op, src, len(rows)*(ex.n-1), len(sch)); err != nil {
+			return nil, err
+		}
 		all = append(all, rows...)
 	}
 	out := make([][]value.Tuple, ex.n)
 	for p := 0; p < ex.n; p++ {
 		out[p] = all
-		ex.work(p, len(all))
+		ex.work(ex.execDst[p], len(all))
 	}
 	return out, nil
 }
@@ -446,17 +688,20 @@ func (ex *executor) evalGather(n *plan.GatherNode) ([][]value.Tuple, error) {
 	out := make([][]value.Tuple, ex.n)
 	if n.OneCopy {
 		out[0] = in[0]
-		ex.work(0, len(in[0]))
+		ex.work(ex.execDst[0], len(in[0]))
 		return out, nil
 	}
+	op := ex.nextOp()
 	var rows []value.Tuple
 	for p := 0; p < ex.n; p++ {
 		if p != 0 {
-			ex.ship(len(in[p]), len(sch))
+			if err := ex.shipBatch(op, p, len(in[p]), len(sch)); err != nil {
+				return nil, err
+			}
 		}
 		rows = append(rows, in[p]...)
 	}
 	out[0] = rows
-	ex.work(0, len(rows))
+	ex.work(ex.execDst[0], len(rows))
 	return out, nil
 }

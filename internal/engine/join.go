@@ -21,22 +21,21 @@ func (ex *executor) evalJoin(n *plan.JoinNode) ([][]value.Tuple, error) {
 	rs := ex.rw.Schemas[n.Right]
 	both := ls.Concat(rs)
 
-	lIdx := make([]int, len(n.LeftCols))
-	for i, c := range n.LeftCols {
-		lIdx[i] = ls.MustIndex(c)
+	lIdx, err := ls.Indexes(n.LeftCols)
+	if err != nil {
+		return nil, err
 	}
-	rIdx := make([]int, len(n.RightCols))
-	for i, c := range n.RightCols {
-		rIdx[i] = rs.MustIndex(c)
+	rIdx, err := rs.Indexes(n.RightCols)
+	if err != nil {
+		return nil, err
 	}
 
-	out := make([][]value.Tuple, ex.n)
-	err = ex.forEachPart(func(p int) error {
+	return ex.forEachPart(func(p int) ([]value.Tuple, int, error) {
 		var residual func(value.Tuple) bool
 		if n.Residual != nil {
 			f, err := n.Residual.Bind(both)
 			if err != nil {
-				return err
+				return nil, 0, err
 			}
 			residual = f
 		}
@@ -115,11 +114,6 @@ func (ex *executor) evalJoin(n *plan.JoinNode) ([][]value.Tuple, error) {
 		if ex.opt.CacheRows > 0 && len(right[p]) > ex.opt.CacheRows {
 			work += int(float64(len(left[p])) * (ex.opt.MissFactor - 1))
 		}
-		ex.mu.Lock()
-		ex.work(p, work)
-		ex.mu.Unlock()
-		out[p] = rows
-		return nil
+		return rows, work, nil
 	})
-	return out, err
 }

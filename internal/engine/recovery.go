@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"pref/internal/fault"
+	"pref/internal/table"
+	"pref/internal/value"
+)
+
+// PREF-redundancy recovery.
+//
+// The PREF scheme's correctness mechanism — duplicating referencing tuples
+// so joins stay local — doubles as a recovery source: a tuple copy lost
+// with its node often exists verbatim on surviving nodes, either as a PREF
+// duplicate (the tuple had partitioning partners on several partitions) or
+// as a replica (REPLICATED tables). recoverScan exploits that: when the
+// node holding base partition p is permanently failed, it reconstructs p's
+// scan output on the buddy node from identical copies held by survivors.
+//
+// Simulation boundary: the lost partition's manifest — which tuple copies
+// it held, with their dup/hasRef bits — is read from the in-memory
+// partition, standing in for the recovery catalog a real deployment keeps
+// off-node (cf. the Section 2.3 partition index, which maps referenced
+// values to partition sets and is exactly what a coordinator would replay
+// to learn p's content). The recovered *bytes* themselves must all be
+// present on surviving partitions: any row without a surviving identical
+// copy makes the partition unrecoverable and the query fails with a
+// well-typed *fault.PartitionLostError.
+
+// recoverScan reconstructs the scan output of lost partition p of pt from
+// surviving duplicate copies. All recovered rows are shipped from
+// survivors to the buddy node and metered; Stats.RecoveredRows counts
+// them. Unrecoverable content returns *fault.PartitionLostError.
+func (ex *executor) recoverScan(pt *table.Partitioned, p int, withIndexes bool, width int) ([]value.Tuple, error) {
+	surv := ex.survivorIndex(pt)
+	part := pt.Parts[p]
+	allCols := make([]int, pt.Meta.NumCols())
+	for i := range allCols {
+		allCols[i] = i
+	}
+	missing := 0
+	for _, r := range part.Rows {
+		if !surv[value.MakeKey(r, allCols)] {
+			missing++
+		}
+	}
+	if missing > 0 {
+		return nil, &fault.PartitionLostError{
+			Table: pt.Meta.Name, Partition: p, MissingRows: missing,
+		}
+	}
+	rows := scanRows(part, withIndexes)
+	ex.mu.Lock()
+	ex.stats.RecoveredRows += int64(len(part.Rows))
+	ex.ship(len(rows), width) // survivors → buddy node
+	ex.mu.Unlock()
+	return rows, nil
+}
+
+// survivorIndex returns the set of full-row contents of pt stored on
+// partitions whose nodes survive, cached per table (the down set is fixed
+// for the whole query). Called from concurrent scan units.
+func (ex *executor) survivorIndex(pt *table.Partitioned) map[value.Key]bool {
+	name := pt.Meta.Name
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	if idx, ok := ex.survIdx[name]; ok {
+		return idx
+	}
+	allCols := make([]int, pt.Meta.NumCols())
+	for i := range allCols {
+		allCols[i] = i
+	}
+	idx := make(map[value.Key]bool)
+	for q, part := range pt.Parts {
+		if ex.inj.NodeDown(q) {
+			continue
+		}
+		for _, r := range part.Rows {
+			idx[value.MakeKey(r, allCols)] = true
+		}
+	}
+	if ex.survIdx == nil {
+		ex.survIdx = make(map[string]map[value.Key]bool)
+	}
+	ex.survIdx[name] = idx
+	return idx
+}

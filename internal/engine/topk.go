@@ -25,7 +25,10 @@ func (ex *executor) evalTopK(n *plan.TopKNode) ([][]value.Tuple, error) {
 	}
 	terms := make([]term, len(n.Order))
 	for i, o := range n.Order {
-		idx := sch.MustIndex(o.Col)
+		idx, err := sch.IndexOf(o.Col)
+		if err != nil {
+			return nil, err
+		}
 		terms[i] = term{idx: idx, desc: o.Desc, isFloat: sch[idx].Kind == value.Float}
 	}
 	less := func(a, b value.Tuple) bool {
@@ -64,18 +67,12 @@ func (ex *executor) evalTopK(n *plan.TopKNode) ([][]value.Tuple, error) {
 		return false
 	}
 
-	out := make([][]value.Tuple, ex.n)
-	err = ex.forEachPart(func(p int) error {
+	return ex.forEachPart(func(p int) ([]value.Tuple, int, error) {
 		rows := append([]value.Tuple(nil), in[p]...)
 		sort.Slice(rows, func(i, j int) bool { return less(rows[i], rows[j]) })
 		if n.Limit > 0 && len(rows) > n.Limit {
 			rows = rows[:n.Limit]
 		}
-		ex.mu.Lock()
-		ex.work(p, len(rows))
-		ex.mu.Unlock()
-		out[p] = rows
-		return nil
+		return rows, len(rows), nil
 	})
-	return out, err
 }

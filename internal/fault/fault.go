@@ -1,0 +1,247 @@
+// Package fault provides deterministic, seed-driven fault injection for
+// the engine's simulated shared-nothing cluster. A Policy declares which
+// logical nodes are down, which are flaky or slow, and how often exchange
+// shipments fail; an Injector answers per-work-unit questions ("does
+// attempt 2 of operator 5 on node 3 crash?") from a pure hash of the seed
+// and the unit's identity, so the fault schedule is a function of the
+// policy alone — independent of goroutine scheduling, wall-clock time, and
+// prior queries. That determinism is what lets tests assert that the same
+// seed yields the same schedule and byte-identical query results.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Sentinel errors for the failure modes that survive the retry budget.
+var (
+	// ErrNodeFailed reports a work unit that crashed on every attempt the
+	// retry budget allowed.
+	ErrNodeFailed = errors.New("fault: node failed")
+	// ErrShipmentFailed reports an exchange shipment that failed on every
+	// attempt the retry budget allowed.
+	ErrShipmentFailed = errors.New("fault: exchange shipment failed")
+	// ErrPartitionLost reports a permanently failed node whose base-table
+	// partition could not be reconstructed from redundancy (no surviving
+	// duplicate copies cover it). Match with errors.Is; the concrete
+	// *PartitionLostError carries the table and partition.
+	ErrPartitionLost = errors.New("fault: partition lost")
+)
+
+// PartitionLostError is the well-typed recovery failure: partition
+// Partition of Table was on a permanently failed node and MissingRows of
+// its stored tuple copies have no identical copy on any surviving node.
+type PartitionLostError struct {
+	Table       string
+	Partition   int
+	MissingRows int
+}
+
+func (e *PartitionLostError) Error() string {
+	return fmt.Sprintf("fault: partition %d of table %s lost: %d rows have no surviving duplicate copy",
+		e.Partition, e.Table, e.MissingRows)
+}
+
+// Unwrap makes errors.Is(err, ErrPartitionLost) work.
+func (e *PartitionLostError) Unwrap() error { return ErrPartitionLost }
+
+// Defaults for the retry budget and backoff schedule.
+const (
+	DefaultMaxAttempts = 4
+	DefaultBackoffBase = 200 * time.Microsecond
+	DefaultBackoffMax  = 5 * time.Millisecond
+)
+
+// Policy declares the faults to inject into one query execution. The zero
+// value injects nothing.
+type Policy struct {
+	// Seed drives every probabilistic decision. Two executions with equal
+	// policies produce identical fault schedules.
+	Seed int64
+
+	// DownNodes lists logical nodes that are permanently failed: their
+	// work units fail over to a surviving buddy node and their base-table
+	// partitions must be reconstructed from redundancy (or the query
+	// fails with ErrPartitionLost).
+	DownNodes []int
+
+	// FlakyNodes maps a node to the number of leading attempts of every
+	// work unit executing on it that crash before one succeeds (transient
+	// crash-recover). A value >= the retry budget makes the node fail
+	// every unit terminally.
+	FlakyNodes map[int]int
+
+	// CrashProb is the probability that any single work-unit attempt
+	// crashes after doing its work; the output is discarded and the
+	// attempt retried with backoff.
+	CrashProb float64
+
+	// StragglerProb is the probability that a work unit is a straggler;
+	// a straggling unit sleeps StragglerDelay before each attempt.
+	StragglerProb  float64
+	StragglerDelay time.Duration
+
+	// ShipFailProb is the probability that one exchange shipment attempt
+	// fails; failed attempts are re-shipped (their bytes still hit the
+	// wire and are additionally counted as wasted).
+	ShipFailProb float64
+
+	// MaxAttempts caps attempts per work unit / shipment
+	// (default DefaultMaxAttempts).
+	MaxAttempts int
+	// BackoffBase and BackoffMax bound the capped exponential backoff
+	// between attempts: min(BackoffBase << attempt, BackoffMax).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+
+	// Timeout is the per-query deadline (0 = none). Exceeding it cancels
+	// all in-flight units and surfaces context.DeadlineExceeded.
+	Timeout time.Duration
+}
+
+// Injector answers fault questions for one execution. A nil *Injector is
+// valid and injects nothing, so callers need no nil checks.
+type Injector struct {
+	seed           int64
+	down           map[int]bool
+	flaky          map[int]int
+	crashProb      float64
+	stragglerProb  float64
+	stragglerDelay time.Duration
+	shipFailProb   float64
+	maxAttempts    int
+	backoffBase    time.Duration
+	backoffMax     time.Duration
+	timeout        time.Duration
+}
+
+// NewInjector compiles a policy into an injector, applying defaults.
+func NewInjector(p Policy) *Injector {
+	in := &Injector{
+		seed:           p.Seed,
+		down:           make(map[int]bool, len(p.DownNodes)),
+		flaky:          make(map[int]int, len(p.FlakyNodes)),
+		crashProb:      p.CrashProb,
+		stragglerProb:  p.StragglerProb,
+		stragglerDelay: p.StragglerDelay,
+		shipFailProb:   p.ShipFailProb,
+		maxAttempts:    p.MaxAttempts,
+		backoffBase:    p.BackoffBase,
+		backoffMax:     p.BackoffMax,
+		timeout:        p.Timeout,
+	}
+	for _, n := range p.DownNodes {
+		in.down[n] = true
+	}
+	for n, k := range p.FlakyNodes {
+		in.flaky[n] = k
+	}
+	if in.maxAttempts <= 0 {
+		in.maxAttempts = DefaultMaxAttempts
+	}
+	if in.backoffBase <= 0 {
+		in.backoffBase = DefaultBackoffBase
+	}
+	if in.backoffMax <= 0 {
+		in.backoffMax = DefaultBackoffMax
+	}
+	return in
+}
+
+// draw kinds keep the decision streams independent of each other.
+const (
+	kindCrash = iota + 1
+	kindStraggle
+	kindShip
+)
+
+// mix64 is the SplitMix64 finalizer: a bijective avalanche mix.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// draw returns a uniform [0,1) value determined purely by the seed and
+// the (kind, a, b, c) identity of the decision.
+func (in *Injector) draw(kind, a, b, c int) float64 {
+	h := mix64(uint64(in.seed))
+	h = mix64(h ^ uint64(kind))
+	h = mix64(h ^ uint64(a))
+	h = mix64(h ^ uint64(b))
+	h = mix64(h ^ uint64(c))
+	return float64(h>>11) / (1 << 53)
+}
+
+// NodeDown reports whether a node is permanently failed.
+func (in *Injector) NodeDown(node int) bool {
+	return in != nil && in.down[node]
+}
+
+// CrashAttempt reports whether the given attempt of a work unit
+// (operator op, executing node) crashes.
+func (in *Injector) CrashAttempt(op, node, attempt int) bool {
+	if in == nil {
+		return false
+	}
+	if attempt < in.flaky[node] {
+		return true
+	}
+	return in.crashProb > 0 && in.draw(kindCrash, op, node, attempt) < in.crashProb
+}
+
+// StragglerDelay returns the extra latency a work unit pays before each
+// attempt, or 0 when the unit is not a straggler.
+func (in *Injector) StragglerDelay(op, node int) time.Duration {
+	if in == nil || in.stragglerProb <= 0 || in.stragglerDelay <= 0 {
+		return 0
+	}
+	if in.draw(kindStraggle, op, node, 0) < in.stragglerProb {
+		return in.stragglerDelay
+	}
+	return 0
+}
+
+// ShipFail reports whether one exchange shipment attempt from src fails.
+func (in *Injector) ShipFail(op, src, attempt int) bool {
+	if in == nil || in.shipFailProb <= 0 {
+		return false
+	}
+	return in.draw(kindShip, op, src, attempt) < in.shipFailProb
+}
+
+// MaxAttempts returns the per-unit retry budget.
+func (in *Injector) MaxAttempts() int {
+	if in == nil {
+		return DefaultMaxAttempts
+	}
+	return in.maxAttempts
+}
+
+// Backoff returns the delay before retrying after the given failed
+// attempt: capped exponential, min(base << attempt, max).
+func (in *Injector) Backoff(attempt int) time.Duration {
+	base, max := DefaultBackoffBase, DefaultBackoffMax
+	if in != nil {
+		base, max = in.backoffBase, in.backoffMax
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// Timeout returns the per-query deadline (0 = none).
+func (in *Injector) Timeout() time.Duration {
+	if in == nil {
+		return 0
+	}
+	return in.timeout
+}

@@ -1,0 +1,160 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// grid captures every injector decision over a small (op, node, attempt)
+// cube so two injectors can be compared decision-for-decision.
+func grid(in *Injector) (crash []bool, straggle []time.Duration, ship []bool) {
+	for op := 0; op < 8; op++ {
+		for node := 0; node < 4; node++ {
+			straggle = append(straggle, in.StragglerDelay(op, node))
+			for attempt := 0; attempt < 4; attempt++ {
+				crash = append(crash, in.CrashAttempt(op, node, attempt))
+				ship = append(ship, in.ShipFail(op, node, attempt))
+			}
+		}
+	}
+	return
+}
+
+func eqBools(a, b []bool) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSameSeedSameSchedule(t *testing.T) {
+	p := Policy{
+		Seed:           42,
+		CrashProb:      0.3,
+		StragglerProb:  0.4,
+		StragglerDelay: time.Millisecond,
+		ShipFailProb:   0.2,
+	}
+	c1, s1, sh1 := grid(NewInjector(p))
+	c2, s2, sh2 := grid(NewInjector(p))
+	if !eqBools(c1, c2) || !eqBools(sh1, sh2) {
+		t.Fatal("same policy produced different crash/ship schedules")
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatal("same policy produced different straggler schedules")
+		}
+	}
+}
+
+func TestDifferentSeedDifferentSchedule(t *testing.T) {
+	p := Policy{
+		Seed:           1,
+		CrashProb:      0.3,
+		StragglerProb:  0.4,
+		StragglerDelay: time.Millisecond,
+		ShipFailProb:   0.2,
+	}
+	q := p
+	q.Seed = 2
+	c1, _, sh1 := grid(NewInjector(p))
+	c2, _, sh2 := grid(NewInjector(q))
+	if eqBools(c1, c2) && eqBools(sh1, sh2) {
+		t.Fatal("different seeds produced identical schedules over 128 draws")
+	}
+}
+
+func TestCrashProbExtremes(t *testing.T) {
+	always := NewInjector(Policy{CrashProb: 1})
+	never := NewInjector(Policy{CrashProb: 0})
+	for op := 0; op < 4; op++ {
+		if !always.CrashAttempt(op, 0, 0) {
+			t.Fatalf("CrashProb=1: op %d attempt did not crash", op)
+		}
+		if never.CrashAttempt(op, 0, 0) {
+			t.Fatalf("CrashProb=0: op %d attempt crashed", op)
+		}
+	}
+}
+
+func TestFlakyNodes(t *testing.T) {
+	in := NewInjector(Policy{FlakyNodes: map[int]int{1: 2}})
+	for attempt := 0; attempt < 4; attempt++ {
+		want := attempt < 2
+		if got := in.CrashAttempt(7, 1, attempt); got != want {
+			t.Fatalf("flaky node attempt %d: crash=%v, want %v", attempt, got, want)
+		}
+		if in.CrashAttempt(7, 0, attempt) {
+			t.Fatalf("non-flaky node crashed on attempt %d", attempt)
+		}
+	}
+}
+
+func TestNodeDown(t *testing.T) {
+	in := NewInjector(Policy{DownNodes: []int{2}})
+	if !in.NodeDown(2) {
+		t.Fatal("node 2 should be down")
+	}
+	if in.NodeDown(0) || in.NodeDown(1) || in.NodeDown(3) {
+		t.Fatal("only node 2 should be down")
+	}
+}
+
+func TestBackoffCapped(t *testing.T) {
+	in := NewInjector(Policy{BackoffBase: time.Millisecond, BackoffMax: 4 * time.Millisecond})
+	want := []time.Duration{
+		time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond,
+		4 * time.Millisecond, 4 * time.Millisecond,
+	}
+	for attempt, w := range want {
+		if got := in.Backoff(attempt); got != w {
+			t.Fatalf("Backoff(%d) = %v, want %v", attempt, got, w)
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	in := NewInjector(Policy{})
+	if in.MaxAttempts() != DefaultMaxAttempts {
+		t.Fatalf("MaxAttempts = %d, want %d", in.MaxAttempts(), DefaultMaxAttempts)
+	}
+	if in.Backoff(0) != DefaultBackoffBase {
+		t.Fatalf("Backoff(0) = %v, want %v", in.Backoff(0), DefaultBackoffBase)
+	}
+	if in.Backoff(100) != DefaultBackoffMax {
+		t.Fatalf("Backoff(100) = %v, want %v", in.Backoff(100), DefaultBackoffMax)
+	}
+}
+
+func TestNilInjectorInjectsNothing(t *testing.T) {
+	var in *Injector
+	if in.NodeDown(0) || in.CrashAttempt(0, 0, 0) || in.ShipFail(0, 0, 0) {
+		t.Fatal("nil injector injected a fault")
+	}
+	if in.StragglerDelay(0, 0) != 0 {
+		t.Fatal("nil injector straggled")
+	}
+	if in.MaxAttempts() != DefaultMaxAttempts {
+		t.Fatal("nil injector should use the default retry budget")
+	}
+	if in.Timeout() != 0 {
+		t.Fatal("nil injector should have no timeout")
+	}
+}
+
+func TestPartitionLostError(t *testing.T) {
+	var err error = &PartitionLostError{Table: "orders", Partition: 3, MissingRows: 7}
+	if !errors.Is(err, ErrPartitionLost) {
+		t.Fatal("PartitionLostError should match ErrPartitionLost via errors.Is")
+	}
+	var ple *PartitionLostError
+	if !errors.As(err, &ple) || ple.Table != "orders" || ple.Partition != 3 || ple.MissingRows != 7 {
+		t.Fatalf("errors.As round-trip failed: %+v", ple)
+	}
+	if err.Error() == "" {
+		t.Fatal("empty error string")
+	}
+}

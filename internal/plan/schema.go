@@ -38,13 +38,40 @@ func (s Schema) Index(name string) int {
 	return -1
 }
 
-// MustIndex is Index that panics on unknown names (plan construction bug).
+// MustIndex is Index that panics on unknown names. The panic is reserved
+// for programmer-error invariants: rewrite-internal lookups of columns the
+// rewriter itself introduced. Fallible paths — the engine binding a
+// runtime-supplied plan — must use IndexOf/Indexes and surface the error.
 func (s Schema) MustIndex(name string) int {
 	i := s.Index(name)
 	if i < 0 {
 		panic(fmt.Sprintf("plan: unknown column %q in schema %v", name, s.Names()))
 	}
 	return i
+}
+
+// IndexOf returns the position of the named column, or an error when the
+// schema does not contain it. Engine operators bind plans through this so
+// a malformed plan surfaces as a query error, not a goroutine panic.
+func (s Schema) IndexOf(name string) (int, error) {
+	i := s.Index(name)
+	if i < 0 {
+		return 0, fmt.Errorf("plan: unknown column %q in schema %v", name, s.Names())
+	}
+	return i, nil
+}
+
+// Indexes resolves several column names at once via IndexOf.
+func (s Schema) Indexes(names []string) ([]int, error) {
+	out := make([]int, len(names))
+	for i, n := range names {
+		idx, err := s.IndexOf(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = idx
+	}
+	return out, nil
 }
 
 // Names returns all column names in order.

@@ -31,7 +31,11 @@ func (d *Data) Append(t value.Tuple) error {
 	return nil
 }
 
-// MustAppend is Append that panics on error; for test fixtures.
+// MustAppend is Append that panics on error. The panic is reserved for
+// the programmer-error invariant of source-literal rows in test fixtures,
+// examples, and generators whose arity is fixed by construction; fallible
+// ingest paths (bulk loading, external data) must use Append and handle
+// the error.
 func (d *Data) MustAppend(t value.Tuple) {
 	if err := d.Append(t); err != nil {
 		panic(err)

@@ -33,10 +33,13 @@
 package pref
 
 import (
+	"context"
+
 	"pref/internal/bulkload"
 	"pref/internal/catalog"
 	"pref/internal/design"
 	"pref/internal/engine"
+	"pref/internal/fault"
 	"pref/internal/partition"
 	"pref/internal/plan"
 	"pref/internal/table"
@@ -168,6 +171,12 @@ type (
 	CostModel = engine.CostModel
 	// ExecOptions tunes the execution model (buffer-pool size etc.).
 	ExecOptions = engine.ExecOptions
+	// FaultPolicy configures deterministic fault injection: node
+	// crashes, stragglers, shipment failures, per-query timeouts.
+	FaultPolicy = fault.Policy
+	// PartitionLostError reports an unrecoverable partition loss
+	// (a down node whose data has no surviving duplicate copies).
+	PartitionLostError = fault.PartitionLostError
 	// ValExpr is a scalar expression.
 	ValExpr = plan.ValExpr
 	// BoolExpr is a predicate expression.
@@ -234,9 +243,31 @@ func Rewrite(root PlanNode, s *Schema, cfg *Config, opt PlanOptions) (*Rewritten
 	return plan.Rewrite(root, s, cfg, opt)
 }
 
+// Fault sentinel errors, for errors.Is against failed executions.
+var (
+	// ErrPartitionLost matches unrecoverable partition losses.
+	ErrPartitionLost = fault.ErrPartitionLost
+	// ErrNodeFailed matches work units that exhausted their retry budget.
+	ErrNodeFailed = fault.ErrNodeFailed
+	// ErrShipmentFailed matches exchanges that exhausted their retry budget.
+	ErrShipmentFailed = fault.ErrShipmentFailed
+)
+
 // Execute runs a rewritten plan against a partitioned database.
 func Execute(rw *Rewritten, pdb *PartitionedDatabase) (*Result, error) {
 	return engine.Execute(rw, pdb)
+}
+
+// ExecuteOpts is Execute with an explicit execution model — buffer-pool
+// size, and fault injection via ExecOptions.Fault.
+func ExecuteOpts(rw *Rewritten, pdb *PartitionedDatabase, opt ExecOptions) (*Result, error) {
+	return engine.ExecuteOpts(rw, pdb, opt)
+}
+
+// ExecuteCtx is ExecuteOpts under a caller-supplied context: cancelling it
+// aborts all in-flight per-node work.
+func ExecuteCtx(ctx context.Context, rw *Rewritten, pdb *PartitionedDatabase, opt ExecOptions) (*Result, error) {
+	return engine.ExecuteCtx(ctx, rw, pdb, opt)
 }
 
 // Run rewrites and executes a logical plan in one step.
