@@ -1,0 +1,96 @@
+// Command preflint runs the repository's custom analyzers (internal/lint)
+// over the module and exits nonzero if any diagnostic fires. It is the CI
+// companion to go vet: vet checks generic Go mistakes, preflint checks
+// this codebase's own invariants (panic policy, context threading in the
+// execution path, Prop slice aliasing).
+//
+// Usage:
+//
+//	preflint [dir...]        lint the packages rooted at each dir (default ".")
+//	preflint -list           print the analyzers and their docs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"pref/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	failed := false
+	for _, root := range roots {
+		// Accept the conventional "./..." spelling so CI can invoke
+		// preflint like any go tool.
+		root = filepath.Clean(root)
+		if base := filepath.Base(root); base == "..." {
+			root = filepath.Dir(root)
+		}
+		dirs, err := packageDirs(root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "preflint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, dir := range dirs {
+			diags, err := lint.RunDir(dir, analyzers)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "preflint: %s: %v\n", dir, err)
+				os.Exit(2)
+			}
+			for _, d := range diags {
+				fmt.Println(d)
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// packageDirs walks root and returns every directory containing at least
+// one non-test .go file, skipping VCS metadata and testdata trees.
+func packageDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "testdata", "vendor":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if filepath.Ext(path) != ".go" {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+		return nil
+	})
+	return dirs, err
+}

@@ -89,7 +89,11 @@ func run(query, variant, cfgPath string, sf float64, parts int, seed int64, expl
 		opt.DisableDupIndex = true
 		opt.DisablePruning = true
 	}
-	rw, err := plan.Rewrite(t.Query(query), t.DB.Schema, cfg, opt)
+	q, err := t.QueryErr(query)
+	if err != nil {
+		return err
+	}
+	rw, err := plan.Rewrite(q, t.DB.Schema, cfg, opt)
 	if err != nil {
 		return err
 	}

@@ -47,6 +47,7 @@ func (b *Bitset) grow(i int) {
 // Set sets bit i to v, growing the bitset if needed.
 func (b *Bitset) Set(i int, v bool) {
 	if i < 0 {
+		// lint:invariant
 		panic(fmt.Sprintf("bitset: negative index %d", i))
 	}
 	b.grow(i)

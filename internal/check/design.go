@@ -1,0 +1,154 @@
+package check
+
+import (
+	"fmt"
+
+	"pref/internal/catalog"
+	"pref/internal/partition"
+)
+
+// VerifyDesign statically checks a partitioning configuration against a
+// catalog schema: every scheme names an existing table and existing
+// columns, PREF predicate chains are acyclic and rooted at a proper seed
+// table (Section 2.1, Definition 1), and every partitioning predicate is
+// equi-join compatible (paired columns have the same value kind — the
+// partitioner hashes referencing values with the referenced table's hash
+// function, which is only meaningful over a shared domain).
+//
+// It returns nil when the design is sound, or a Violations error listing
+// every breach.
+func VerifyDesign(sch *catalog.Schema, cfg *partition.Config) error {
+	if vs := verifyDesign(sch, cfg); len(vs) > 0 {
+		return vs
+	}
+	return nil
+}
+
+func verifyDesign(sch *catalog.Schema, cfg *partition.Config) Violations {
+	var vs Violations
+	report := func(rule Rule, table, format string, args ...any) {
+		vs = append(vs, &Violation{Rule: rule, Table: table, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	if sch == nil || cfg == nil {
+		report(RuleDesignShape, "", "nil schema or configuration")
+		return vs
+	}
+	if cfg.NumPartitions < 1 {
+		report(RuleDesignShape, "", "NumPartitions = %d, want >= 1", cfg.NumPartitions)
+	}
+
+	for name, ts := range cfg.Schemes {
+		t := sch.Table(name)
+		if t == nil {
+			report(RuleDesignColumn, name, "scheme for unknown table %s", name)
+			continue
+		}
+		if ts == nil {
+			report(RuleDesignShape, name, "nil scheme")
+			continue
+		}
+		switch ts.Method {
+		case partition.Hash:
+			if len(ts.Cols) == 0 {
+				report(RuleDesignShape, name, "HASH scheme with no partitioning columns")
+			}
+			checkCols(report, t, ts.Cols)
+		case partition.Range:
+			if len(ts.Cols) != 1 {
+				report(RuleDesignShape, name, "RANGE scheme needs exactly one column, has %d", len(ts.Cols))
+			}
+			checkCols(report, t, ts.Cols)
+			if len(ts.Bounds) != cfg.NumPartitions-1 {
+				report(RuleDesignShape, name, "RANGE scheme needs %d bounds, has %d",
+					cfg.NumPartitions-1, len(ts.Bounds))
+			}
+			for i := 1; i < len(ts.Bounds); i++ {
+				if ts.Bounds[i] <= ts.Bounds[i-1] {
+					report(RuleDesignShape, name, "RANGE bounds not strictly ascending at index %d", i)
+					break
+				}
+			}
+		case partition.Pref:
+			vs = append(vs, verifyPrefScheme(sch, cfg, t, ts)...)
+		case partition.RoundRobin, partition.Replicated:
+			// No columns to validate.
+		default:
+			report(RuleDesignShape, name, "unknown partitioning method %v", ts.Method)
+		}
+	}
+	return vs
+}
+
+// verifyPrefScheme checks one PREF scheme: predicate shape, column
+// existence, equi-join type compatibility, and the chain walk to an
+// acyclic, properly seeded root.
+func verifyPrefScheme(sch *catalog.Schema, cfg *partition.Config, t *catalog.Table, ts *partition.TableScheme) Violations {
+	var vs Violations
+	report := func(rule Rule, format string, args ...any) {
+		vs = append(vs, &Violation{Rule: rule, Table: t.Name, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	ref := sch.Table(ts.RefTable)
+	if ref == nil {
+		report(RuleDesignColumn, "PREF references unknown table %s", ts.RefTable)
+		return vs
+	}
+	if len(ts.Pred.ReferencingCols) == 0 || len(ts.Pred.ReferencingCols) != len(ts.Pred.ReferencedCols) {
+		report(RuleDesignShape, "PREF predicate must pair equally many columns (%d referencing, %d referenced)",
+			len(ts.Pred.ReferencingCols), len(ts.Pred.ReferencedCols))
+		return vs
+	}
+	for i := range ts.Pred.ReferencingCols {
+		rc, sc := ts.Pred.ReferencingCols[i], ts.Pred.ReferencedCols[i]
+		ri, si := t.ColIndex(rc), ref.ColIndex(sc)
+		if ri < 0 {
+			report(RuleDesignColumn, "PREF predicate references unknown column %s.%s", t.Name, rc)
+		}
+		if si < 0 {
+			report(RuleDesignColumn, "PREF predicate references unknown column %s.%s", ts.RefTable, sc)
+		}
+		if ri >= 0 && si >= 0 && t.Columns[ri].Kind != ref.Columns[si].Kind {
+			report(RuleDesignType, "PREF predicate %s.%s = %s.%s pairs %v with %v (not equi-join compatible)",
+				t.Name, rc, ts.RefTable, sc, t.Columns[ri].Kind, ref.Columns[si].Kind)
+		}
+	}
+
+	// Walk the reference chain: it must terminate, without revisiting a
+	// table, at a seed whose scheme actually partitions data (Definition 1:
+	// the seed anchors the placement; a replicated "seed" gives every
+	// referencing tuple n copies and the dup/hasRef indexes no meaning).
+	seen := map[string]bool{t.Name: true}
+	cur := ts.RefTable
+	for {
+		if seen[cur] {
+			report(RuleDesignCycle, "PREF chain cycles back to table %s", cur)
+			return vs
+		}
+		seen[cur] = true
+		cts := cfg.Scheme(cur)
+		if cts == nil {
+			report(RuleDesignSeed, "PREF chain dangles: table %s has no scheme", cur)
+			return vs
+		}
+		if cts.Method != partition.Pref {
+			switch cts.Method {
+			case partition.Hash, partition.RoundRobin, partition.Range:
+				// Proper seed.
+			default:
+				report(RuleDesignSeed, "PREF chain roots at %s with method %v; the seed must be a partitioned table (HASH, ROUND_ROBIN, or RANGE)",
+					cur, cts.Method)
+			}
+			return vs
+		}
+		cur = cts.RefTable
+	}
+}
+
+func checkCols(report func(Rule, string, string, ...any), t *catalog.Table, cols []string) {
+	for _, c := range cols {
+		if t.ColIndex(c) < 0 {
+			report(RuleDesignColumn, t.Name, "partitioning column %s.%s does not exist", t.Name, c)
+		}
+	}
+}

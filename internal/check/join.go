@@ -1,0 +1,298 @@
+package check
+
+import (
+	"pref/internal/partition"
+	"pref/internal/plan"
+)
+
+// deriveJoin re-proves one of the Section 2.2 co-location cases for a
+// physical hash join, in the rewriter's order of preference, and derives
+// the output properties that case dictates. A join matching no case is a
+// locality violation: its inputs are not provably co-partitioned on the
+// join keys and no Repartition/Broadcast precedes it.
+func (c *checker) deriveJoin(n *plan.JoinNode) *info {
+	li := c.visit(n.Left)
+	ri := c.visit(n.Right)
+	lp, rp := li.prop, ri.prop
+	ls, rs := li.sch, ri.sch
+
+	if len(n.LeftCols) != len(n.RightCols) {
+		c.report(RuleMalformed, n, "join column lists differ in length (%d vs %d)", len(n.LeftCols), len(n.RightCols))
+	}
+	for _, col := range n.LeftCols {
+		if ls.Index(col) < 0 {
+			c.report(RuleMalformed, n, "join column %q not in left schema %v", col, ls.Names())
+		}
+	}
+	for _, col := range n.RightCols {
+		if rs.Index(col) < 0 {
+			c.report(RuleMalformed, n, "join column %q not in right schema %v", col, rs.Names())
+		}
+	}
+	outSchema := ls.Concat(rs)
+	semiLike := n.Type == plan.Semi || n.Type == plan.Anti
+	if semiLike {
+		outSchema = ls
+	}
+	if n.Residual != nil {
+		if _, err := n.Residual.Bind(ls.Concat(rs)); err != nil {
+			c.report(RuleMalformed, n, "residual predicate does not bind: %v", err)
+		}
+	}
+	if lp.Parts != rp.Parts {
+		c.report(RuleMalformed, n, "inputs disagree on partition count (%d vs %d)", lp.Parts, rp.Parts)
+	}
+
+	// Cross/theta join: only legal against a replicated build side, with a
+	// duplicate-free probe side (pair copies would multiply otherwise).
+	if len(n.LeftCols) == 0 {
+		if !rp.Repl {
+			c.report(RuleLocality, n,
+				"cross/theta join needs a replicated (broadcast) right input, got method %s", rp.Method())
+		}
+		if lp.Dup() {
+			c.report(RuleDupLeak, n, "cross/theta join probe side has live dup columns %v", lp.DupCols)
+		}
+		if rp.Dup() {
+			c.report(RuleDupLeak, n, "cross/theta join build side has live dup columns %v", rp.DupCols)
+		}
+		np := &plan.Prop{
+			Parts:    lp.Parts,
+			HashCols: append([]string(nil), lp.HashCols...),
+			Placed:   lp.Placed,
+			Repl:     lp.Repl,
+		}
+		return &info{prop: np, sch: outSchema, contentRepl: np.Repl}
+	}
+
+	// Replicated inputs join locally with anything — except a replicated
+	// probe side against a partitioned build side for join types whose
+	// match-absence test must be locally decidable: each node would see
+	// only a subset of potential partners, so a "no match here" verdict is
+	// not a "no match anywhere" verdict. The rewriter re-partitions both
+	// sides in that situation; seeing it in a physical plan means the
+	// guard was bypassed.
+	if lp.Repl || rp.Repl {
+		if lp.Repl && !rp.Repl && n.Type != plan.Inner {
+			c.report(RuleLocality, n,
+				"%v join with replicated probe side over partitioned build side is not locally decidable", n.Type)
+		}
+		np := &plan.Prop{Parts: lp.Parts, Equiv: c.joinEquiv(n, lp, rp)}
+		switch {
+		case lp.Repl && rp.Repl:
+			np.Repl = true
+			np.Placed = map[string]plan.PlacedEntry{}
+		case lp.Repl:
+			np.HashCols = append([]string(nil), rp.HashCols...)
+			np.Placed = rp.Placed
+			np.DupCols = append([]string(nil), rp.DupCols...)
+		default:
+			np.HashCols = append([]string(nil), lp.HashCols...)
+			np.Placed = lp.Placed
+			np.DupCols = append([]string(nil), lp.DupCols...)
+		}
+		if semiLike {
+			np.Placed = lp.Placed
+			np.DupCols = append([]string(nil), lp.DupCols...)
+			np.HashCols = append([]string(nil), lp.HashCols...)
+			np.Repl = lp.Repl
+			np.Equiv = lp.Equiv
+		}
+		return &info{prop: np, sch: outSchema, contentRepl: np.Repl}
+	}
+
+	// Case (1): both sides hash-partitioned on keys the join predicate
+	// implies equal — all partners of a key share a partition, so every
+	// join type is safe.
+	if lp.HashCols != nil && rp.HashCols != nil && lp.Parts == rp.Parts &&
+		hashAligned(lp, rp, n.LeftCols, n.RightCols) {
+		np := &plan.Prop{
+			Parts:    lp.Parts,
+			HashCols: append([]string(nil), lp.HashCols...),
+			Placed:   unionPlaced(lp.Placed, rp.Placed),
+			DupCols:  append(append([]string(nil), lp.DupCols...), rp.DupCols...),
+			Equiv:    c.joinEquiv(n, lp, rp),
+		}
+		if semiLike {
+			np.Placed = lp.Placed
+			np.DupCols = append([]string(nil), lp.DupCols...)
+			np.Equiv = lp.Equiv
+		}
+		return &info{prop: np, sch: outSchema}
+	}
+
+	// Cases (2)/(3): one side carries a PREF scheme whose partitioning
+	// predicate is this join predicate and whose referenced table is placed
+	// intact on the other side (Definition 1 then guarantees every partner
+	// is local).
+	if refd, ok := c.prefMatch(lp, n.LeftCols, rp, n.RightCols); ok && c.prefJoinSafe(n, refd) {
+		refdProp := rp
+		if refd == "left" {
+			refdProp = lp
+		}
+		np := &plan.Prop{
+			Parts:    lp.Parts,
+			Placed:   unionPlaced(lp.Placed, rp.Placed),
+			DupCols:  append([]string(nil), refdProp.DupCols...),
+			HashCols: append([]string(nil), refdProp.HashCols...),
+			Equiv:    c.joinEquiv(n, lp, rp),
+		}
+		if semiLike {
+			np.Placed = lp.Placed
+			np.DupCols = append([]string(nil), lp.DupCols...)
+			np.Equiv = lp.Equiv
+		}
+		return &info{prop: np, sch: outSchema}
+	}
+
+	// No co-location case applies and neither side was shipped: the join
+	// would miss partners that live on other partitions.
+	c.report(RuleLocality, n,
+		"join inputs not provably co-partitioned on the join keys (left %s hash=%v, right %s hash=%v) and no Repartition/Broadcast precedes the join",
+		lp.Method(), lp.HashCols, rp.Method(), rp.HashCols)
+	np := &plan.Prop{
+		Parts:    lp.Parts,
+		HashCols: append([]string(nil), n.LeftCols...),
+		Placed:   unionPlaced(lp.Placed, rp.Placed),
+		Equiv:    c.joinEquiv(n, lp, rp),
+	}
+	return &info{prop: np, sch: outSchema}
+}
+
+// joinEquiv mirrors the rewriter: both sides' equivalence classes survive,
+// and an inner join adds the predicate's equalities (outer joins do not —
+// the right side may be null-extended; semi/anti output no right columns).
+func (c *checker) joinEquiv(n *plan.JoinNode, lp, rp *plan.Prop) [][]string {
+	out := plan.UnionEquiv(lp.Equiv, rp.Equiv)
+	if n.Type == plan.Inner {
+		for i := range n.LeftCols {
+			out = plan.AddEquiv(out, n.LeftCols[i], n.RightCols[i])
+		}
+	}
+	return out
+}
+
+// hashAligned reports whether two hash placements provably co-locate all
+// rows with equal join keys: every positional hash-column pair must be
+// implied equal by some join conjunct, modulo each side's equivalences.
+func hashAligned(lp, rp *plan.Prop, leftCols, rightCols []string) bool {
+	if len(lp.HashCols) != len(rp.HashCols) || len(leftCols) != len(rightCols) {
+		return false
+	}
+	used := make([]bool, len(leftCols))
+	for i := range lp.HashCols {
+		found := false
+		for j := range leftCols {
+			if used[j] {
+				continue
+			}
+			if lp.EquivSame(lp.HashCols[i], leftCols[j]) && rp.EquivSame(rp.HashCols[i], rightCols[j]) {
+				used[j] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// prefJoinSafe guards the PREF co-location cases for join types whose
+// match-absence test must be locally decidable (Semi/Anti/LeftOuter):
+// safe when the output side is the referenced input, or against a bare
+// referenced-table scan with no residual predicate.
+func (c *checker) prefJoinSafe(n *plan.JoinNode, refd string) bool {
+	if n.Type == plan.Inner {
+		return true
+	}
+	if refd == "left" {
+		return true
+	}
+	_, bare := n.Right.(*plan.ScanNode)
+	return bare && n.Residual == nil
+}
+
+// prefMatch reports which side is the referenced input ("left"/"right")
+// when some placed PREF scheme's partitioning predicate equals the join
+// predicate and its referenced table is placed intact on the other side.
+func (c *checker) prefMatch(lp *plan.Prop, leftCols []string, rp *plan.Prop, rightCols []string) (string, bool) {
+	if lp.Parts != rp.Parts {
+		return "", false
+	}
+	if c.matchOneDirection(lp, leftCols, rp, rightCols) {
+		return "right", true
+	}
+	if c.matchOneDirection(rp, rightCols, lp, leftCols) {
+		return "left", true
+	}
+	return "", false
+}
+
+// matchOneDirection checks whether some alias on the referencing side has
+// a PREF scheme whose predicate equals the join predicate — modulo column
+// equivalences established upstream — and whose referenced table is placed
+// intact (at its configured scheme) on the referenced side.
+func (c *checker) matchOneDirection(ringProp *plan.Prop, ringCols []string, refdProp *plan.Prop, refdCols []string) bool {
+	for alias, entry := range ringProp.Placed {
+		sch := entry.Scheme
+		if sch == nil || sch.Method != partition.Pref {
+			continue
+		}
+		for refdAlias, refdEntry := range refdProp.Placed {
+			if refdEntry.Table != sch.RefTable {
+				continue
+			}
+			if refdEntry.Scheme != c.cfg.Scheme(sch.RefTable) {
+				continue
+			}
+			if pairsMatchEquiv(
+				ringProp, ringCols, refdProp, refdCols,
+				qualify(alias, sch.Pred.ReferencingCols),
+				qualify(refdAlias, sch.Pred.ReferencedCols),
+			) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// pairsMatchEquiv reports whether the join pairing (joinA[j], joinB[j])
+// covers every wanted pair (wantA[i], wantB[i]) up to per-side column
+// equivalence.
+func pairsMatchEquiv(aProp *plan.Prop, joinA []string, bProp *plan.Prop, joinB []string, wantA, wantB []string) bool {
+	if len(joinA) != len(wantA) || len(joinA) != len(joinB) {
+		return false
+	}
+	used := make([]bool, len(joinA))
+	for i := range wantA {
+		found := false
+		for j := range joinA {
+			if used[j] {
+				continue
+			}
+			if aProp.EquivSame(joinA[j], wantA[i]) && bProp.EquivSame(joinB[j], wantB[i]) {
+				used[j] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func unionPlaced(a, b map[string]plan.PlacedEntry) map[string]plan.PlacedEntry {
+	out := make(map[string]plan.PlacedEntry, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}

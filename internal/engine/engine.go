@@ -18,10 +18,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"time"
 
+	"pref/internal/check"
 	"pref/internal/fault"
 	"pref/internal/plan"
 	"pref/internal/table"
@@ -97,7 +99,15 @@ type ExecOptions struct {
 	// execution paths (retry, failover, redundancy recovery, per-query
 	// timeout). Nil executes fault-free.
 	Fault *fault.Policy
+	// Verify runs the internal/check static plan/design verifier before
+	// executing (a debug mode: every invariant of the Section 2.2 rewrite
+	// is re-proved first). Setting the PREF_VERIFY environment variable to
+	// any non-empty value enables it process-wide.
+	Verify bool
 }
+
+// verifyEnv caches the PREF_VERIFY environment toggle.
+var verifyEnv = sync.OnceValue(func() bool { return os.Getenv("PREF_VERIFY") != "" })
 
 // partUnit computes one partition's slice of an operator: its output rows
 // plus the operator work (a row count) to charge to the executing node.
@@ -135,6 +145,11 @@ func ExecuteOpts(rw *plan.Rewritten, pdb *table.PartitionedDatabase, opt ExecOpt
 // additionally gets its own deadline when the fault policy sets one;
 // cancelling ctx aborts all in-flight per-node work.
 func ExecuteCtx(ctx context.Context, rw *plan.Rewritten, pdb *table.PartitionedDatabase, opt ExecOptions) (*Result, error) {
+	if opt.Verify || verifyEnv() {
+		if err := check.Verify(rw); err != nil {
+			return nil, fmt.Errorf("engine: plan failed static verification: %w", err)
+		}
+	}
 	if opt.CacheRows > 0 && opt.MissFactor <= 1 {
 		opt.MissFactor = 15
 	}

@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// ctxPkgs are the packages whose per-partition work must stay attached to
+// the query's context: engine workers and the fault-injection layer both
+// honor deadlines and cancellation, and a context minted mid-call-tree
+// silently opts that work out of both.
+var ctxPkgs = map[string]bool{
+	"engine": true,
+	"fault":  true,
+}
+
+// CtxThread flags context.Background() and context.TODO() in the execution
+// packages everywhere except directly in the body of an exported top-level
+// function — the one legitimate place to mint a root context, namely a
+// public convenience wrapper (engine.ExecuteOpts) whose caller chose not to
+// supply one. Unexported functions and function literals (the per-partition
+// worker closures) must receive the caller's ctx instead.
+var CtxThread = &Analyzer{
+	Name: "ctxthread",
+	Doc:  "per-partition work must thread the caller's context.Context; context.Background/TODO are only allowed in exported top-level wrappers",
+	Run:  runCtxThread,
+}
+
+func runCtxThread(p *Pass) error {
+	if !ctxPkgs[p.Pkg] {
+		return nil
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			exportedTop := fn.Name.IsExported() && fn.Recv == nil
+			checkCtxCalls(p, fn.Body, exportedTop, fn.Name.Name)
+		}
+	}
+	return nil
+}
+
+// checkCtxCalls walks one function body. rootOK says whether a root
+// context may be minted at this nesting level; it is true only for the
+// direct statements of an exported top-level function and always turns
+// false inside a FuncLit, which is where per-partition closures live.
+func checkCtxCalls(p *Pass, body ast.Node, rootOK bool, fname string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkCtxCalls(p, lit.Body, false, fname+" (closure)")
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Name != "context" {
+			return true
+		}
+		if (sel.Sel.Name == "Background" || sel.Sel.Name == "TODO") && !rootOK {
+			p.Report(call, "context.%s in %s detaches per-partition work from the query context; thread ctx from the caller", sel.Sel.Name, fname)
+		}
+		return true
+	})
+}

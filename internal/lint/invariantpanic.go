@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+	"unicode"
+)
+
+// restrictedPkgs are execution-path packages: code that runs per query or
+// per partition, where an unrecovered panic takes down the whole worker
+// instead of failing one query. Must* helpers (panic-on-error shortcuts)
+// are banned here outright; plain panics need a lint:invariant marker like
+// everywhere else.
+var restrictedPkgs = map[string]bool{
+	"engine":    true,
+	"fault":     true,
+	"partition": true,
+	"bulkload":  true,
+	"check":     true,
+}
+
+// InvariantPanic enforces the repository's panic policy: a panic is only
+// acceptable for a declared programmer-error invariant, and declaring it
+// means writing a "// lint:invariant" comment on the panic's line or the
+// line above. In execution-path packages, calling a Must* helper is flagged
+// the same way, because it is a panic by proxy.
+var InvariantPanic = &Analyzer{
+	Name: "invariantpanic",
+	Doc:  "panic() and Must* call sites must carry a // lint:invariant marker; execution-path packages may not call Must* at all",
+	Run:  runInvariantPanic,
+}
+
+func runInvariantPanic(p *Pass) error {
+	marked := markerLines(p, "lint:invariant")
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch callee := call.Fun.(type) {
+			case *ast.Ident:
+				if callee.Name == "panic" && !sanctioned(p, marked, call) {
+					p.Report(call, "panic without a // lint:invariant marker; declare the invariant or return an error")
+				}
+				if isMustName(callee.Name) && restrictedPkgs[p.Pkg] && !sanctioned(p, marked, call) {
+					p.Report(call, "Must-style call %s in execution-path package %s; use the error-returning variant", callee.Name, p.Pkg)
+				}
+			case *ast.SelectorExpr:
+				if isMustName(callee.Sel.Name) && restrictedPkgs[p.Pkg] && !sanctioned(p, marked, call) {
+					p.Report(call, "Must-style call %s in execution-path package %s; use the error-returning variant", callee.Sel.Name, p.Pkg)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isMustName matches the Must-prefix naming convention (MustIndex,
+// MustTable, ...) while leaving words that merely start with "Must" alone.
+func isMustName(name string) bool {
+	if !strings.HasPrefix(name, "Must") {
+		return false
+	}
+	rest := name[len("Must"):]
+	return rest == "" || unicode.IsUpper(rune(rest[0]))
+}

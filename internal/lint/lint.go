@@ -1,0 +1,169 @@
+// Package lint is a small, stdlib-only static-analysis framework plus the
+// repository's custom analyzers. The API is shaped like
+// golang.org/x/tools/go/analysis (Analyzer, Pass, Diagnostic) so the
+// analyzers could be ported to a real go/analysis driver verbatim, but it
+// runs on go/ast + go/parser alone: this repository builds with no
+// external modules, so the x/tools dependency is deliberately gated out.
+// The trade-off is purely syntactic analysis (no type information), which
+// the rules below are designed around.
+//
+// The analyzers encode this codebase's own correctness rules:
+//
+//   - invariantpanic: panics and Must* shortcuts are reserved for declared
+//     programmer-error invariants; each site needs a "// lint:invariant"
+//     marker, and execution-path packages may not call Must* at all.
+//   - ctxthread: per-partition work in the engine/fault execution paths
+//     must thread the query's context.Context; minting a fresh
+//     context.Background()/TODO() deep in the call tree would detach that
+//     work from the query's deadline and cancellation.
+//   - propalias: plan.Prop's []string property fields (HashCols, DupCols)
+//     must be cloned, not aliased, when copied between props or from plan
+//     nodes; an append through one alias silently corrupts the other.
+//
+// cmd/preflint is the driver; internal/check's RulePropAlias is the
+// runtime complement of propalias.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding of an analyzer.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass carries one package's parsed, comment-preserving syntax to an
+// analyzer run.
+type Pass struct {
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Pkg     string // package name, e.g. "engine"
+	Dir     string
+	reports *[]Diagnostic
+	current string // analyzer name, set by the runner
+}
+
+// Report records a finding at the given node.
+func (p *Pass) Report(n ast.Node, format string, args ...any) {
+	*p.reports = append(*p.reports, Diagnostic{
+		Pos:      p.Fset.Position(n.Pos()),
+		Analyzer: p.current,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named, documented check over a package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Analyzers is the repository's full analyzer suite, in the order the
+// driver runs them.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{InvariantPanic, CtxThread, PropAlias}
+}
+
+// RunDir parses every non-test .go file of one directory (one package) and
+// runs the analyzers over it. Diagnostics come back sorted by position.
+func RunDir(dir string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	pkgName := ""
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		pkgName = f.Name.Name
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	return runFiles(fset, files, pkgName, dir, analyzers)
+}
+
+func runFiles(fset *token.FileSet, files []*ast.File, pkg, dir string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{Fset: fset, Files: files, Pkg: pkg, Dir: dir, reports: &diags}
+	for _, a := range analyzers {
+		pass.current = a.Name
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags, nil
+}
+
+// RunSource analyzes a single in-memory file (test fixtures).
+func RunSource(filename, src string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	return runFiles(fset, []*ast.File{f}, f.Name.Name, ".", analyzers)
+}
+
+// markerLines returns every line covered by a comment containing the given
+// marker (e.g. "lint:invariant"), in any comment group of any file.
+func markerLines(p *Pass, marker string) map[string]map[int]bool {
+	out := map[string]map[int]bool{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, cm := range cg.List {
+				if !strings.Contains(cm.Text, marker) {
+					continue
+				}
+				pos := p.Fset.Position(cm.Pos())
+				if out[pos.Filename] == nil {
+					out[pos.Filename] = map[int]bool{}
+				}
+				out[pos.Filename][pos.Line] = true
+			}
+		}
+	}
+	return out
+}
+
+// sanctioned reports whether a node carries the marker on its own line or
+// the line directly above (the conventional placement).
+func sanctioned(p *Pass, marked map[string]map[int]bool, n ast.Node) bool {
+	pos := p.Fset.Position(n.Pos())
+	lines := marked[pos.Filename]
+	return lines[pos.Line] || lines[pos.Line-1]
+}

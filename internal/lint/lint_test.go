@@ -1,0 +1,191 @@
+package lint
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+// runWant analyzes src and checks it against the fixture's own // want
+// annotations: every line carrying `// want "substr"` must produce a
+// diagnostic containing substr, and no other line may produce anything.
+func runWant(t *testing.T, filename, src string, analyzers []*Analyzer) {
+	t.Helper()
+	wants := map[int]string{} // line -> required substring
+	sc := bufio.NewScanner(strings.NewReader(src))
+	for line := 1; sc.Scan(); line++ {
+		text := sc.Text()
+		i := strings.Index(text, `// want "`)
+		if i < 0 {
+			continue
+		}
+		rest := text[i+len(`// want "`):]
+		j := strings.Index(rest, `"`)
+		if j < 0 {
+			t.Fatalf("%s:%d: malformed want comment", filename, line)
+		}
+		wants[line] = rest[:j]
+	}
+
+	diags, err := RunSource(filename, src, analyzers)
+	if err != nil {
+		t.Fatalf("%s: %v", filename, err)
+	}
+	got := map[int][]string{}
+	for _, d := range diags {
+		got[d.Pos.Line] = append(got[d.Pos.Line], d.Message)
+	}
+	for line, substr := range wants {
+		msgs, ok := got[line]
+		if !ok {
+			t.Errorf("%s:%d: want diagnostic containing %q, got none", filename, line, substr)
+			continue
+		}
+		found := false
+		for _, m := range msgs {
+			if strings.Contains(m, substr) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: want diagnostic containing %q, got %q", filename, line, substr, msgs)
+		}
+	}
+	for line, msgs := range got {
+		if _, ok := wants[line]; !ok {
+			t.Errorf("%s:%d: unexpected diagnostic %q", filename, line, msgs)
+		}
+	}
+}
+
+func TestInvariantPanicFixtures(t *testing.T) {
+	const src = `package engine
+
+func ok() {
+	// lint:invariant idx was bounds-checked by the caller
+	panic("unreachable")
+}
+
+func okSameLine() {
+	panic("unreachable") // lint:invariant checked above
+}
+
+func bad() {
+	panic("boom") // want "panic without"
+}
+
+func mustCalls(s schema) {
+	_ = s.MustIndex("c") // want "Must-style call MustIndex in execution-path package engine"
+	// lint:invariant column existence proven by the binder
+	_ = s.MustIndex("c")
+	MustLoad("x") // want "Must-style call MustLoad"
+	mustard()     // lowercase, not the convention
+	Mustard()     // "Mustard" is not Must+UpperCamel
+}
+`
+	runWant(t, "invariantpanic_fixture.go", src, []*Analyzer{InvariantPanic})
+}
+
+func TestInvariantPanicUnrestrictedPkg(t *testing.T) {
+	// Outside the execution-path packages Must* is fine, but naked panics
+	// still need the marker.
+	const src = `package tpch
+
+func f(s schema) {
+	_ = s.MustIndex("c")
+	panic("no") // want "panic without"
+}
+`
+	runWant(t, "invariantpanic_tpch.go", src, []*Analyzer{InvariantPanic})
+}
+
+func TestCtxThreadFixtures(t *testing.T) {
+	const src = `package engine
+
+import "context"
+
+func Execute() {
+	ctx := context.Background() // exported top-level wrapper: allowed
+	_ = ctx
+}
+
+func Run() {
+	go func() {
+		ctx := context.Background() // want "detaches per-partition work"
+		_ = ctx
+	}()
+}
+
+func helper() {
+	ctx := context.TODO() // want "context.TODO in helper"
+	_ = ctx
+}
+
+func (e *Engine) Exec() {
+	ctx := context.Background() // want "context.Background in Exec"
+	_ = ctx
+}
+
+func WithValue(ctx context.Context) {
+	ctx = context.WithValue(ctx, key, 1) // deriving from ctx is fine
+	_ = ctx
+}
+`
+	runWant(t, "ctxthread_fixture.go", src, []*Analyzer{CtxThread})
+}
+
+func TestCtxThreadIgnoresOtherPackages(t *testing.T) {
+	const src = `package plan
+
+import "context"
+
+func helper() {
+	_ = context.Background()
+}
+`
+	diags, err := RunSource("ctxthread_plan.go", src, []*Analyzer{CtxThread})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("ctxthread should only run in engine/fault, got %v", diags)
+	}
+}
+
+func TestPropAliasFixtures(t *testing.T) {
+	const src = `package plan
+
+func transfer(np, cp *Prop, cols []string) {
+	np.HashCols = cp.HashCols // want "HashCols assigned from an existing slice"
+	np.DupCols = cols         // want "DupCols assigned from an existing slice"
+	np.HashCols = cloneCols(cp.HashCols)
+	np.DupCols = append([]string(nil), cols...)
+	np.HashCols = nil
+	np.DupCols = []string{"a", "b"}
+	// lint:alias-ok both props die at the end of this scope
+	np.HashCols = cp.HashCols
+	np.DupCols = cols[1:] // want "DupCols assigned from an existing slice"
+}
+
+func literals(cp *Prop, cols []string) *Prop {
+	bad := &Prop{HashCols: cols} // want "HashCols initialized from an existing slice"
+	good := &Prop{HashCols: cloneCols(cols), DupCols: nil}
+	also := &Prop{DupCols: []string{"d"}}
+	_ = good
+	_ = also
+	return bad
+}
+`
+	runWant(t, "propalias_fixture.go", src, []*Analyzer{PropAlias})
+}
+
+func TestRunDirOnRealPackage(t *testing.T) {
+	// The lint package itself must lint clean under the full suite.
+	diags, err := RunDir(".", Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("internal/lint should be clean, got:\n%v", diags)
+	}
+}

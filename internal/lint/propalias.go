@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// propSliceFields are the plan.Prop []string fields with copy-on-write
+// semantics: the rewrite clones them at every transfer step, and
+// internal/check's RulePropAlias verifies at runtime that no two live
+// props share a backing array. This analyzer is the compile-time half: it
+// flags assignments that store an existing slice variable into one of
+// these fields, which aliases the backing array.
+var propSliceFields = map[string]bool{
+	"HashCols": true,
+	"DupCols":  true,
+}
+
+// PropAlias flags `x.HashCols = y` / `x.DupCols = y.DupCols` style
+// assignments (and the equivalent composite-literal fields) where the
+// right-hand side is a plain variable or selector rather than a fresh
+// slice. nil, slice literals, and call results (append, cloneCols, ...)
+// are fine; a deliberate alias can be sanctioned with "// lint:alias-ok".
+var PropAlias = &Analyzer{
+	Name: "propalias",
+	Doc:  "Prop.HashCols/DupCols must be set from freshly allocated slices (clone, append, literal), never aliased from another slice variable",
+	Run:  runPropAlias,
+}
+
+func runPropAlias(p *Pass) error {
+	marked := markerLines(p, "lint:alias-ok")
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					sel, ok := lhs.(*ast.SelectorExpr)
+					if !ok || !propSliceFields[sel.Sel.Name] || i >= len(n.Rhs) {
+						continue
+					}
+					if aliasingExpr(n.Rhs[i]) && !sanctioned(p, marked, n) {
+						p.Report(n, "%s assigned from an existing slice; clone it (or mark // lint:alias-ok)", sel.Sel.Name)
+					}
+				}
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok || !propSliceFields[key.Name] {
+						continue
+					}
+					if aliasingExpr(kv.Value) && !sanctioned(p, marked, kv) {
+						p.Report(kv, "%s initialized from an existing slice; clone it (or mark // lint:alias-ok)", key.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// aliasingExpr reports whether assigning e shares a backing array: a bare
+// identifier (other than nil) or a selector chain. Calls, literals, slice
+// expressions of fresh copies, and nil are all non-aliasing as written.
+func aliasingExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name != "nil"
+	case *ast.SelectorExpr:
+		return true
+	case *ast.ParenExpr:
+		return aliasingExpr(e.X)
+	case *ast.SliceExpr:
+		// s[i:j] still shares s's backing array unless it is a full-slice
+		// expression of a fresh value; treat any slice of an aliasing
+		// expression as aliasing.
+		return aliasingExpr(e.X)
+	}
+	return false
+}

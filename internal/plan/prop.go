@@ -42,8 +42,8 @@ type Prop struct {
 	Equiv [][]string
 }
 
-// equivSame reports whether two column names are equal or known equal.
-func (p *Prop) equivSame(a, b string) bool {
+// EquivSame reports whether two column names are equal or known equal.
+func (p *Prop) EquivSame(a, b string) bool {
 	if a == b {
 		return true
 	}
@@ -64,8 +64,8 @@ func (p *Prop) equivSame(a, b string) bool {
 	return false
 }
 
-// addEquiv merges the equality a ≡ b into the classes.
-func addEquiv(classes [][]string, a, b string) [][]string {
+// AddEquiv merges the equality a ≡ b into the classes.
+func AddEquiv(classes [][]string, a, b string) [][]string {
 	ai, bi := -1, -1
 	for i, cls := range classes {
 		for _, c := range cls {
@@ -91,9 +91,9 @@ func addEquiv(classes [][]string, a, b string) [][]string {
 	return classes
 }
 
-// unionEquiv concatenates two inputs' classes (their column namespaces
+// UnionEquiv concatenates two inputs' classes (their column namespaces
 // are disjoint before a join).
-func unionEquiv(a, b [][]string) [][]string {
+func UnionEquiv(a, b [][]string) [][]string {
 	out := make([][]string, 0, len(a)+len(b))
 	for _, c := range a {
 		out = append(out, append([]string(nil), c...))
@@ -133,17 +133,25 @@ func (p *Prop) String() string {
 		p.Method(), p.HashCols, strings.Join(placed, ","), p.DupCols, p.Parts)
 }
 
-func (p *Prop) clone() *Prop {
+// Clone returns a deep copy: no slice or map is shared with the receiver,
+// so appending to or mutating the copy's HashCols/DupCols/Placed/Equiv
+// cannot corrupt another operator's recorded properties.
+func (p *Prop) Clone() *Prop {
 	q := *p
-	q.HashCols = append([]string(nil), p.HashCols...)
-	q.DupCols = append([]string(nil), p.DupCols...)
+	q.HashCols = cloneCols(p.HashCols)
+	q.DupCols = cloneCols(p.DupCols)
 	q.Placed = make(map[string]PlacedEntry, len(p.Placed))
 	for k, v := range p.Placed {
 		q.Placed[k] = v
 	}
-	q.Equiv = unionEquiv(p.Equiv, nil)
+	q.Equiv = UnionEquiv(p.Equiv, nil)
 	return &q
 }
+
+// cloneCols copies a column list so a Prop field never aliases a plan
+// node's slice or another Prop's field (an append through one alias would
+// silently corrupt the other — the hazard the propalias lint rule flags).
+func cloneCols(cols []string) []string { return append([]string(nil), cols...) }
 
 func unionPlaced(a, b map[string]PlacedEntry) map[string]PlacedEntry {
 	out := make(map[string]PlacedEntry, len(a)+len(b))

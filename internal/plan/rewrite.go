@@ -29,11 +29,15 @@ type Options struct {
 }
 
 // Rewritten is the output of the rewrite: a physical plan annotated with
-// the schema of every operator and the root's properties.
+// the schema of every operator and the root's properties. Catalog and Cfg
+// record the inputs the plan was rewritten against, so a static verifier
+// (internal/check) can re-derive every property without extra plumbing.
 type Rewritten struct {
 	Root    Node
 	Schemas map[Node]Schema
 	Props   map[Node]*Prop
+	Catalog *catalog.Schema
+	Cfg     *partition.Config
 }
 
 // Schema returns the annotated schema of a node.
@@ -83,7 +87,10 @@ func Rewrite(root Node, schema *catalog.Schema, cfg *partition.Config, opt Optio
 		Schema:  schema,
 		Cfg:     cfg,
 		Opt:     opt,
-		out:     &Rewritten{Schemas: map[Node]Schema{}, Props: map[Node]*Prop{}},
+		out: &Rewritten{
+			Schemas: map[Node]Schema{}, Props: map[Node]*Prop{},
+			Catalog: schema, Cfg: cfg,
+		},
 		aliases: map[string]bool{},
 	}
 	phys, prop, sch, err := r.rewrite(root)
@@ -122,7 +129,7 @@ func (r *Rewriter) finalizeRoot(root Node, prop *Prop, sch Schema) (Node, *Prop,
 	root, prop, sch = r.dedup(root, prop, sch)
 	hidden := false
 	for _, f := range sch {
-		if isHiddenCol(f.Name) {
+		if IsHiddenCol(f.Name) {
 			hidden = true
 			break
 		}
@@ -134,7 +141,7 @@ func (r *Rewriter) finalizeRoot(root Node, prop *Prop, sch Schema) (Node, *Prop,
 	var exprs []ValExpr
 	out := make(Schema, 0, len(sch))
 	for _, f := range sch {
-		if isHiddenCol(f.Name) {
+		if IsHiddenCol(f.Name) {
 			continue
 		}
 		names = append(names, f.Name)
@@ -142,7 +149,7 @@ func (r *Rewriter) finalizeRoot(root Node, prop *Prop, sch Schema) (Node, *Prop,
 		out = append(out, f)
 	}
 	p := &ProjectNode{Child: root, Exprs: exprs, Names: names}
-	n, pr, s := r.note(p, out, prop.clone())
+	n, pr, s := r.note(p, out, prop.Clone())
 	return n, pr, s, nil
 }
 
@@ -236,7 +243,7 @@ func (r *Rewriter) rewriteFilter(n *FilterNode) (Node, *Prop, Schema, error) {
 		r.tryPrune(child, prop, n.Pred)
 	}
 	f := &FilterNode{Child: child, Pred: n.Pred}
-	node, p, s := r.note(f, sch, prop.clone())
+	node, p, s := r.note(f, sch, prop.Clone())
 	return node, p, s, nil
 }
 
@@ -303,7 +310,7 @@ func (r *Rewriter) dedup(child Node, prop *Prop, sch Schema) (Node, *Prop, Schem
 	if !prop.Dup() {
 		return child, prop, sch
 	}
-	np := prop.clone()
+	np := prop.Clone()
 	np.DupCols = nil
 	if !r.Opt.DisableDupIndex {
 		d := &DistinctPrefNode{Child: child, DupCols: append([]string(nil), prop.DupCols...)}
@@ -314,7 +321,7 @@ func (r *Rewriter) dedup(child Node, prop *Prop, sch Schema) (Node, *Prop, Schem
 	// which requires a repartition by content.
 	var cols []string
 	for _, c := range sch {
-		if !isHiddenCol(c.Name) {
+		if !IsHiddenCol(c.Name) {
 			cols = append(cols, c.Name)
 		}
 	}
@@ -325,7 +332,7 @@ func (r *Rewriter) dedup(child Node, prop *Prop, sch Schema) (Node, *Prop, Schem
 	return n, p, s
 }
 
-func isHiddenCol(name string) bool {
+func IsHiddenCol(name string) bool {
 	return strings.HasSuffix(name, ".__dup") || strings.HasSuffix(name, ".__hasref")
 }
 
@@ -352,7 +359,7 @@ func (r *Rewriter) rewriteProject(n *ProjectNode) (Node, *Prop, Schema, error) {
 	// Placement survives projection (rows don't move); hash/placed
 	// properties referencing dropped columns simply become unusable by
 	// later matching, which is sound.
-	node, pr, s := r.note(p, out, prop.clone())
+	node, pr, s := r.note(p, out, prop.Clone())
 	return node, pr, s, nil
 }
 
@@ -393,7 +400,7 @@ func (r *Rewriter) rewriteAggregate(n *AggregateNode) (Node, *Prop, Schema, erro
 		// The hash property survives only if its column names survive the
 		// aggregation's output schema.
 		if allIn(prop.HashCols, n.GroupBy) {
-			np.HashCols = prop.HashCols
+			np.HashCols = cloneCols(prop.HashCols)
 		}
 		node, p, s := r.note(agg, outSchema(sch), np)
 		return node, p, s, nil
@@ -403,7 +410,7 @@ func (r *Rewriter) rewriteAggregate(n *AggregateNode) (Node, *Prop, Schema, erro
 	// duplicates in transit) and aggregate locally after.
 	rep, _, _ := r.repartition(child, prop, sch, n.GroupBy)
 	agg := &AggregateNode{Child: rep, GroupBy: n.GroupBy, Aggs: n.Aggs}
-	np := &Prop{Parts: prop.Parts, HashCols: n.GroupBy, Placed: map[string]PlacedEntry{}}
+	np := &Prop{Parts: prop.Parts, HashCols: cloneCols(n.GroupBy), Placed: map[string]PlacedEntry{}}
 	node, p, s := r.note(agg, outSchema(sch), np)
 	return node, p, s, nil
 }
@@ -567,7 +574,7 @@ func hashCoveredBy(p *Prop, groupBy []string) bool {
 	for _, h := range p.HashCols {
 		ok := false
 		for _, g := range groupBy {
-			if p.equivSame(h, g) {
+			if p.EquivSame(h, g) {
 				ok = true
 				break
 			}

@@ -33,24 +33,24 @@ func TestEquivalenceMatchingThroughJoin(t *testing.T) {
 		t.Fatalf("chain join must stay local:\n%s", Format(rw.Root))
 	}
 	p := rw.Props[rw.Root]
-	if !p.equivSame("o.orderkey", "l.orderkey") {
+	if !p.EquivSame("o.orderkey", "l.orderkey") {
 		t.Fatal("inner join must record o.orderkey ≡ l.orderkey")
 	}
 }
 
 func TestEquivClassesMergeTransitively(t *testing.T) {
 	var classes [][]string
-	classes = addEquiv(classes, "a", "b")
-	classes = addEquiv(classes, "c", "d")
-	classes = addEquiv(classes, "b", "c") // merges both groups
+	classes = AddEquiv(classes, "a", "b")
+	classes = AddEquiv(classes, "c", "d")
+	classes = AddEquiv(classes, "b", "c") // merges both groups
 	p := &Prop{Equiv: classes}
-	if !p.equivSame("a", "d") {
+	if !p.EquivSame("a", "d") {
 		t.Fatalf("a ≡ d should hold transitively, classes = %v", classes)
 	}
-	if p.equivSame("a", "zzz") {
+	if p.EquivSame("a", "zzz") {
 		t.Fatal("unrelated columns must not be equivalent")
 	}
-	if !p.equivSame("x", "x") {
+	if !p.EquivSame("x", "x") {
 		t.Fatal("reflexivity")
 	}
 }
@@ -66,7 +66,7 @@ func TestOuterJoinDoesNotAddEquivalence(t *testing.T) {
 	}
 	p := rw.Props[rw.Root]
 	// o.custkey can be NULL on unmatched rows: not equivalent.
-	if p.equivSame("c.custkey", "o.custkey") {
+	if p.EquivSame("c.custkey", "o.custkey") {
 		t.Fatal("left outer join must not record predicate equivalence")
 	}
 }

@@ -69,7 +69,7 @@ func (r *Rewriter) rewriteJoin(n *JoinNode) (Node, *Prop, Schema, error) {
 		j := r.physJoin(n, left, right)
 		np := &Prop{
 			Parts:    lp.Parts,
-			HashCols: lp.HashCols,
+			HashCols: cloneCols(lp.HashCols),
 			Placed:   unionPlaced(lp.Placed, rp.Placed),
 			DupCols:  append(append([]string(nil), lp.DupCols...), rp.DupCols...),
 			Equiv:    r.joinEquiv(n, lp, rp),
@@ -103,7 +103,7 @@ func (r *Rewriter) rewriteJoin(n *JoinNode) (Node, *Prop, Schema, error) {
 		}
 		// A hash property survives only if it came from the referenced
 		// side's placement (rows stay where the referenced side was).
-		np.HashCols = refdProp.HashCols
+		np.HashCols = cloneCols(refdProp.HashCols)
 		if n.Type == Semi || n.Type == Anti {
 			np.Placed = lp.Placed
 			np.DupCols = append([]string(nil), lp.DupCols...)
@@ -133,7 +133,7 @@ func (r *Rewriter) rewriteJoin(n *JoinNode) (Node, *Prop, Schema, error) {
 	j := r.physJoin(n, left, right)
 	np := &Prop{
 		Parts:    lp.Parts,
-		HashCols: n.LeftCols,
+		HashCols: cloneCols(n.LeftCols),
 		Placed:   unionPlaced(lp.Placed, rp.Placed),
 		DupCols:  append(append([]string(nil), lp.DupCols...), rp.DupCols...),
 		Equiv:    r.joinEquiv(n, lp, rp),
@@ -151,10 +151,10 @@ func (r *Rewriter) rewriteJoin(n *JoinNode) (Node, *Prop, Schema, error) {
 // classes survive, and an inner join adds the predicate's equalities
 // (outer joins do not — the right side may be null-extended).
 func (r *Rewriter) joinEquiv(n *JoinNode, lp, rp *Prop) [][]string {
-	out := unionEquiv(lp.Equiv, rp.Equiv)
+	out := UnionEquiv(lp.Equiv, rp.Equiv)
 	if n.Type == Inner {
 		for i := range n.LeftCols {
-			out = addEquiv(out, n.LeftCols[i], n.RightCols[i])
+			out = AddEquiv(out, n.LeftCols[i], n.RightCols[i])
 		}
 	}
 	return out
@@ -174,7 +174,7 @@ func hashAligned(lp, rp *Prop, leftCols, rightCols []string) bool {
 			if used[j] {
 				continue
 			}
-			if lp.equivSame(lp.HashCols[i], leftCols[j]) && rp.equivSame(rp.HashCols[i], rightCols[j]) {
+			if lp.EquivSame(lp.HashCols[i], leftCols[j]) && rp.EquivSame(rp.HashCols[i], rightCols[j]) {
 				used[j] = true
 				found = true
 				break
@@ -224,7 +224,7 @@ func (r *Rewriter) broadcastEqui(n *JoinNode, side string,
 		j := r.physJoin(n, left, b)
 		np := &Prop{
 			Parts:    lp.Parts,
-			HashCols: lp.HashCols,
+			HashCols: cloneCols(lp.HashCols),
 			Placed:   lp.Placed,
 			DupCols:  append([]string(nil), lp.DupCols...),
 			Equiv:    r.joinEquiv(n, lp, rp),
@@ -246,7 +246,7 @@ func (r *Rewriter) broadcastEqui(n *JoinNode, side string,
 	j := r.physJoin(n, b, right)
 	np := &Prop{
 		Parts:    rp.Parts,
-		HashCols: rp.HashCols,
+		HashCols: cloneCols(rp.HashCols),
 		Placed:   rp.Placed,
 		DupCols:  append([]string(nil), rp.DupCols...),
 		Equiv:    r.joinEquiv(n, lp, rp),
@@ -395,7 +395,7 @@ func pairsMatchEquiv(aProp *Prop, joinA []string, bProp *Prop, joinB []string, w
 			if used[j] {
 				continue
 			}
-			if aProp.equivSame(joinA[j], wantA[i]) && bProp.equivSame(joinB[j], wantB[i]) {
+			if aProp.EquivSame(joinA[j], wantA[i]) && bProp.EquivSame(joinB[j], wantB[i]) {
 				used[j] = true
 				found = true
 				break
@@ -420,7 +420,7 @@ func (r *Rewriter) replicatedJoin(n *JoinNode, left Node, lp *Prop, ls Schema,
 		left, lp, ls = r.repartition(left, lp, ls, n.LeftCols)
 		right, rp, rs = r.repartition(right, rp, rs, n.RightCols)
 		j := r.physJoin(n, left, right)
-		np := &Prop{Parts: lp.Parts, HashCols: n.LeftCols, Placed: map[string]PlacedEntry{}}
+		np := &Prop{Parts: lp.Parts, HashCols: cloneCols(n.LeftCols), Placed: map[string]PlacedEntry{}}
 		node, p, s := r.note(j, outSchema, np)
 		return node, p, s, nil
 	}
@@ -432,18 +432,18 @@ func (r *Rewriter) replicatedJoin(n *JoinNode, left Node, lp *Prop, ls Schema,
 		np.Repl = true
 		np.Placed = map[string]PlacedEntry{}
 	case lp.Repl:
-		np.HashCols = rp.HashCols
+		np.HashCols = cloneCols(rp.HashCols)
 		np.Placed = rp.Placed
 		np.DupCols = append([]string(nil), rp.DupCols...)
 	default:
-		np.HashCols = lp.HashCols
+		np.HashCols = cloneCols(lp.HashCols)
 		np.Placed = lp.Placed
 		np.DupCols = append([]string(nil), lp.DupCols...)
 	}
 	if n.Type == Semi || n.Type == Anti {
 		np.Placed = lp.Placed
 		np.DupCols = append([]string(nil), lp.DupCols...)
-		np.HashCols = lp.HashCols
+		np.HashCols = cloneCols(lp.HashCols)
 		np.Repl = lp.Repl
 		np.Equiv = lp.Equiv
 	}
@@ -469,7 +469,7 @@ func (r *Rewriter) broadcastJoin(n *JoinNode, left Node, lp *Prop, ls Schema,
 	j := r.physJoin(n, left, bright)
 	np := &Prop{
 		Parts:    lp.Parts,
-		HashCols: lp.HashCols,
+		HashCols: cloneCols(lp.HashCols),
 		Placed:   lp.Placed,
 		Repl:     lp.Repl,
 	}
@@ -482,7 +482,7 @@ func (r *Rewriter) broadcastJoin(n *JoinNode, left Node, lp *Prop, ls Schema,
 func (r *Rewriter) repartition(child Node, prop *Prop, sch Schema, cols []string) (Node, *Prop, Schema) {
 	child, prop, sch = r.preShipDedup(child, prop, sch)
 	rep := &RepartitionNode{Child: child, Cols: cols, DupCols: dupColsFor(r, prop), OneCopy: prop.Repl}
-	np := &Prop{Parts: prop.Parts, HashCols: cols, Placed: map[string]PlacedEntry{}}
+	np := &Prop{Parts: prop.Parts, HashCols: cloneCols(cols), Placed: map[string]PlacedEntry{}}
 	r.note(rep, sch, np)
 	return rep, np, sch
 }
@@ -523,7 +523,7 @@ func (r *Rewriter) tryHasRefRewrite(n *JoinNode) (Node, *Prop, Schema, bool, err
 		want = 0
 	}
 	f := &FilterNode{Child: left, Pred: Eq(Col(HasRefCol(leftAlias)), Lit(want))}
-	node, p, s := r.note(f, ls, lp.clone())
+	node, p, s := r.note(f, ls, lp.Clone())
 	return node, p, s, true, nil
 }
 

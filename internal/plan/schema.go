@@ -45,6 +45,7 @@ func (s Schema) Index(name string) int {
 func (s Schema) MustIndex(name string) int {
 	i := s.Index(name)
 	if i < 0 {
+		// lint:invariant
 		panic(fmt.Sprintf("plan: unknown column %q in schema %v", name, s.Names()))
 	}
 	return i

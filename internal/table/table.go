@@ -38,6 +38,7 @@ func (d *Data) Append(t value.Tuple) error {
 // the error.
 func (d *Data) MustAppend(t value.Tuple) {
 	if err := d.Append(t); err != nil {
+		// lint:invariant
 		panic(err)
 	}
 }

@@ -101,6 +101,7 @@ func q(name string, refs ...string) design.Query {
 		}
 		spec, ok := edgeCatalog[r]
 		if !ok {
+			// lint:invariant
 			panic(fmt.Sprintf("tpcds: unknown edge shorthand %q", r))
 		}
 		out.Joins = append(out.Joins, parseEdge(spec))

@@ -1,6 +1,8 @@
 package tpch
 
 import (
+	"fmt"
+
 	"pref/internal/plan"
 	"pref/internal/value"
 )
@@ -11,57 +13,70 @@ var QueryNames = []string{
 	"Q12", "Q13", "Q14", "Q15", "Q16", "Q17", "Q18", "Q19", "Q20", "Q21", "Q22",
 }
 
-// Query builds a fresh logical plan for the named TPC-H query. The plans
-// preserve the exact join graphs of the official queries; scalar
-// subqueries are flattened into SPJA blocks (see the package comment).
+// Query builds a fresh logical plan for the named TPC-H query. It panics
+// on an unknown name: callers pass source-literal names (tests, benches);
+// fallible paths with user-supplied names must use QueryErr.
 func (t *TPCH) Query(name string) plan.Node {
+	q, err := t.QueryErr(name)
+	if err != nil {
+		// lint:invariant
+		panic(err.Error())
+	}
+	return q
+}
+
+// QueryErr builds a fresh logical plan for the named TPC-H query,
+// returning an error on an unknown name. The plans preserve the exact
+// join graphs of the official queries; scalar subqueries are flattened
+// into SPJA blocks (see the package comment).
+func (t *TPCH) QueryErr(name string) (plan.Node, error) {
 	switch name {
 	case "Q1":
-		return t.q1()
+		return t.q1(), nil
 	case "Q2":
-		return t.q2()
+		return t.q2(), nil
 	case "Q3":
-		return t.q3()
+		return t.q3(), nil
 	case "Q4":
-		return t.q4()
+		return t.q4(), nil
 	case "Q5":
-		return t.q5()
+		return t.q5(), nil
 	case "Q6":
-		return t.q6()
+		return t.q6(), nil
 	case "Q7":
-		return t.q7()
+		return t.q7(), nil
 	case "Q8":
-		return t.q8()
+		return t.q8(), nil
 	case "Q9":
-		return t.q9()
+		return t.q9(), nil
 	case "Q10":
-		return t.q10()
+		return t.q10(), nil
 	case "Q11":
-		return t.q11()
+		return t.q11(), nil
 	case "Q12":
-		return t.q12()
+		return t.q12(), nil
 	case "Q13":
-		return t.q13()
+		return t.q13(), nil
 	case "Q14":
-		return t.q14()
+		return t.q14(), nil
 	case "Q15":
-		return t.q15()
+		return t.q15(), nil
 	case "Q16":
-		return t.q16()
+		return t.q16(), nil
 	case "Q17":
-		return t.q17()
+		return t.q17(), nil
 	case "Q18":
-		return t.q18()
+		return t.q18(), nil
 	case "Q19":
-		return t.q19()
+		return t.q19(), nil
 	case "Q20":
-		return t.q20()
+		return t.q20(), nil
 	case "Q21":
-		return t.q21()
+		return t.q21(), nil
 	case "Q22":
-		return t.q22()
+		return t.q22(), nil
 	default:
-		panic("tpch: unknown query " + name)
+		return nil, fmt.Errorf("tpch: unknown query %q", name)
 	}
 }
 

@@ -37,6 +37,7 @@ import (
 
 	"pref/internal/bulkload"
 	"pref/internal/catalog"
+	"pref/internal/check"
 	"pref/internal/design"
 	"pref/internal/engine"
 	"pref/internal/fault"
@@ -242,6 +243,21 @@ const (
 func Rewrite(root PlanNode, s *Schema, cfg *Config, opt PlanOptions) (*Rewritten, error) {
 	return plan.Rewrite(root, s, cfg, opt)
 }
+
+// ---- static verification (internal/check) ----
+
+// Verify statically re-proves the invariants of a rewritten plan without
+// executing it: the recorded Dup/Part properties, join locality,
+// PREF-duplicate freedom, and the soundness of the design it was rewritten
+// against. The engine runs this automatically before every execution when
+// ExecOptions.Verify is set or the PREF_VERIFY environment variable is
+// non-empty; cmd/prefcheck exposes it on the command line.
+func Verify(rw *Rewritten) error { return check.Verify(rw) }
+
+// VerifyDesign statically checks a partitioning configuration against a
+// schema: acyclic PREF chains rooted at proper seed tables, existing
+// columns, and equi-join-compatible partitioning predicates.
+func VerifyDesign(s *Schema, cfg *Config) error { return check.VerifyDesign(s, cfg) }
 
 // Fault sentinel errors, for errors.Is against failed executions.
 var (
