@@ -9,6 +9,7 @@
 //	prefbench -exp table1,fig11a # several
 //	prefbench -sf 0.02 -parts 10 # larger data
 //	prefbench -exp fault         # degradation-vs-fault-probability sweep
+//	prefbench -exp ops -q Q5     # per-operator breakdown of Q5 per variant
 //	prefbench -exp fig7 -crash 0.05 -down 2 # fig7 under injected faults
 //	prefbench -list              # available experiment ids
 package main
@@ -33,6 +34,7 @@ func main() {
 		parts  = flag.Int("parts", 10, "number of partitions / nodes")
 		seed   = flag.Int64("seed", 42, "generator seed")
 		expand = flag.Bool("expand", false, "fig12: sweep every node count 1..100 instead of a coarse grid")
+		query  = flag.String("q", "Q3", "ops: TPC-H query for the per-operator breakdown")
 		list   = flag.Bool("list", false, "list experiment ids and exit")
 
 		crash     = flag.Float64("crash", 0, "fault: per-attempt work-unit crash probability")
@@ -58,6 +60,7 @@ func main() {
 	p.Parts = *parts
 	p.Seed = *seed
 	p.Expand = *expand
+	p.Query = *query
 
 	downNodes, err := parseNodeList(*down)
 	if err != nil {

@@ -9,6 +9,8 @@
 //	prefquery -q Q9 -variant CP          # compare against classical
 //	prefquery -q Q5 -variant SD-paper -explain-only
 //	prefquery -q Q4 -no-opt              # disable the Section 2.2 optimizations
+//	prefquery -q Q3 -explain             # execute and print EXPLAIN ANALYZE
+//	prefquery -q Q3 -trace-json t.json   # dump the span tree as JSON
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"pref/internal/partition"
 	"pref/internal/plan"
 	"pref/internal/tpch"
+	"pref/internal/trace"
 )
 
 func main() {
@@ -35,18 +38,20 @@ func main() {
 		parts       = flag.Int("parts", 10, "number of partitions")
 		seed        = flag.Int64("seed", 42, "generator seed")
 		explainOnly = flag.Bool("explain-only", false, "print the plan without executing")
+		explain     = flag.Bool("explain", false, "execute with tracing and print EXPLAIN ANALYZE (per-operator, per-node actuals)")
+		traceJSON   = flag.String("trace-json", "", "execute with tracing and write the span tree as JSON to this file (- for stdout)")
 		noOpt       = flag.Bool("no-opt", false, "disable the dup/hasRef optimizations and pruning")
 		maxRows     = flag.Int("rows", 10, "result rows to print")
 	)
 	flag.Parse()
 
-	if err := run(*query, *variant, *cfgPath, *sf, *parts, *seed, *explainOnly, *noOpt, *maxRows); err != nil {
+	if err := run(*query, *variant, *cfgPath, *sf, *parts, *seed, *explainOnly, *noOpt, *maxRows, *explain, *traceJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "prefquery:", err)
 		os.Exit(1)
 	}
 }
 
-func run(query, variant, cfgPath string, sf float64, parts int, seed int64, explainOnly, noOpt bool, maxRows int) error {
+func run(query, variant, cfgPath string, sf float64, parts int, seed int64, explainOnly, noOpt bool, maxRows int, explain bool, traceJSON string) error {
 	t := tpch.Generate(sf, seed)
 	var v *bench.Variant
 	if cfgPath != "" {
@@ -104,7 +109,7 @@ func run(query, variant, cfgPath string, sf float64, parts int, seed int64, expl
 	}
 
 	start := time.Now()
-	res, err := engine.Execute(rw, m.PDBs[gi])
+	res, err := engine.ExecuteOpts(rw, m.PDBs[gi], engine.ExecOptions{Trace: explain || traceJSON != ""})
 	if err != nil {
 		return err
 	}
@@ -123,6 +128,22 @@ func run(query, variant, cfgPath string, sf float64, parts int, seed int64, expl
 			break
 		}
 		fmt.Printf("  %v\n", []int64(row))
+	}
+
+	if explain {
+		fmt.Println("\nEXPLAIN ANALYZE:")
+		fmt.Print(res.Trace.Render(trace.RenderOptions{Nodes: true}))
+	}
+	if traceJSON != "" {
+		data, err := res.Trace.JSON()
+		if err != nil {
+			return err
+		}
+		if traceJSON == "-" {
+			fmt.Println(string(data))
+		} else if err := os.WriteFile(traceJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
 	}
 
 	cost := engine.DefaultCostModel()

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"pref/internal/design"
+	"pref/internal/engine"
+	"pref/internal/plan"
+	"pref/internal/tpch"
+	"pref/internal/value"
+)
+
+// TestDifferentialTPCH executes all 22 TPC-H queries under every design
+// variant of Section 5.1 and checks each against the AllReplicated
+// baseline (every join local and loss-free, so its answer is trusted).
+// Row order is normalised with Result.SortRows before comparison. This is
+// the correctness backstop for the observability layer: variants differ
+// wildly in *how* rows move (which the trace records), but never in
+// *what* they answer.
+func TestDifferentialTPCH(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential suite runs 22 queries x 7 variants; skipped in -short")
+	}
+	d := tpch.Generate(0.002, 7)
+	vs, err := TPCHVariants(d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Baseline first, then every other variant in a fixed order.
+	order := []string{"AllReplicated", "AllHashed", "CP", "SD", "SD-noRed", "SD-paper", "WD"}
+	for _, name := range order {
+		if _, ok := vs[name]; !ok {
+			t.Fatalf("variant %s missing from TPCHVariants", name)
+		}
+	}
+
+	run := func(t *testing.T, v *Variant, m *Materialized, query string) []value.Tuple {
+		t.Helper()
+		gi := v.RouteFor(query)
+		rw, err := plan.Rewrite(d.Query(query), d.DB.Schema, v.Groups[gi].Config,
+			plan.Options{Sizes: design.SizesOf(d.DB)})
+		if err != nil {
+			t.Fatalf("%s/%s: rewrite: %v", v.Name, query, err)
+		}
+		res, err := engine.Execute(rw, m.PDBs[gi])
+		if err != nil {
+			t.Fatalf("%s/%s: execute: %v", v.Name, query, err)
+		}
+		res.SortRows()
+		return res.Rows
+	}
+
+	mats := map[string]*Materialized{}
+	for _, name := range order {
+		m, err := Materialize(vs[name], d.DB)
+		if err != nil {
+			t.Fatalf("materialize %s: %v", name, err)
+		}
+		mats[name] = m
+	}
+
+	for _, query := range tpch.QueryNames {
+		query := query
+		t.Run(query, func(t *testing.T) {
+			ref := run(t, vs["AllReplicated"], mats["AllReplicated"], query)
+			if len(ref) == 0 {
+				t.Fatalf("%s baseline returned no rows at this scale", query)
+			}
+			for _, name := range order[1:] {
+				got := run(t, vs[name], mats[name], query)
+				if !reflect.DeepEqual(got, ref) {
+					t.Errorf("%s diverges from AllReplicated on %s: got %d rows, want %d",
+						name, query, len(got), len(ref))
+				}
+			}
+		})
+	}
+}

@@ -36,6 +36,9 @@ type Params struct {
 	// Fault injects faults into every experiment execution (nil = none).
 	// The "fault" experiment ignores it and sweeps its own policies.
 	Fault *fault.Policy
+	// Query selects the TPC-H query for single-query experiments (the
+	// "ops" per-operator breakdown); empty means Q3.
+	Query string
 }
 
 // DefaultParams returns laptop-scale experiment parameters.
@@ -491,10 +494,11 @@ var Experiments = map[string]func(Params) (*Report, error){
 	"fig12b": Fig12b,
 	"fig13":  Fig13,
 	"fault":  FaultSweep,
+	"ops":    OpBreakdown,
 }
 
 // ExperimentOrder lists experiment ids in presentation order.
 var ExperimentOrder = []string{
 	"table1", "fig7", "fig8", "fig9", "fig10",
-	"fig11a", "fig11b", "fig12a", "fig12b", "fig13", "fault",
+	"fig11a", "fig11b", "fig12a", "fig12b", "fig13", "fault", "ops",
 }

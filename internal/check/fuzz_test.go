@@ -1,127 +1,18 @@
 package check_test
 
 import (
-	"fmt"
 	"math/rand"
 	"testing"
 
-	"pref/internal/catalog"
 	"pref/internal/check"
-	"pref/internal/partition"
 	"pref/internal/plan"
-	"pref/internal/value"
 )
 
 // The property tests push randomly generated schemas, partitioning
-// configurations, and SPJA queries through the real rewrite and assert
-// the two sides of the checker's contract: every rewrite-produced plan
-// verifies cleanly, and a corrupted recorded property is detected.
-
-// genSchema builds a random 2–5 table catalog. Columns are Int so any
-// column pair is equi-join compatible; the first column is the PK.
-func genSchema(rng *rand.Rand) *catalog.Schema {
-	s := catalog.NewSchema("fuzz")
-	nt := 2 + rng.Intn(4)
-	for ti := 0; ti < nt; ti++ {
-		nc := 2 + rng.Intn(4)
-		cols := make([]catalog.Column, nc)
-		for ci := 0; ci < nc; ci++ {
-			cols[ci] = catalog.Column{Name: fmt.Sprintf("t%dc%d", ti, ci), Kind: value.Int}
-		}
-		s.MustAddTable(catalog.MustTable(fmt.Sprintf("t%d", ti), cols, cols[0].Name))
-	}
-	return s
-}
-
-// genConfig assigns each table a random scheme. PREF schemes only
-// reference lower-numbered, non-replicated tables, so chains are acyclic
-// by construction and always bottom out at a properly partitioned seed
-// (VerifyDesign rejects replicated seeds, which Config.Validate tolerates).
-func genConfig(rng *rand.Rand, s *catalog.Schema) *partition.Config {
-	cfg := partition.NewConfig(2 + rng.Intn(4))
-	names := s.TableNames()
-	var seedable []string
-	for _, name := range names {
-		t := s.Table(name)
-		switch r := rng.Intn(4); {
-		case r == 0 && len(seedable) > 0:
-			ref := s.Table(seedable[rng.Intn(len(seedable))])
-			// Reference a random column pair; referencing the PK sometimes
-			// makes the chain hash-equivalent or redundancy-free, so all
-			// three dup regimes are exercised.
-			rc := t.Columns[rng.Intn(t.NumCols())].Name
-			sc := ref.Columns[rng.Intn(ref.NumCols())].Name
-			cfg.SetPref(name, ref.Name, []string{rc}, []string{sc})
-			seedable = append(seedable, name)
-		case r == 1:
-			cfg.SetReplicated(name)
-		default:
-			cfg.SetHash(name, t.Columns[rng.Intn(t.NumCols())].Name)
-			seedable = append(seedable, name)
-		}
-	}
-	return cfg
-}
-
-// genQuery builds a random left-deep SPJA plan over 1–3 distinct tables,
-// optionally topped by a filter, an aggregate, or a top-k. It returns the
-// plan and the qualified output columns of the join tree.
-func genQuery(rng *rand.Rand, s *catalog.Schema) plan.Node {
-	names := s.TableNames()
-	nscan := 1 + rng.Intn(3)
-	if nscan > len(names) {
-		nscan = len(names)
-	}
-	perm := rng.Perm(len(names))[:nscan]
-
-	alias := func(i int) string { return fmt.Sprintf("a%d", i) }
-	qcols := func(i int) []string {
-		t := s.Table(names[perm[i]])
-		out := make([]string, t.NumCols())
-		for ci, col := range t.Columns {
-			out[ci] = plan.Qualify(alias(i), col.Name)
-		}
-		return out
-	}
-
-	var root plan.Node = plan.Scan(names[perm[0]], alias(0))
-	cols := qcols(0)
-	for i := 1; i < nscan; i++ {
-		right := plan.Scan(names[perm[i]], alias(i))
-		rcols := qcols(i)
-		jt := plan.Inner
-		switch rng.Intn(4) {
-		case 1:
-			jt = plan.Semi
-		case 2:
-			jt = plan.Anti
-		case 3:
-			jt = plan.LeftOuter
-		}
-		lc := cols[rng.Intn(len(cols))]
-		rc := rcols[rng.Intn(len(rcols))]
-		root = plan.Join(root, right, jt, []string{lc}, []string{rc})
-		if jt == plan.Semi || jt == plan.Anti {
-			continue // right columns do not survive
-		}
-		cols = append(append([]string(nil), cols...), rcols...)
-	}
-
-	if rng.Intn(2) == 0 {
-		root = plan.Filter(root, plan.Gt(plan.Col(cols[rng.Intn(len(cols))]), plan.Lit(int64(rng.Intn(50)))))
-	}
-	switch rng.Intn(4) {
-	case 0:
-		g := cols[rng.Intn(len(cols))]
-		root = plan.Aggregate(root, []string{g}, plan.Count("cnt"),
-			plan.Sum(plan.Col(cols[rng.Intn(len(cols))]), "s"))
-	case 1:
-		root = plan.Aggregate(root, nil, plan.Count("cnt"))
-	case 2:
-		root = plan.TopK(root, 1+rng.Intn(10), plan.OrderSpec{Col: cols[rng.Intn(len(cols))]})
-	}
-	return root
-}
+// configurations, and SPJA queries (gen.go's exported generators, shared
+// with the engine's trace-invariant tests) through the real rewrite and
+// assert the two sides of the checker's contract: every rewrite-produced
+// plan verifies cleanly, and a corrupted recorded property is detected.
 
 // TestFuzzRewrittenPlansVerify is the soundness property: whatever the
 // rewrite produces over a valid random design, Verify accepts.
@@ -130,15 +21,15 @@ func TestFuzzRewrittenPlansVerify(t *testing.T) {
 	verified := 0
 	for seed := int64(0); seed < rounds; seed++ {
 		rng := rand.New(rand.NewSource(seed))
-		s := genSchema(rng)
-		cfg := genConfig(rng, s)
+		s := check.GenSchema(rng)
+		cfg := check.GenConfig(rng, s)
 		if cfg.Validate(s) != nil {
 			continue
 		}
 		if err := check.VerifyDesign(s, cfg); err != nil {
 			t.Fatalf("seed %d: VerifyDesign rejects a config Validate accepts:\n%s\n%v", seed, cfg, err)
 		}
-		q := genQuery(rng, s)
+		q := check.GenQuery(rng, s)
 		rw, err := plan.Rewrite(q, s, cfg, plan.Options{})
 		if err != nil {
 			t.Fatalf("seed %d: rewrite failed on generated query: %v\n%s", seed, err, plan.Format(q))
@@ -161,12 +52,12 @@ func TestFuzzCorruptedPartsDetected(t *testing.T) {
 	checked := 0
 	for seed := int64(0); seed < rounds; seed++ {
 		rng := rand.New(rand.NewSource(seed))
-		s := genSchema(rng)
-		cfg := genConfig(rng, s)
+		s := check.GenSchema(rng)
+		cfg := check.GenConfig(rng, s)
 		if cfg.Validate(s) != nil {
 			continue
 		}
-		q := genQuery(rng, s)
+		q := check.GenQuery(rng, s)
 		rw, err := plan.Rewrite(q, s, cfg, plan.Options{})
 		if err != nil || check.Verify(rw) != nil {
 			continue

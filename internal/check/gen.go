@@ -1,0 +1,127 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pref/internal/catalog"
+	"pref/internal/partition"
+	"pref/internal/plan"
+	"pref/internal/value"
+)
+
+// Scenario generators for property-based tests. They live in the package
+// proper (not a _test.go file) so the engine's trace-invariant property
+// tests can drive the same random schema/design/query space the checker's
+// own fuzz tests cover.
+
+// GenSchema builds a random 2–5 table catalog. Columns are Int so any
+// column pair is equi-join compatible; the first column is the PK.
+func GenSchema(rng *rand.Rand) *catalog.Schema {
+	s := catalog.NewSchema("fuzz")
+	nt := 2 + rng.Intn(4)
+	for ti := 0; ti < nt; ti++ {
+		nc := 2 + rng.Intn(4)
+		cols := make([]catalog.Column, nc)
+		for ci := 0; ci < nc; ci++ {
+			cols[ci] = catalog.Column{Name: fmt.Sprintf("t%dc%d", ti, ci), Kind: value.Int}
+		}
+		t, err := catalog.NewTable(fmt.Sprintf("t%d", ti), cols, cols[0].Name)
+		if err != nil {
+			continue // unreachable for generated shapes; skip defensively
+		}
+		if err := s.AddTable(t); err != nil {
+			continue
+		}
+	}
+	return s
+}
+
+// GenConfig assigns each table a random scheme. PREF schemes only
+// reference lower-numbered, non-replicated tables, so chains are acyclic
+// by construction and always bottom out at a properly partitioned seed
+// (VerifyDesign rejects replicated seeds, which Config.Validate tolerates).
+func GenConfig(rng *rand.Rand, s *catalog.Schema) *partition.Config {
+	cfg := partition.NewConfig(2 + rng.Intn(4))
+	names := s.TableNames()
+	var seedable []string
+	for _, name := range names {
+		t := s.Table(name)
+		switch r := rng.Intn(4); {
+		case r == 0 && len(seedable) > 0:
+			ref := s.Table(seedable[rng.Intn(len(seedable))])
+			// Reference a random column pair; referencing the PK sometimes
+			// makes the chain hash-equivalent or redundancy-free, so all
+			// three dup regimes are exercised.
+			rc := t.Columns[rng.Intn(t.NumCols())].Name
+			sc := ref.Columns[rng.Intn(ref.NumCols())].Name
+			cfg.SetPref(name, ref.Name, []string{rc}, []string{sc})
+			seedable = append(seedable, name)
+		case r == 1:
+			cfg.SetReplicated(name)
+		default:
+			cfg.SetHash(name, t.Columns[rng.Intn(t.NumCols())].Name)
+			seedable = append(seedable, name)
+		}
+	}
+	return cfg
+}
+
+// GenQuery builds a random left-deep SPJA plan over 1–3 distinct tables,
+// optionally topped by a filter, an aggregate, or a top-k.
+func GenQuery(rng *rand.Rand, s *catalog.Schema) plan.Node {
+	names := s.TableNames()
+	nscan := 1 + rng.Intn(3)
+	if nscan > len(names) {
+		nscan = len(names)
+	}
+	perm := rng.Perm(len(names))[:nscan]
+
+	alias := func(i int) string { return fmt.Sprintf("a%d", i) }
+	qcols := func(i int) []string {
+		t := s.Table(names[perm[i]])
+		out := make([]string, t.NumCols())
+		for ci, col := range t.Columns {
+			out[ci] = plan.Qualify(alias(i), col.Name)
+		}
+		return out
+	}
+
+	var root plan.Node = plan.Scan(names[perm[0]], alias(0))
+	cols := qcols(0)
+	for i := 1; i < nscan; i++ {
+		right := plan.Scan(names[perm[i]], alias(i))
+		rcols := qcols(i)
+		jt := plan.Inner
+		switch rng.Intn(4) {
+		case 1:
+			jt = plan.Semi
+		case 2:
+			jt = plan.Anti
+		case 3:
+			jt = plan.LeftOuter
+		}
+		lc := cols[rng.Intn(len(cols))]
+		rc := rcols[rng.Intn(len(rcols))]
+		root = plan.Join(root, right, jt, []string{lc}, []string{rc})
+		if jt == plan.Semi || jt == plan.Anti {
+			continue // right columns do not survive
+		}
+		cols = append(append([]string(nil), cols...), rcols...)
+	}
+
+	if rng.Intn(2) == 0 {
+		root = plan.Filter(root, plan.Gt(plan.Col(cols[rng.Intn(len(cols))]), plan.Lit(int64(rng.Intn(50)))))
+	}
+	switch rng.Intn(4) {
+	case 0:
+		g := cols[rng.Intn(len(cols))]
+		root = plan.Aggregate(root, []string{g}, plan.Count("cnt"),
+			plan.Sum(plan.Col(cols[rng.Intn(len(cols))]), "s"))
+	case 1:
+		root = plan.Aggregate(root, nil, plan.Count("cnt"))
+	case 2:
+		root = plan.TopK(root, 1+rng.Intn(10), plan.OrderSpec{Col: cols[rng.Intn(len(cols))]})
+	}
+	return root
+}

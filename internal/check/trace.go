@@ -1,0 +1,263 @@
+package check
+
+import (
+	"fmt"
+
+	"pref/internal/plan"
+	"pref/internal/trace"
+)
+
+// Trace rules (VerifyTrace): the runtime complement of Verify. Where
+// Verify proves locality and duplicate-freedom statically, VerifyTrace
+// replays those proofs against what one execution actually observed —
+// a trace showing rows shipped through an operator the checker proved
+// local is a bug, caught automatically after every traced+verified run.
+const (
+	// RuleTraceShape marks traces whose operator tree does not mirror
+	// the physical plan (missing spans, mismatched arity, unexecuted
+	// operators in a successful run).
+	RuleTraceShape Rule = "trace-shape"
+	// RuleTraceShip marks rows shipped by an operator that is not a
+	// data-movement operator — the runtime face of RuleLocality: a
+	// statically-local join, scan (absent redundancy recovery), or any
+	// other node-local operator observed putting rows on the wire.
+	RuleTraceShip Rule = "trace-ship"
+	// RuleTraceConserve marks span row counts that violate the
+	// operator's conservation law (e.g. a projection emitting more rows
+	// than it consumed, an exchange losing rows that were not
+	// deduplicated, an operator consuming rows its child never produced).
+	RuleTraceConserve Rule = "trace-conserve"
+	// RuleTraceStats marks disagreement between the query's flat Stats
+	// counters and the sum of span contributions.
+	RuleTraceStats Rule = "trace-stats"
+)
+
+// VerifyTrace cross-checks a finished execution trace against the
+// rewritten plan it came from: tree shape, per-operator conservation
+// laws, ship legality, and agreement of span sums with the query-level
+// totals. It returns nil or a Violations error, like Verify.
+func VerifyTrace(rw *plan.Rewritten, tr *trace.Trace) error {
+	var vs Violations
+	if tr == nil || tr.Root == nil {
+		return Violations{{Rule: RuleTraceShape, Detail: "no trace recorded"}}
+	}
+	if tr.Root.Kind != trace.KindResult || len(tr.Root.Children) != 1 {
+		return Violations{{Rule: RuleTraceShape,
+			Detail: fmt.Sprintf("root span is %s with %d children, want result with 1",
+				tr.Root.Kind, len(tr.Root.Children))}}
+	}
+
+	tv := &traceVerifier{n: tr.N, nodeWork: make([]int64, tr.N)}
+	// The synthetic Result span has no plan node; its child anchors the
+	// lockstep walk over the plan tree.
+	tv.checkOp(nil, tr.Root, &vs)
+	tv.checkEdge(nil, tr.Root, []*trace.OpTrace{tr.Root.Children[0]}, &vs)
+	tv.walk(rw.Root, tr.Root.Children[0], &vs)
+	tv.checkTotals(tr, &vs)
+
+	if len(vs) == 0 {
+		return nil
+	}
+	return vs
+}
+
+// traceVerifier accumulates span sums while walking plan and trace trees
+// in lockstep.
+type traceVerifier struct {
+	n        int
+	sum      trace.Metrics // rollup of every span
+	nodeWork []int64       // per-node Work rollup (MaxNodeRows check)
+	reparts  int           // spans that count as Stats.Repartitions
+	bcasts   int           // spans that count as Stats.Broadcasts
+}
+
+func (tv *traceVerifier) walk(n plan.Node, ot *trace.OpTrace, vs *Violations) {
+	kids := n.Children()
+	if len(kids) != len(ot.Children) {
+		*vs = append(*vs, &Violation{Rule: RuleTraceShape, Node: n,
+			Detail: fmt.Sprintf("span %q has %d children, plan operator has %d",
+				ot.Label, len(ot.Children), len(kids))})
+		return
+	}
+	tv.checkOp(n, ot, vs)
+	tv.checkEdge(n, ot, ot.Children, vs)
+	for i := range kids {
+		tv.walk(kids[i], ot.Children[i], vs)
+	}
+}
+
+// checkOp applies the per-operator rules: kind sanity, ship legality,
+// dedup legality, and the intra-operator conservation law over the span's
+// rolled-up row counts. It also accumulates the span into the verifier's
+// totals.
+func (tv *traceVerifier) checkOp(n plan.Node, ot *trace.OpTrace, vs *Violations) {
+	m := &ot.Totals
+	tv.accumulate(ot)
+
+	bad := func(rule Rule, format string, args ...any) {
+		*vs = append(*vs, &Violation{Rule: rule, Node: n,
+			Detail: fmt.Sprintf("span %q: ", ot.Label) + fmt.Sprintf(format, args...)})
+	}
+
+	if ot.Kind == trace.KindUnexecuted {
+		bad(RuleTraceShape, "operator present in plan but never executed in a successful run")
+		return
+	}
+
+	// Ship legality: only exchange operators move rows — except a scan
+	// reconstructing a lost partition from PREF/replication redundancy,
+	// whose recovered rows travel from survivors to the buddy node.
+	if m.RowsShipped > 0 && !ot.Kind.Exchange() {
+		if !(ot.Kind == trace.KindScan && m.RecoveredRows > 0) {
+			bad(RuleTraceShip,
+				"%d rows shipped by a non-exchange operator the checker proved local",
+				m.RowsShipped)
+		}
+	}
+	if m.DedupHits > 0 {
+		switch ot.Kind {
+		case trace.KindDistinctPref, trace.KindDistinctByValue,
+			trace.KindRepartition, trace.KindBroadcast:
+		default:
+			bad(RuleTraceConserve, "%d dedup hits on a kind that never deduplicates", m.DedupHits)
+		}
+	}
+
+	// Intra-operator conservation: what each kind may do to row counts.
+	in, out, dedup := m.RowsIn, m.RowsOut, m.DedupHits
+	nn := int64(tv.n)
+	switch ot.Kind {
+	case trace.KindProject:
+		if out != in {
+			bad(RuleTraceConserve, "projection must preserve cardinality: in=%d out=%d", in, out)
+		}
+	case trace.KindFilter, trace.KindTopK:
+		if out > in {
+			bad(RuleTraceConserve, "out=%d exceeds in=%d", out, in)
+		}
+	case trace.KindDistinctPref, trace.KindRepartition, trace.KindDistinctByValue:
+		if out != in-dedup {
+			bad(RuleTraceConserve, "rows lost or invented: in=%d dedup=%d out=%d", in, dedup, out)
+		}
+	case trace.KindBroadcast:
+		if out != nn*(in-dedup) {
+			bad(RuleTraceConserve, "broadcast must fan out to all %d nodes: in=%d dedup=%d out=%d",
+				tv.n, in, dedup, out)
+		}
+	case trace.KindGather, trace.KindResult:
+		if out != in {
+			bad(RuleTraceConserve, "gather must preserve cardinality: in=%d out=%d", in, out)
+		}
+	case trace.KindAggregate, trace.KindPartialAgg:
+		// Empty partitions of a global aggregation still emit an
+		// identity state row each.
+		if out > in+nn {
+			bad(RuleTraceConserve, "aggregate emitted %d rows from %d inputs on %d nodes", out, in, tv.n)
+		}
+	case trace.KindFinalAgg:
+		if out > in+1 {
+			bad(RuleTraceConserve, "final merge emitted %d rows from %d partial states", out, in)
+		}
+	case trace.KindScan, trace.KindJoin:
+		// Scans produce, joins multiply: no cardinality law links their
+		// in/out counts.
+	}
+}
+
+// checkEdge applies the inter-operator conservation law: an operator
+// consumes exactly what its children produced. OneCopy exchanges read one
+// of the n identical copies of a replicated input, so they consume
+// childOut/n.
+func (tv *traceVerifier) checkEdge(n plan.Node, ot *trace.OpTrace, children []*trace.OpTrace, vs *Violations) {
+	if len(children) == 0 {
+		return
+	}
+	var childOut int64
+	for _, c := range children {
+		childOut += c.Totals.RowsOut
+	}
+	in := ot.Totals.RowsIn
+	if ot.ReadOne {
+		in *= int64(tv.n)
+	}
+	if in != childOut {
+		*vs = append(*vs, &Violation{Rule: RuleTraceConserve, Node: n,
+			Detail: fmt.Sprintf("span %q: consumed %d rows but children produced %d%s",
+				ot.Label, ot.Totals.RowsIn, childOut, readOneNote(ot))})
+	}
+}
+
+func readOneNote(ot *trace.OpTrace) string {
+	if ot.ReadOne {
+		return " (OneCopy: expects n·in = child out)"
+	}
+	return ""
+}
+
+// accumulate folds one span into the query-wide sums for checkTotals.
+func (tv *traceVerifier) accumulate(ot *trace.OpTrace) {
+	m := &ot.Totals
+	tv.sum.RowsShipped += m.RowsShipped
+	tv.sum.BytesShipped += m.BytesShipped
+	tv.sum.Work += m.Work
+	tv.sum.Retries += m.Retries
+	tv.sum.Failovers += m.Failovers
+	tv.sum.WastedRows += m.WastedRows
+	tv.sum.RecoveredRows += m.RecoveredRows
+	for _, nm := range ot.Nodes {
+		if nm.Node >= 0 && nm.Node < len(tv.nodeWork) {
+			tv.nodeWork[nm.Node] += nm.Work
+		}
+	}
+	switch ot.Kind {
+	case trace.KindRepartition, trace.KindDistinctByValue:
+		tv.reparts++
+	case trace.KindBroadcast:
+		tv.bcasts++
+	}
+}
+
+// checkTotals diffs the span sums against the query-level flat counters
+// (engine.Stats, carried as trace.Totals).
+func (tv *traceVerifier) checkTotals(tr *trace.Trace, vs *Violations) {
+	t := tr.Totals
+	bad := func(format string, args ...any) {
+		*vs = append(*vs, &Violation{Rule: RuleTraceStats, Detail: fmt.Sprintf(format, args...)})
+	}
+	if tv.sum.RowsShipped != t.RowsShipped {
+		bad("span RowsShipped sum %d != Stats.RowsShipped %d", tv.sum.RowsShipped, t.RowsShipped)
+	}
+	if tv.sum.BytesShipped != t.BytesShipped {
+		bad("span BytesShipped sum %d != Stats.BytesShipped %d", tv.sum.BytesShipped, t.BytesShipped)
+	}
+	if tv.sum.Work != t.RowsProcessed {
+		bad("span Work sum %d != Stats.RowsProcessed %d", tv.sum.Work, t.RowsProcessed)
+	}
+	if tv.sum.Retries != int64(t.Retries) {
+		bad("span Retries sum %d != Stats.Retries %d", tv.sum.Retries, t.Retries)
+	}
+	if tv.sum.Failovers != int64(t.Failovers) {
+		bad("span Failovers sum %d != Stats.Failovers %d", tv.sum.Failovers, t.Failovers)
+	}
+	if tv.sum.WastedRows != t.WastedRows {
+		bad("span WastedRows sum %d != Stats.WastedRows %d", tv.sum.WastedRows, t.WastedRows)
+	}
+	if tv.sum.RecoveredRows != t.RecoveredRows {
+		bad("span RecoveredRows sum %d != Stats.RecoveredRows %d", tv.sum.RecoveredRows, t.RecoveredRows)
+	}
+	var maxWork int64
+	for _, w := range tv.nodeWork {
+		if w > maxWork {
+			maxWork = w
+		}
+	}
+	if maxWork != t.MaxNodeRows {
+		bad("max per-node span Work %d != Stats.MaxNodeRows %d", maxWork, t.MaxNodeRows)
+	}
+	if tv.reparts != t.Repartitions {
+		bad("%d repartitioning spans != Stats.Repartitions %d", tv.reparts, t.Repartitions)
+	}
+	if tv.bcasts != t.Broadcasts {
+		bad("%d broadcast spans != Stats.Broadcasts %d", tv.bcasts, t.Broadcasts)
+	}
+}

@@ -1,0 +1,142 @@
+package check_test
+
+import (
+	"testing"
+
+	"pref/internal/catalog"
+	"pref/internal/check"
+	"pref/internal/engine"
+	"pref/internal/partition"
+	"pref/internal/plan"
+	"pref/internal/table"
+	"pref/internal/trace"
+	"pref/internal/value"
+)
+
+// traceFixture executes a PREF-chain join+aggregate query with tracing on
+// and returns the plan and its (valid) trace. Each corruption test then
+// damages one exported field and asserts the matching rule fires —
+// VerifyTrace must be able to tell a recorded trace from a doctored one.
+func traceFixture(t *testing.T) (*plan.Rewritten, *trace.Trace) {
+	t.Helper()
+	s := catalog.NewSchema("tv")
+	s.MustAddTable(catalog.MustTable("users",
+		[]catalog.Column{{Name: "uid", Kind: value.Int}, {Name: "region", Kind: value.Int}}, "uid"))
+	s.MustAddTable(catalog.MustTable("orders",
+		[]catalog.Column{{Name: "oid", Kind: value.Int}, {Name: "uid", Kind: value.Int}, {Name: "qty", Kind: value.Int}}, "oid"))
+	db := table.NewDatabase(s)
+	for i := int64(0); i < 30; i++ {
+		db.Tables["users"].MustAppend(value.Tuple{i, i % 4})
+	}
+	for i := int64(0); i < 90; i++ {
+		db.Tables["orders"].MustAppend(value.Tuple{i, i % 30, i % 7})
+	}
+	cfg := partition.NewConfig(4)
+	cfg.SetHash("orders", "uid")
+	cfg.SetPref("users", "orders", []string{"uid"}, []string{"uid"})
+
+	pdb, err := partition.Apply(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := plan.Aggregate(
+		plan.Join(plan.Scan("users", "u"), plan.Scan("orders", "o"),
+			plan.Inner, []string{"u.uid"}, []string{"o.uid"}),
+		[]string{"u.region"}, plan.Count("cnt"))
+	rw, err := plan.Rewrite(q, s, cfg, plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.ExecuteOpts(rw, pdb, engine.ExecOptions{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := check.VerifyTrace(rw, res.Trace); err != nil {
+		t.Fatalf("fixture trace must verify cleanly: %v", err)
+	}
+	return rw, res.Trace
+}
+
+// findSpan returns the first span of the given kind, walking root-first.
+func findSpan(tr *trace.Trace, kind trace.Kind) *trace.OpTrace {
+	var hit *trace.OpTrace
+	tr.Walk(func(ot *trace.OpTrace) {
+		if hit == nil && ot.Kind == kind {
+			hit = ot
+		}
+	})
+	return hit
+}
+
+func assertRule(t *testing.T, err error, rule check.Rule) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("corruption not detected, want rule %s", rule)
+	}
+	if !check.ViolationsOf(err).HasRule(rule) {
+		t.Fatalf("got %v, want a %s violation", err, rule)
+	}
+}
+
+func TestVerifyTraceRejectsMissingTrace(t *testing.T) {
+	rw, _ := traceFixture(t)
+	assertRule(t, check.VerifyTrace(rw, nil), check.RuleTraceShape)
+	assertRule(t, check.VerifyTrace(rw, &trace.Trace{}), check.RuleTraceShape)
+}
+
+func TestVerifyTraceRejectsWrongRoot(t *testing.T) {
+	rw, tr := traceFixture(t)
+	tr.Root.Kind = trace.KindGather
+	assertRule(t, check.VerifyTrace(rw, tr), check.RuleTraceShape)
+}
+
+func TestVerifyTraceRejectsUnexecutedSpan(t *testing.T) {
+	rw, tr := traceFixture(t)
+	findSpan(tr, trace.KindScan).Kind = trace.KindUnexecuted
+	assertRule(t, check.VerifyTrace(rw, tr), check.RuleTraceShape)
+}
+
+func TestVerifyTraceRejectsIllegalShip(t *testing.T) {
+	rw, tr := traceFixture(t)
+	// The PREF chain keeps this join local; claiming it shipped rows is
+	// exactly the locality regression VerifyTrace exists to catch.
+	j := findSpan(tr, trace.KindJoin)
+	if j == nil {
+		t.Fatal("fixture has no join span")
+	}
+	if j.Totals.RowsShipped != 0 {
+		t.Fatalf("fixture join already ships %d rows", j.Totals.RowsShipped)
+	}
+	j.Totals.RowsShipped = 10
+	assertRule(t, check.VerifyTrace(rw, tr), check.RuleTraceShip)
+}
+
+func TestVerifyTraceRejectsInventedRows(t *testing.T) {
+	rw, tr := traceFixture(t)
+	// A filter (the dup=0 scan filter) or projection emitting more rows
+	// than it consumed breaks the intra-operator law; any span works via
+	// the edge law, so corrupt the plan-root side deterministically.
+	span := tr.Root.Children[0]
+	span.Totals.RowsOut += 3
+	assertRule(t, check.VerifyTrace(rw, tr), check.RuleTraceConserve)
+}
+
+func TestVerifyTraceRejectsIllegalDedup(t *testing.T) {
+	rw, tr := traceFixture(t)
+	findSpan(tr, trace.KindJoin).Totals.DedupHits = 2
+	assertRule(t, check.VerifyTrace(rw, tr), check.RuleTraceConserve)
+}
+
+func TestVerifyTraceRejectsStatsDrift(t *testing.T) {
+	rw, tr := traceFixture(t)
+	tr.Totals.RowsProcessed += 5
+	assertRule(t, check.VerifyTrace(rw, tr), check.RuleTraceStats)
+
+	rw2, tr2 := traceFixture(t)
+	tr2.Totals.MaxNodeRows++
+	assertRule(t, check.VerifyTrace(rw2, tr2), check.RuleTraceStats)
+
+	rw3, tr3 := traceFixture(t)
+	tr3.Totals.Repartitions++
+	assertRule(t, check.VerifyTrace(rw3, tr3), check.RuleTraceStats)
+}

@@ -2,8 +2,10 @@ package engine
 
 import (
 	"math"
+	"time"
 
 	"pref/internal/plan"
+	"pref/internal/trace"
 	"pref/internal/value"
 )
 
@@ -166,18 +168,26 @@ func finalValue(a plan.AggExpr, s *aggState, isFloat bool) int64 {
 }
 
 func (ex *executor) evalAggregate(n *plan.AggregateNode) ([][]value.Tuple, error) {
+	top := ex.tb.Begin(n, trace.KindAggregate)
 	in, err := ex.eval(n.Child)
 	if err != nil {
 		return nil, err
 	}
+	ex.addInputs(top, in)
 	sch := ex.rw.Schemas[n.Child]
-	return ex.forEachPart(func(p int) ([]value.Tuple, int, error) {
+	// Over a Gathered input only partition 0 is ever consumed downstream,
+	// so the empty-input identity row of a global aggregation must not be
+	// fabricated on the other partitions (phantom rows that inflate work
+	// and break trace row conservation).
+	childProp := ex.rw.Props[n.Child]
+	gathered := childProp != nil && childProp.Gathered
+	return ex.forEachPart(top, func(p int) ([]value.Tuple, int, error) {
 		info, err := bindAggs(n.GroupBy, n.Aggs, sch)
 		if err != nil {
 			return nil, 0, err
 		}
 		groups := info.accumulate(in[p])
-		if len(n.GroupBy) == 0 && len(groups) == 0 {
+		if len(n.GroupBy) == 0 && len(groups) == 0 && (p == 0 || !gathered) {
 			// A global aggregation always yields one row (COUNT()=0).
 			groups[value.Key("")] = &groupAcc{states: make([]aggState, len(n.Aggs))}
 		}
@@ -197,12 +207,14 @@ func (ex *executor) evalAggregate(n *plan.AggregateNode) ([][]value.Tuple, error
 // evalPartialAgg emits per-partition partial states: AVG carries (sum,
 // count); the other functions carry their (combinable) value.
 func (ex *executor) evalPartialAgg(n *plan.PartialAggNode) ([][]value.Tuple, error) {
+	top := ex.tb.Begin(n, trace.KindPartialAgg)
 	in, err := ex.eval(n.Child)
 	if err != nil {
 		return nil, err
 	}
+	ex.addInputs(top, in)
 	sch := ex.rw.Schemas[n.Child]
-	return ex.forEachPart(func(p int) ([]value.Tuple, int, error) {
+	return ex.forEachPart(top, func(p int) ([]value.Tuple, int, error) {
 		info, err := bindAggs(n.GroupBy, n.Aggs, sch)
 		if err != nil {
 			return nil, 0, err
@@ -239,26 +251,36 @@ func (ex *executor) evalPartialAgg(n *plan.PartialAggNode) ([][]value.Tuple, err
 // the coordinator node and runs under the same fault model as the
 // fan-out operators.
 func (ex *executor) evalFinalAgg(n *plan.FinalAggNode) ([][]value.Tuple, error) {
+	top := ex.tb.Begin(n, trace.KindFinalAgg)
 	in, err := ex.eval(n.Child)
 	if err != nil {
 		return nil, err
 	}
+	// The merge reads only the coordinator partition (everything is there
+	// after the preceding Gather).
+	top.AddIn(ex.execDst[0], len(in[0]))
 	sch := ex.rw.Schemas[n.Child]
 	op := ex.nextOp()
-	rows, work, err := ex.runUnit(op, 0, func(int) ([]value.Tuple, int, error) {
+	start := time.Now()
+	rows, work, err := ex.runUnit(top, op, 0, func(int) ([]value.Tuple, int, error) {
 		rs, err := mergePartials(n, sch, in[0])
 		if err != nil {
 			return nil, 0, err
 		}
 		return rs, len(rs), nil
 	})
+	en := ex.execDst[0]
+	top.AddWall(en, time.Since(start))
 	if err != nil {
 		return nil, err
 	}
 	out := make([][]value.Tuple, ex.n)
 	out[0] = rows
-	if en := ex.execDst[0]; en != 0 {
+	top.AddOut(en, len(rows))
+	top.AddWork(en, work)
+	if en != 0 {
 		ex.stats.Failovers++
+		top.AddFailover(en)
 		ex.work(en, work)
 	} else {
 		ex.work(0, work)

@@ -27,6 +27,7 @@ import (
 	"pref/internal/fault"
 	"pref/internal/plan"
 	"pref/internal/table"
+	"pref/internal/trace"
 	"pref/internal/value"
 )
 
@@ -68,6 +69,10 @@ type Result struct {
 	Schema plan.Schema
 	Rows   []value.Tuple
 	Stats  Stats
+	// Trace is the per-operator, per-node execution trace, populated when
+	// ExecOptions.Trace (or PREF_TRACE) is set; nil otherwise. It renders
+	// as EXPLAIN ANALYZE via Trace.Render and exports as JSON.
+	Trace *trace.Trace
 }
 
 // SortRows orders the result rows lexicographically, making map-ordered
@@ -104,10 +109,20 @@ type ExecOptions struct {
 	// is re-proved first). Setting the PREF_VERIFY environment variable to
 	// any non-empty value enables it process-wide.
 	Verify bool
+	// Trace records a per-operator, per-node execution trace into
+	// Result.Trace. Setting the PREF_TRACE environment variable to any
+	// non-empty value enables it process-wide. When combined with Verify,
+	// the finished trace is additionally cross-checked against the
+	// statically proven plan properties (check.VerifyTrace): rows shipped
+	// through an operator the verifier proved local fail the query.
+	Trace bool
 }
 
 // verifyEnv caches the PREF_VERIFY environment toggle.
 var verifyEnv = sync.OnceValue(func() bool { return os.Getenv("PREF_VERIFY") != "" })
+
+// traceEnv caches the PREF_TRACE environment toggle.
+var traceEnv = sync.OnceValue(func() bool { return os.Getenv("PREF_TRACE") != "" })
 
 // partUnit computes one partition's slice of an operator: its output rows
 // plus the operator work (a row count) to charge to the executing node.
@@ -124,6 +139,11 @@ type executor struct {
 	cancel  context.CancelFunc
 	opSeq   int   // deterministic operator counter (main goroutine only)
 	execDst []int // executing node per logical partition (buddy when down)
+	// tb is the trace sink; nil when tracing is off. Its ops' mutators
+	// are nil-safe, so recording sites need no enabled-checks. Note the
+	// fault-schedule anchor opSeq is NOT shared with trace op ids:
+	// enabling tracing must not perturb injected fault schedules.
+	tb      *trace.Builder
 	stats   Stats
 	nodeRow []int64                       // per-node processed rows
 	survIdx map[string]map[value.Key]bool // surviving-copy index per table (recovery)
@@ -174,6 +194,9 @@ func ExecuteCtx(ctx context.Context, rw *plan.Rewritten, pdb *table.PartitionedD
 		ctx: ctx, cancel: cancel, execDst: execDst,
 		nodeRow: make([]int64, pdb.N),
 	}
+	if opt.Trace || traceEnv() {
+		ex.tb = trace.NewBuilder(pdb.N)
+	}
 	parts, err := ex.eval(rw.Root)
 	if err != nil {
 		return nil, err
@@ -181,28 +204,60 @@ func ExecuteCtx(ctx context.Context, rw *plan.Rewritten, pdb *table.PartitionedD
 	rootProp := rw.Props[rw.Root]
 	sch := rw.Schemas[rw.Root]
 
+	// The synthetic Result span covers the implicit hand-off of the root's
+	// partitions to the coordinator, traced even when it ships nothing.
+	rtop := ex.tb.BeginResult()
 	var rows []value.Tuple
 	switch {
 	case rootProp != nil && (rootProp.Gathered || rootProp.Repl):
 		rows = parts[0]
+		if rootProp.Repl {
+			rtop.SetReadOne() // coordinator reads one of n identical copies
+		}
+		rtop.AddIn(ex.execDst[0], len(rows))
 	default:
 		// Implicit final gather to the coordinator, metered.
 		op := ex.nextOp()
 		for p, rs := range parts {
+			rtop.AddIn(ex.execDst[p], len(rs))
 			if p != 0 {
-				if err := ex.shipBatch(op, p, len(rs), len(sch)); err != nil {
+				if err := ex.shipBatch(rtop, op, p, len(rs), len(sch)); err != nil {
 					return nil, err
 				}
 			}
 			rows = append(rows, rs...)
 		}
 	}
+	rtop.AddOut(ex.execDst[0], len(rows))
 	for p := range ex.nodeRow {
 		if ex.nodeRow[p] > ex.stats.MaxNodeRows {
 			ex.stats.MaxNodeRows = ex.nodeRow[p]
 		}
 	}
-	return &Result{Schema: sch, Rows: rows, Stats: ex.stats}, nil
+	res := &Result{Schema: sch, Rows: rows, Stats: ex.stats}
+	if ex.tb != nil {
+		ex.tb.SetTotals(trace.Totals{
+			BytesShipped:  ex.stats.BytesShipped,
+			RowsShipped:   ex.stats.RowsShipped,
+			RowsProcessed: ex.stats.RowsProcessed,
+			MaxNodeRows:   ex.stats.MaxNodeRows,
+			Repartitions:  ex.stats.Repartitions,
+			Broadcasts:    ex.stats.Broadcasts,
+			Retries:       ex.stats.Retries,
+			Failovers:     ex.stats.Failovers,
+			RecoveredRows: ex.stats.RecoveredRows,
+			WastedRows:    ex.stats.WastedRows,
+		})
+		res.Trace = ex.tb.Build(rw)
+		if opt.Verify || verifyEnv() {
+			// Runtime cross-check: the observed spans must agree with the
+			// statically proven Dup/Part properties and with Stats.
+			if err := check.VerifyTrace(rw, res.Trace); err != nil {
+				return nil, fmt.Errorf("engine: execution trace failed runtime verification: %w", err)
+			}
+		}
+	}
+	return res, nil
 }
 
 // buddyMap assigns every logical partition its executing node: itself, or
@@ -253,8 +308,10 @@ func (ex *executor) nextOp() int {
 // forEachPart runs one unit of work per partition concurrently under the
 // fault model and returns the per-partition outputs. The first node error
 // cancels the query context so no further work launches — here for the
-// remaining partitions, and in every downstream operator.
-func (ex *executor) forEachPart(fn partUnit) ([][]value.Tuple, error) {
+// remaining partitions, and in every downstream operator. Successful
+// units record their output, work, and wall time into top's per-node
+// cells (nil top: tracing off).
+func (ex *executor) forEachPart(top *trace.Op, fn partUnit) ([][]value.Tuple, error) {
 	op := ex.nextOp()
 	out := make([][]value.Tuple, ex.n)
 	errs := make([]error, ex.n)
@@ -267,17 +324,22 @@ func (ex *executor) forEachPart(fn partUnit) ([][]value.Tuple, error) {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			rows, work, err := ex.runUnit(op, p, fn)
+			en := ex.execDst[p]
+			start := time.Now()
+			rows, work, err := ex.runUnit(top, op, p, fn)
+			top.AddWall(en, time.Since(start))
 			if err != nil {
 				errs[p] = err
 				ex.cancel()
 				return
 			}
 			out[p] = rows
-			en := ex.execDst[p]
+			top.AddOut(en, len(rows))
+			top.AddWork(en, work)
 			ex.mu.Lock()
 			if en != p {
 				ex.stats.Failovers++
+				top.AddFailover(en)
 			}
 			ex.work(en, work)
 			ex.mu.Unlock()
@@ -288,6 +350,17 @@ func (ex *executor) forEachPart(fn partUnit) ([][]value.Tuple, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// addInputs charges each partition's consumed input rows to the node the
+// consuming unit executes on.
+func (ex *executor) addInputs(top *trace.Op, in [][]value.Tuple) {
+	if top == nil {
+		return
+	}
+	for p, rows := range in {
+		top.AddIn(ex.execDst[p], len(rows))
+	}
 }
 
 // firstErr picks the root-cause error, preferring anything over the
@@ -313,7 +386,7 @@ func firstErr(errs []error) error {
 // recovery, and cancellation checks between attempts. Fault draws are
 // keyed by the executing node, so work failed over from a down node
 // inherits the buddy's fault behaviour.
-func (ex *executor) runUnit(op, p int, fn partUnit) ([]value.Tuple, int, error) {
+func (ex *executor) runUnit(top *trace.Op, op, p int, fn partUnit) ([]value.Tuple, int, error) {
 	en := ex.execDst[p]
 	max := ex.inj.MaxAttempts()
 	for attempt := 0; ; attempt++ {
@@ -339,6 +412,8 @@ func (ex *executor) runUnit(op, p int, fn partUnit) ([]value.Tuple, int, error) 
 		ex.stats.WastedRows += int64(work)
 		ex.work(en, work)
 		ex.mu.Unlock()
+		top.AddRetry(en, work)
+		top.AddWork(en, work)
 		if attempt+1 >= max {
 			return nil, 0, fmt.Errorf("engine: partition %d on node %d: %d crashed attempts: %w",
 				p, en, max, fault.ErrNodeFailed)
@@ -378,22 +453,27 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 // shipBatch meters one exchange shipment of rows from src under injected
 // shipment failures: a failed attempt's bytes hit the wire before being
 // re-sent (so BytesShipped degrades) and its payload counts as wasted.
-// Runs on the query goroutine only.
-func (ex *executor) shipBatch(op, src, rows, width int) error {
+// Runs on the query goroutine only. Trace cells are charged to the node
+// actually executing the source partition (the buddy when src is down);
+// fault draws stay keyed by the logical src.
+func (ex *executor) shipBatch(top *trace.Op, op, src, rows, width int) error {
 	if rows == 0 {
 		return nil
 	}
+	en := ex.execDst[src]
 	max := ex.inj.MaxAttempts()
 	for attempt := 0; ; attempt++ {
 		if err := ex.ctx.Err(); err != nil {
 			return err
 		}
 		ex.ship(rows, width)
+		top.AddShip(en, rows, width)
 		if !ex.inj.ShipFail(op, src, attempt) {
 			return nil
 		}
 		ex.stats.Retries++
 		ex.stats.WastedRows += int64(rows)
+		top.AddRetry(en, rows)
 		if attempt+1 >= max {
 			return fmt.Errorf("engine: shipment of %d rows from node %d: %d failed attempts: %w",
 				rows, src, max, fault.ErrShipmentFailed)
@@ -460,6 +540,7 @@ func scanRows(part *table.Partition, withIndexes bool) []value.Tuple {
 }
 
 func (ex *executor) evalScan(n *plan.ScanNode) ([][]value.Tuple, error) {
+	top := ex.tb.Begin(n, trace.KindScan)
 	pt, ok := ex.pdb.Tables[n.Table]
 	if !ok {
 		return nil, fmt.Errorf("engine: table %s not in partitioned database", n.Table)
@@ -473,14 +554,14 @@ func (ex *executor) evalScan(n *plan.ScanNode) ([][]value.Tuple, error) {
 			keep[p] = true
 		}
 	}
-	return ex.forEachPart(func(p int) ([]value.Tuple, int, error) {
+	return ex.forEachPart(top, func(p int) ([]value.Tuple, int, error) {
 		if keep != nil && !keep[p] {
 			return nil, 0, nil // pruned: the partition cannot contain matches
 		}
 		if ex.inj.NodeDown(p) {
 			// The node holding this base partition is gone: reconstruct
 			// its scan output from surviving duplicate copies.
-			rows, err := ex.recoverScan(pt, p, withIndexes, len(sch))
+			rows, err := ex.recoverScan(top, pt, p, withIndexes, len(sch))
 			if err != nil {
 				return nil, 0, err
 			}
@@ -492,12 +573,14 @@ func (ex *executor) evalScan(n *plan.ScanNode) ([][]value.Tuple, error) {
 }
 
 func (ex *executor) evalFilter(n *plan.FilterNode) ([][]value.Tuple, error) {
+	top := ex.tb.Begin(n, trace.KindFilter)
 	in, err := ex.eval(n.Child)
 	if err != nil {
 		return nil, err
 	}
+	ex.addInputs(top, in)
 	sch := ex.rw.Schemas[n.Child]
-	return ex.forEachPart(func(p int) ([]value.Tuple, int, error) {
+	return ex.forEachPart(top, func(p int) ([]value.Tuple, int, error) {
 		pred, err := n.Pred.Bind(sch)
 		if err != nil {
 			return nil, 0, err
@@ -513,12 +596,14 @@ func (ex *executor) evalFilter(n *plan.FilterNode) ([][]value.Tuple, error) {
 }
 
 func (ex *executor) evalProject(n *plan.ProjectNode) ([][]value.Tuple, error) {
+	top := ex.tb.Begin(n, trace.KindProject)
 	in, err := ex.eval(n.Child)
 	if err != nil {
 		return nil, err
 	}
+	ex.addInputs(top, in)
 	sch := ex.rw.Schemas[n.Child]
-	return ex.forEachPart(func(p int) ([]value.Tuple, int, error) {
+	return ex.forEachPart(top, func(p int) ([]value.Tuple, int, error) {
 		fns := make([]func(value.Tuple) int64, len(n.Exprs))
 		for i, e := range n.Exprs {
 			f, err := e.Bind(sch)
@@ -568,25 +653,38 @@ func dedupRows(rows []value.Tuple, sch plan.Schema, dupCols []string) ([]value.T
 }
 
 func (ex *executor) evalDistinctPref(n *plan.DistinctPrefNode) ([][]value.Tuple, error) {
+	top := ex.tb.Begin(n, trace.KindDistinctPref)
 	in, err := ex.eval(n.Child)
 	if err != nil {
 		return nil, err
 	}
+	ex.addInputs(top, in)
 	sch := ex.rw.Schemas[n.Child]
-	return ex.forEachPart(func(p int) ([]value.Tuple, int, error) {
+	out, err := ex.forEachPart(top, func(p int) ([]value.Tuple, int, error) {
 		rows, err := dedupRows(in[p], sch, n.DupCols)
 		if err != nil {
 			return nil, 0, err
 		}
 		return rows, len(rows), nil
 	})
+	if err != nil {
+		return nil, err
+	}
+	// Dedup hits are derived after the fan-out so crash-retried attempts
+	// cannot double-count them.
+	for p := range out {
+		top.AddDedup(ex.execDst[p], len(in[p])-len(out[p]))
+	}
+	return out, nil
 }
 
 func (ex *executor) evalDistinctByValue(n *plan.DistinctByValueNode) ([][]value.Tuple, error) {
+	top := ex.tb.Begin(n, trace.KindDistinctByValue)
 	in, err := ex.eval(n.Child)
 	if err != nil {
 		return nil, err
 	}
+	ex.addInputs(top, in)
 	sch := ex.rw.Schemas[n.Child]
 	idx, err := sch.Indexes(n.Cols)
 	if err != nil {
@@ -606,11 +704,11 @@ func (ex *executor) evalDistinctByValue(n *plan.DistinctByValueNode) ([][]value.
 			}
 			shuffled[dst] = append(shuffled[dst], r)
 		}
-		if err := ex.shipBatch(op, src, cross, len(sch)); err != nil {
+		if err := ex.shipBatch(top, op, src, cross, len(sch)); err != nil {
 			return nil, err
 		}
 	}
-	return ex.forEachPart(func(p int) ([]value.Tuple, int, error) {
+	out, err := ex.forEachPart(top, func(p int) ([]value.Tuple, int, error) {
 		seen := make(map[value.Key]bool, len(shuffled[p]))
 		var rows []value.Tuple
 		for _, r := range shuffled[p] {
@@ -622,9 +720,17 @@ func (ex *executor) evalDistinctByValue(n *plan.DistinctByValueNode) ([][]value.
 		}
 		return rows, len(rows), nil
 	})
+	if err != nil {
+		return nil, err
+	}
+	for p := range out {
+		top.AddDedup(ex.execDst[p], len(shuffled[p])-len(out[p]))
+	}
+	return out, nil
 }
 
 func (ex *executor) evalRepartition(n *plan.RepartitionNode) ([][]value.Tuple, error) {
+	top := ex.tb.Begin(n, trace.KindRepartition)
 	in, err := ex.eval(n.Child)
 	if err != nil {
 		return nil, err
@@ -636,15 +742,18 @@ func (ex *executor) evalRepartition(n *plan.RepartitionNode) ([][]value.Tuple, e
 	}
 	ex.stats.Repartitions++
 	op := ex.nextOp()
+	start := time.Now()
 	out := make([][]value.Tuple, ex.n)
 	for src := 0; src < ex.n; src++ {
 		if n.OneCopy && src != 0 {
 			continue
 		}
+		top.AddIn(ex.execDst[src], len(in[src]))
 		rows, err := dedupRows(in[src], sch, n.DupCols)
 		if err != nil {
 			return nil, err
 		}
+		top.AddDedup(ex.execDst[src], len(in[src])-len(rows))
 		cross := 0
 		for _, r := range rows {
 			dst := int(value.HashTuple(r, idx) % uint64(ex.n))
@@ -653,17 +762,24 @@ func (ex *executor) evalRepartition(n *plan.RepartitionNode) ([][]value.Tuple, e
 			}
 			out[dst] = append(out[dst], r)
 		}
-		if err := ex.shipBatch(op, src, cross, len(sch)); err != nil {
+		if err := ex.shipBatch(top, op, src, cross, len(sch)); err != nil {
 			return nil, err
 		}
 	}
+	if n.OneCopy {
+		top.SetReadOne()
+	}
 	for dst := 0; dst < ex.n; dst++ {
 		ex.work(ex.execDst[dst], len(out[dst]))
+		top.AddWork(ex.execDst[dst], len(out[dst]))
+		top.AddOut(ex.execDst[dst], len(out[dst]))
 	}
+	top.AddWall(ex.execDst[0], time.Since(start))
 	return out, nil
 }
 
 func (ex *executor) evalBroadcast(n *plan.BroadcastNode) ([][]value.Tuple, error) {
+	top := ex.tb.Begin(n, trace.KindBroadcast)
 	in, err := ex.eval(n.Child)
 	if err != nil {
 		return nil, err
@@ -671,46 +787,63 @@ func (ex *executor) evalBroadcast(n *plan.BroadcastNode) ([][]value.Tuple, error
 	sch := ex.rw.Schemas[n.Child]
 	ex.stats.Broadcasts++
 	op := ex.nextOp()
+	start := time.Now()
 	var all []value.Tuple
 	for src := 0; src < ex.n; src++ {
 		if n.OneCopy && src != 0 {
 			continue
 		}
+		top.AddIn(ex.execDst[src], len(in[src]))
 		rows, err := dedupRows(in[src], sch, n.DupCols)
 		if err != nil {
 			return nil, err
 		}
+		top.AddDedup(ex.execDst[src], len(in[src])-len(rows))
 		// Each row is shipped to every other node.
-		if err := ex.shipBatch(op, src, len(rows)*(ex.n-1), len(sch)); err != nil {
+		if err := ex.shipBatch(top, op, src, len(rows)*(ex.n-1), len(sch)); err != nil {
 			return nil, err
 		}
 		all = append(all, rows...)
+	}
+	if n.OneCopy {
+		top.SetReadOne()
 	}
 	out := make([][]value.Tuple, ex.n)
 	for p := 0; p < ex.n; p++ {
 		out[p] = all
 		ex.work(ex.execDst[p], len(all))
+		top.AddWork(ex.execDst[p], len(all))
+		top.AddOut(ex.execDst[p], len(all))
 	}
+	top.AddWall(ex.execDst[0], time.Since(start))
 	return out, nil
 }
 
 func (ex *executor) evalGather(n *plan.GatherNode) ([][]value.Tuple, error) {
+	top := ex.tb.Begin(n, trace.KindGather)
 	in, err := ex.eval(n.Child)
 	if err != nil {
 		return nil, err
 	}
 	sch := ex.rw.Schemas[n.Child]
+	start := time.Now()
 	out := make([][]value.Tuple, ex.n)
 	if n.OneCopy {
+		top.SetReadOne()
+		top.AddIn(ex.execDst[0], len(in[0]))
 		out[0] = in[0]
 		ex.work(ex.execDst[0], len(in[0]))
+		top.AddWork(ex.execDst[0], len(in[0]))
+		top.AddOut(ex.execDst[0], len(in[0]))
+		top.AddWall(ex.execDst[0], time.Since(start))
 		return out, nil
 	}
 	op := ex.nextOp()
 	var rows []value.Tuple
 	for p := 0; p < ex.n; p++ {
+		top.AddIn(ex.execDst[p], len(in[p]))
 		if p != 0 {
-			if err := ex.shipBatch(op, p, len(in[p]), len(sch)); err != nil {
+			if err := ex.shipBatch(top, op, p, len(in[p]), len(sch)); err != nil {
 				return nil, err
 			}
 		}
@@ -718,5 +851,8 @@ func (ex *executor) evalGather(n *plan.GatherNode) ([][]value.Tuple, error) {
 	}
 	out[0] = rows
 	ex.work(ex.execDst[0], len(rows))
+	top.AddWork(ex.execDst[0], len(rows))
+	top.AddOut(ex.execDst[0], len(rows))
+	top.AddWall(ex.execDst[0], time.Since(start))
 	return out, nil
 }

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"pref/internal/plan"
+	"pref/internal/trace"
 	"pref/internal/value"
 )
 
@@ -9,6 +10,7 @@ import (
 // probe with the left. Inner, left-outer, semi, and anti flavors share the
 // probe loop; a residual predicate filters candidate pairs.
 func (ex *executor) evalJoin(n *plan.JoinNode) ([][]value.Tuple, error) {
+	top := ex.tb.Begin(n, trace.KindJoin)
 	left, err := ex.eval(n.Left)
 	if err != nil {
 		return nil, err
@@ -17,6 +19,8 @@ func (ex *executor) evalJoin(n *plan.JoinNode) ([][]value.Tuple, error) {
 	if err != nil {
 		return nil, err
 	}
+	ex.addInputs(top, left)
+	ex.addInputs(top, right)
 	ls := ex.rw.Schemas[n.Left]
 	rs := ex.rw.Schemas[n.Right]
 	both := ls.Concat(rs)
@@ -30,7 +34,7 @@ func (ex *executor) evalJoin(n *plan.JoinNode) ([][]value.Tuple, error) {
 		return nil, err
 	}
 
-	return ex.forEachPart(func(p int) ([]value.Tuple, int, error) {
+	return ex.forEachPart(top, func(p int) ([]value.Tuple, int, error) {
 		var residual func(value.Tuple) bool
 		if n.Residual != nil {
 			f, err := n.Residual.Bind(both)

@@ -3,6 +3,7 @@ package engine
 import (
 	"pref/internal/fault"
 	"pref/internal/table"
+	"pref/internal/trace"
 	"pref/internal/value"
 )
 
@@ -30,7 +31,7 @@ import (
 // surviving duplicate copies. All recovered rows are shipped from
 // survivors to the buddy node and metered; Stats.RecoveredRows counts
 // them. Unrecoverable content returns *fault.PartitionLostError.
-func (ex *executor) recoverScan(pt *table.Partitioned, p int, withIndexes bool, width int) ([]value.Tuple, error) {
+func (ex *executor) recoverScan(top *trace.Op, pt *table.Partitioned, p int, withIndexes bool, width int) ([]value.Tuple, error) {
 	surv := ex.survivorIndex(pt)
 	part := pt.Parts[p]
 	allCols := make([]int, pt.Meta.NumCols())
@@ -53,6 +54,9 @@ func (ex *executor) recoverScan(pt *table.Partitioned, p int, withIndexes bool, 
 	ex.stats.RecoveredRows += int64(len(part.Rows))
 	ex.ship(len(rows), width) // survivors → buddy node
 	ex.mu.Unlock()
+	en := ex.execDst[p]
+	top.AddRecovered(en, len(part.Rows))
+	top.AddShip(en, len(rows), width)
 	return rows, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"pref/internal/plan"
+	"pref/internal/trace"
 	"pref/internal/value"
 )
 
@@ -12,10 +13,12 @@ import (
 // truncates to the limit. The partial pass runs on every partition; the
 // final pass sees rows only at the coordinator after the gather.
 func (ex *executor) evalTopK(n *plan.TopKNode) ([][]value.Tuple, error) {
+	top := ex.tb.Begin(n, trace.KindTopK)
 	in, err := ex.eval(n.Child)
 	if err != nil {
 		return nil, err
 	}
+	ex.addInputs(top, in)
 	sch := ex.rw.Schemas[n.Child]
 
 	type term struct {
@@ -67,7 +70,7 @@ func (ex *executor) evalTopK(n *plan.TopKNode) ([][]value.Tuple, error) {
 		return false
 	}
 
-	return ex.forEachPart(func(p int) ([]value.Tuple, int, error) {
+	return ex.forEachPart(top, func(p int) ([]value.Tuple, int, error) {
 		rows := append([]value.Tuple(nil), in[p]...)
 		sort.Slice(rows, func(i, j int) bool { return less(rows[i], rows[j]) })
 		if n.Limit > 0 && len(rows) > n.Limit {

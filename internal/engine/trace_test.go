@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"pref/internal/catalog"
+	"pref/internal/check"
+	"pref/internal/fault"
+	"pref/internal/partition"
+	"pref/internal/plan"
+	"pref/internal/table"
+	"pref/internal/trace"
+	"pref/internal/value"
+)
+
+// genData fills a generated schema with random rows: the PK column is
+// sequential (unique), every other column draws from a small domain so
+// random equi-joins actually match and PREF chains produce both
+// referenced and orphaned tuples.
+func genData(rng *rand.Rand, s *catalog.Schema) *table.Database {
+	db := table.NewDatabase(s)
+	for _, t := range s.Tables() {
+		n := 1 + rng.Intn(60)
+		for i := 0; i < n; i++ {
+			row := make(value.Tuple, t.NumCols())
+			row[0] = int64(i)
+			for c := 1; c < t.NumCols(); c++ {
+				row[c] = int64(rng.Intn(20))
+			}
+			if err := db.Tables[t.Name].Append(row); err != nil {
+				panic(err) // lint:invariant — arity fixed by construction
+			}
+		}
+	}
+	return db
+}
+
+// traceScenario runs one generated scenario with tracing on and returns
+// the result, or nil when the random design/query combination is invalid
+// (rejected configs, rewrite limitations) — those are generator misses,
+// not failures.
+func traceScenario(t *testing.T, seed int64, eopt ExecOptions) *Result {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	s := check.GenSchema(rng)
+	cfg := check.GenConfig(rng, s)
+	if cfg.Validate(s) != nil {
+		return nil
+	}
+	db := genData(rng, s)
+	pdb, err := partition.Apply(db, cfg)
+	if err != nil {
+		return nil
+	}
+	q := check.GenQuery(rng, s)
+	rw, err := plan.Rewrite(q, s, cfg, plan.Options{})
+	if err != nil {
+		t.Fatalf("seed %d: rewrite failed: %v\n%s", seed, err, plan.Format(q))
+	}
+	eopt.Trace = true
+	res, err := ExecuteOpts(rw, pdb, eopt)
+	if err != nil {
+		t.Fatalf("seed %d: execute failed: %v\nplan:\n%s", seed, err, rw.Explain())
+	}
+	if res.Trace == nil {
+		t.Fatalf("seed %d: Trace requested but nil", seed)
+	}
+	if err := check.VerifyTrace(rw, res.Trace); err != nil {
+		t.Fatalf("seed %d: trace fails verification: %v\nplan:\n%s\ntrace:\n%s",
+			seed, err, rw.Explain(), res.Trace.Render(trace.RenderOptions{}))
+	}
+	return res
+}
+
+// assertTotalsMirrorStats pins the engine's copy of Stats into
+// trace.Totals: the two accounting systems must agree field by field
+// (VerifyTrace then independently proves the spans sum to these totals).
+func assertTotalsMirrorStats(t *testing.T, seed int64, res *Result) {
+	t.Helper()
+	tt := res.Trace.Totals
+	st := res.Stats
+	if tt.BytesShipped != st.BytesShipped || tt.RowsShipped != st.RowsShipped ||
+		tt.RowsProcessed != st.RowsProcessed || tt.MaxNodeRows != st.MaxNodeRows ||
+		tt.Repartitions != st.Repartitions || tt.Broadcasts != st.Broadcasts ||
+		tt.Retries != st.Retries || tt.Failovers != st.Failovers ||
+		tt.RecoveredRows != st.RecoveredRows || tt.WastedRows != st.WastedRows {
+		t.Fatalf("seed %d: trace totals %+v diverge from stats %+v", seed, tt, st)
+	}
+}
+
+// TestTraceInvariantsProperty is the runtime analogue of the checker's
+// static fuzz suite: random schema/design/query scenarios execute with
+// tracing on, and every finished trace must satisfy the conservation,
+// ship-legality, and stats-sum laws of check.VerifyTrace.
+func TestTraceInvariantsProperty(t *testing.T) {
+	const rounds = 250
+	executed := 0
+	for seed := int64(0); seed < rounds; seed++ {
+		res := traceScenario(t, seed, ExecOptions{})
+		if res == nil {
+			continue
+		}
+		assertTotalsMirrorStats(t, seed, res)
+		executed++
+	}
+	if executed < rounds/2 {
+		t.Fatalf("only %d/%d seeds executed; generator is degenerate", executed, rounds)
+	}
+}
+
+// TestTraceInvariantsUnderFaults re-runs the property with crash-retry
+// and ship-failure injection: wasted attempts, re-shipments, and retry
+// counters must stay conserved and keep matching Stats exactly.
+func TestTraceInvariantsUnderFaults(t *testing.T) {
+	const rounds = 120
+	executed := 0
+	for seed := int64(0); seed < rounds; seed++ {
+		res := traceScenario(t, seed, ExecOptions{
+			Fault: &fault.Policy{Seed: seed, CrashProb: 0.2, ShipFailProb: 0.2, MaxAttempts: 16},
+		})
+		if res == nil {
+			continue
+		}
+		assertTotalsMirrorStats(t, seed, res)
+		executed++
+	}
+	if executed < rounds/3 {
+		t.Fatalf("only %d/%d seeds executed; generator is degenerate", executed, rounds)
+	}
+}

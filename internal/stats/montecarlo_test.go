@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestExpectedCopiesMonteCarlo validates the Appendix A model empirically:
+// placing f occurrences of a join-key value uniformly into n partitions
+// and counting the distinct partitions hit must average to E_{f,n}[X]
+// within sampling error — for both the closed form n·(1−(1−1/n)^f) and
+// the exact Stirling evaluation (which the closed-form grid test already
+// proves equal to each other; this pins them to the physical process the
+// formulas claim to model).
+func TestExpectedCopiesMonteCarlo(t *testing.T) {
+	const trials = 20000
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{2, 3, 4, 8, 16} {
+		for _, f := range []int{1, 2, 3, 5, 8, 13, 21, 40} {
+			var sum, sumSq float64
+			occupied := make([]bool, n)
+			for trial := 0; trial < trials; trial++ {
+				for i := range occupied {
+					occupied[i] = false
+				}
+				distinct := 0
+				for i := 0; i < f; i++ {
+					b := rng.Intn(n)
+					if !occupied[b] {
+						occupied[b] = true
+						distinct++
+					}
+				}
+				d := float64(distinct)
+				sum += d
+				sumSq += d * d
+			}
+			mean := sum / trials
+			variance := sumSq/trials - mean*mean
+			stderr := math.Sqrt(variance / trials)
+			// 5σ plus an absolute floor: near-saturated grids (f ≫ n)
+			// observe X = n on every trial (zero variance) while the
+			// formula keeps a sub-resolution tail like n·(1−1/n)^f ≈ 1e-6
+			// that no affordable trial count can distinguish from n.
+			tol := 5*stderr + 1e-4
+			for _, ref := range []struct {
+				name string
+				v    float64
+			}{
+				{"closed", ExpectedCopies(f, n)},
+				{"exact", ExpectedCopiesExact(f, n)},
+			} {
+				if diff := math.Abs(mean - ref.v); diff > tol {
+					t.Errorf("f=%d n=%d: simulated mean %.5f vs %s %.5f (|Δ|=%.5f > tol %.5f)",
+						f, n, mean, ref.name, ref.v, diff, tol)
+				}
+			}
+		}
+	}
+}
+
+// TestCopiesDistributionMonteCarlo spot-checks the full distribution, not
+// just its mean: empirical P(X=x) frequencies must track the probability
+// DP for a moderate (f, n).
+func TestCopiesDistributionMonteCarlo(t *testing.T) {
+	const trials = 50000
+	f, n := 6, 4
+	rng := rand.New(rand.NewSource(23))
+	counts := make([]int, n+1)
+	for trial := 0; trial < trials; trial++ {
+		var mask uint
+		for i := 0; i < f; i++ {
+			mask |= 1 << uint(rng.Intn(n))
+		}
+		counts[popcount(mask)]++
+	}
+	want := CopiesDistribution(f, n)
+	for x := 0; x <= n; x++ {
+		got := float64(counts[x]) / trials
+		// Binomial sampling error on a proportion, 5σ.
+		tol := 5*math.Sqrt(want[x]*(1-want[x])/trials) + 1e-9
+		if math.Abs(got-want[x]) > tol {
+			t.Errorf("P(X=%d): simulated %.5f vs DP %.5f (tol %.5f)", x, got, want[x], tol)
+		}
+	}
+}
+
+func popcount(m uint) int {
+	c := 0
+	for ; m != 0; m &= m - 1 {
+		c++
+	}
+	return c
+}

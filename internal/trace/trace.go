@@ -1,0 +1,414 @@
+// Package trace is the per-query observability layer: per-operator,
+// per-node execution telemetry recorded while a rewritten plan runs.
+//
+// The engine opens one Op per physical plan operator and writes metric
+// deltas into per-node cells as partition work units finish. Cells are
+// written with atomic adds — partition goroutines for different logical
+// partitions can land on the same executing node after a buddy failover,
+// so distinct-cell writes are not guaranteed — and the finished tree is
+// assembled on the query goroutine once execution completes, so readers
+// never race writers ("lock-free-ish sink, merged on the query
+// goroutine").
+//
+// The output, Trace, mirrors the physical plan tree: one OpTrace per
+// operator plus a synthetic Result root for the implicit coordinator
+// gather. It renders as an EXPLAIN ANALYZE-style annotated plan
+// (render.go) and marshals to JSON as-is; internal/check.VerifyTrace
+// replays conservation and locality invariants over it after every
+// traced+verified execution.
+package trace
+
+import (
+	"sync/atomic"
+	"time"
+
+	"pref/internal/plan"
+)
+
+// Metrics is one cell of execution counters: either one (operator, node)
+// pair, or a rollup of such cells. All fields are int64 so live cells can
+// be written with atomic adds from partition goroutines.
+type Metrics struct {
+	// RowsIn counts input rows the operator actually consumed (for
+	// OneCopy exchanges, only the coordinator copy it reads).
+	RowsIn int64 `json:"rows_in"`
+	// RowsOut counts output rows of successful work units. Output of
+	// crashed attempts is excluded (it lands in WastedRows).
+	RowsOut int64 `json:"rows_out"`
+	// RowsShipped / BytesShipped count this operator's traffic across
+	// node boundaries, per shipment attempt (a re-shipped batch counts
+	// every time it hits the wire), matching engine.Stats metering.
+	RowsShipped  int64 `json:"rows_shipped"`
+	BytesShipped int64 `json:"bytes_shipped"`
+	// DedupHits counts rows removed by the dup=0 PREF-duplicate filter
+	// or by value-distinctness before rows leave the operator.
+	DedupHits int64 `json:"dedup_hits"`
+	// Work counts processed rows charged to the node (the CPU proxy the
+	// engine meters), including cache-miss penalties and work burned by
+	// crashed attempts.
+	Work int64 `json:"work"`
+	// Retries counts discarded work-unit attempts and failed shipment
+	// attempts; WastedRows is the row payload those attempts burned.
+	Retries    int64 `json:"retries"`
+	WastedRows int64 `json:"wasted_rows"`
+	// Failovers counts partition units redirected to a buddy node.
+	Failovers int64 `json:"failovers"`
+	// RecoveredRows counts base-table tuple copies rebuilt from PREF /
+	// replication redundancy during a scan of a lost partition.
+	RecoveredRows int64 `json:"recovered_rows"`
+	// WallNanos is wall time spent in this operator's work units on the
+	// node, including retry backoff and straggler delays.
+	WallNanos int64 `json:"wall_nanos"`
+}
+
+func (m *Metrics) merge(o *Metrics) {
+	m.RowsIn += o.RowsIn
+	m.RowsOut += o.RowsOut
+	m.RowsShipped += o.RowsShipped
+	m.BytesShipped += o.BytesShipped
+	m.DedupHits += o.DedupHits
+	m.Work += o.Work
+	m.Retries += o.Retries
+	m.WastedRows += o.WastedRows
+	m.Failovers += o.Failovers
+	m.RecoveredRows += o.RecoveredRows
+	m.WallNanos += o.WallNanos
+}
+
+// Zero reports whether every counter in the cell is zero.
+func (m *Metrics) Zero() bool {
+	return *m == Metrics{}
+}
+
+// Op is a live per-operator sink: one Metrics cell per node. All mutators
+// are safe on a nil receiver (tracing disabled) and safe to call from
+// concurrent partition goroutines.
+type Op struct {
+	id      int
+	kind    Kind
+	label   string
+	prop    string
+	readOne bool
+	cells   []Metrics
+}
+
+// Kind classifies an operator for the trace invariants: which
+// conservation law its row counts obey and whether it may ship rows.
+type Kind string
+
+const (
+	KindScan            Kind = "scan"
+	KindFilter          Kind = "filter"
+	KindProject         Kind = "project"
+	KindJoin            Kind = "join"
+	KindAggregate       Kind = "aggregate"
+	KindPartialAgg      Kind = "partial-agg"
+	KindFinalAgg        Kind = "final-agg"
+	KindRepartition     Kind = "repartition"
+	KindBroadcast       Kind = "broadcast"
+	KindDistinctPref    Kind = "distinct-pref"
+	KindDistinctByValue Kind = "distinct-by-value"
+	KindGather          Kind = "gather"
+	KindTopK            Kind = "topk"
+	// KindResult is the synthetic root: the implicit gather of the plan
+	// root's partitions to the coordinator.
+	KindResult Kind = "result"
+	// KindUnexecuted marks operators present in the plan whose sink was
+	// never opened — impossible in a successful run, and flagged by
+	// check.VerifyTrace.
+	KindUnexecuted Kind = "unexecuted"
+)
+
+// Exchange reports whether the kind is a data-movement operator, i.e.
+// whether nonzero RowsShipped is legitimate for it. Scans are not
+// exchanges but may still ship during PREF-redundancy recovery; check's
+// trace rules special-case that via RecoveredRows.
+func (k Kind) Exchange() bool {
+	switch k {
+	case KindRepartition, KindBroadcast, KindDistinctByValue, KindGather, KindResult:
+		return true
+	}
+	return false
+}
+
+// AddIn charges consumed input rows to a node's cell.
+func (o *Op) AddIn(node, rows int) {
+	if o == nil || rows == 0 {
+		return
+	}
+	atomic.AddInt64(&o.cells[node].RowsIn, int64(rows))
+}
+
+// AddOut charges successfully produced output rows to a node's cell.
+func (o *Op) AddOut(node, rows int) {
+	if o == nil || rows == 0 {
+		return
+	}
+	atomic.AddInt64(&o.cells[node].RowsOut, int64(rows))
+}
+
+// AddShip charges one shipment attempt leaving src.
+func (o *Op) AddShip(src, rows, width int) {
+	if o == nil || rows == 0 {
+		return
+	}
+	atomic.AddInt64(&o.cells[src].RowsShipped, int64(rows))
+	atomic.AddInt64(&o.cells[src].BytesShipped, int64(rows)*int64(width)*8)
+}
+
+// AddDedup charges PREF-duplicate (or value-distinctness) filter hits.
+func (o *Op) AddDedup(node, hits int) {
+	if o == nil || hits == 0 {
+		return
+	}
+	atomic.AddInt64(&o.cells[node].DedupHits, int64(hits))
+}
+
+// AddWork charges processed rows (CPU proxy) to a node's cell.
+func (o *Op) AddWork(node, rows int) {
+	if o == nil || rows == 0 {
+		return
+	}
+	atomic.AddInt64(&o.cells[node].Work, int64(rows))
+}
+
+// AddRetry records one discarded attempt and the row payload it wasted.
+func (o *Op) AddRetry(node, wastedRows int) {
+	if o == nil {
+		return
+	}
+	atomic.AddInt64(&o.cells[node].Retries, 1)
+	atomic.AddInt64(&o.cells[node].WastedRows, int64(wastedRows))
+}
+
+// AddFailover records one partition unit redirected to a buddy node.
+func (o *Op) AddFailover(node int) {
+	if o == nil {
+		return
+	}
+	atomic.AddInt64(&o.cells[node].Failovers, 1)
+}
+
+// AddRecovered records tuple copies rebuilt from redundancy on node.
+func (o *Op) AddRecovered(node, rows int) {
+	if o == nil || rows == 0 {
+		return
+	}
+	atomic.AddInt64(&o.cells[node].RecoveredRows, int64(rows))
+}
+
+// AddWall charges wall time spent in this operator's work on node.
+func (o *Op) AddWall(node int, d time.Duration) {
+	if o == nil || d <= 0 {
+		return
+	}
+	atomic.AddInt64(&o.cells[node].WallNanos, int64(d))
+}
+
+// SetReadOne marks the operator as consuming only the coordinator copy of
+// a replicated/gathered input (the OneCopy exchange flag), which relaxes
+// the edge-conservation rule from equality to ≤.
+func (o *Op) SetReadOne() {
+	if o == nil {
+		return
+	}
+	o.readOne = true
+}
+
+// Totals mirrors engine.Stats field-for-field so internal/check can
+// cross-check span sums against the query's flat counters without
+// importing the engine (the engine imports check).
+type Totals struct {
+	BytesShipped  int64 `json:"bytes_shipped"`
+	RowsShipped   int64 `json:"rows_shipped"`
+	RowsProcessed int64 `json:"rows_processed"`
+	MaxNodeRows   int64 `json:"max_node_rows"`
+	Repartitions  int   `json:"repartitions"`
+	Broadcasts    int   `json:"broadcasts"`
+	Retries       int   `json:"retries"`
+	Failovers     int   `json:"failovers"`
+	RecoveredRows int64 `json:"recovered_rows"`
+	WastedRows    int64 `json:"wasted_rows"`
+}
+
+// Builder accumulates live Ops during one execution. Begin/Build run on
+// the query goroutine; only the returned Ops' mutators are called
+// concurrently.
+type Builder struct {
+	n      int
+	ops    map[plan.Node]*Op
+	result *Op
+	seq    int
+	start  time.Time
+	totals Totals
+}
+
+// NewBuilder opens a trace sink for a query over n nodes.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, ops: make(map[plan.Node]*Op), start: time.Now()}
+}
+
+// Begin opens (or returns) the sink for one plan operator. Safe on a nil
+// builder: returns a nil Op whose mutators are no-ops, so the engine's
+// recording sites need no tracing-enabled branches.
+func (b *Builder) Begin(n plan.Node, kind Kind) *Op {
+	if b == nil {
+		return nil
+	}
+	if op, ok := b.ops[n]; ok {
+		return op
+	}
+	op := b.newOp(kind, n.String())
+	b.ops[n] = op
+	return op
+}
+
+// BeginResult opens the synthetic root sink for the implicit final gather
+// to the coordinator.
+func (b *Builder) BeginResult() *Op {
+	if b == nil {
+		return nil
+	}
+	if b.result == nil {
+		b.result = b.newOp(KindResult, "Result")
+	}
+	return b.result
+}
+
+func (b *Builder) newOp(kind Kind, label string) *Op {
+	op := &Op{id: b.seq, kind: kind, label: label, cells: make([]Metrics, b.n)}
+	b.seq++
+	return op
+}
+
+// SetTotals records the query-level flat counters (engine.Stats) for the
+// cross-check in internal/check.VerifyTrace.
+func (b *Builder) SetTotals(t Totals) {
+	if b == nil {
+		return
+	}
+	b.totals = t
+}
+
+// NodeMetrics is the finished cell of one (operator, node) pair.
+type NodeMetrics struct {
+	Node int `json:"node"`
+	Metrics
+}
+
+// OpTrace is one operator's finished span: identity, per-node cells with
+// activity, and their rollup.
+type OpTrace struct {
+	ID    int    `json:"id"`
+	Kind  Kind   `json:"kind"`
+	Label string `json:"label"`
+	// Prop is the operator's recorded partitioning property rendering
+	// (e.g. "PREF[lineitem]"), empty for the synthetic Result op.
+	Prop string `json:"prop,omitempty"`
+	// ReadOne marks OneCopy exchanges: the operator consumed only the
+	// coordinator copy of its replicated/gathered input.
+	ReadOne bool `json:"read_one,omitempty"`
+	// Nodes holds the per-node cells that saw any activity, in node
+	// order.
+	Nodes []NodeMetrics `json:"nodes,omitempty"`
+	// Totals sums all per-node cells.
+	Totals   Metrics    `json:"totals"`
+	Children []*OpTrace `json:"children,omitempty"`
+}
+
+// Trace is the finished telemetry of one query: the annotated operator
+// tree plus the query-level rollup.
+type Trace struct {
+	// N is the node (partition) count of the executing database.
+	N int `json:"n"`
+	// Root is the synthetic Result operator; Root.Children[0] is the
+	// plan root.
+	Root *OpTrace `json:"root"`
+	// Totals is the engine's flat Stats counterpart, for cross-checking
+	// span sums.
+	Totals Totals `json:"totals"`
+	// WallNanos is end-to-end query wall time at the coordinator.
+	WallNanos int64 `json:"wall_nanos"`
+}
+
+// Build assembles the finished trace by walking the physical plan tree.
+// Call after execution completes; the result shares no state with the
+// live Ops. Operators the engine never opened (on error paths) appear
+// with zero metrics.
+func (b *Builder) Build(rw *plan.Rewritten) *Trace {
+	if b == nil {
+		return nil
+	}
+	var walk func(n plan.Node) *OpTrace
+	walk = func(n plan.Node) *OpTrace {
+		op := b.ops[n]
+		if op == nil {
+			op = b.newOp(KindUnexecuted, n.String())
+		}
+		ot := op.finish()
+		if p := rw.Props[n]; p != nil {
+			ot.Prop = p.String()
+		}
+		for _, c := range n.Children() {
+			ot.Children = append(ot.Children, walk(c))
+		}
+		return ot
+	}
+	planRoot := walk(rw.Root)
+	res := b.result
+	if res == nil {
+		res = b.newOp(KindResult, "Result")
+	}
+	root := res.finish()
+	root.Children = []*OpTrace{planRoot}
+	return &Trace{
+		N:         b.n,
+		Root:      root,
+		Totals:    b.totals,
+		WallNanos: int64(time.Since(b.start)),
+	}
+}
+
+// finish snapshots a live Op into an immutable OpTrace (without
+// children). Runs on the query goroutine after all units completed, so
+// plain loads are safe; atomic loads keep the race detector satisfied if
+// a straggler goroutine is still draining.
+func (o *Op) finish() *OpTrace {
+	ot := &OpTrace{ID: o.id, Kind: o.kind, Label: o.label, Prop: o.prop, ReadOne: o.readOne}
+	for node := range o.cells {
+		m := Metrics{
+			RowsIn:        atomic.LoadInt64(&o.cells[node].RowsIn),
+			RowsOut:       atomic.LoadInt64(&o.cells[node].RowsOut),
+			RowsShipped:   atomic.LoadInt64(&o.cells[node].RowsShipped),
+			BytesShipped:  atomic.LoadInt64(&o.cells[node].BytesShipped),
+			DedupHits:     atomic.LoadInt64(&o.cells[node].DedupHits),
+			Work:          atomic.LoadInt64(&o.cells[node].Work),
+			Retries:       atomic.LoadInt64(&o.cells[node].Retries),
+			WastedRows:    atomic.LoadInt64(&o.cells[node].WastedRows),
+			Failovers:     atomic.LoadInt64(&o.cells[node].Failovers),
+			RecoveredRows: atomic.LoadInt64(&o.cells[node].RecoveredRows),
+			WallNanos:     atomic.LoadInt64(&o.cells[node].WallNanos),
+		}
+		if m.Zero() {
+			continue
+		}
+		ot.Nodes = append(ot.Nodes, NodeMetrics{Node: node, Metrics: m})
+		ot.Totals.merge(&m)
+	}
+	return ot
+}
+
+// Walk visits every operator span depth-first, root first.
+func (t *Trace) Walk(fn func(*OpTrace)) {
+	if t == nil || t.Root == nil {
+		return
+	}
+	var walk func(*OpTrace)
+	walk = func(ot *OpTrace) {
+		fn(ot)
+		for _, c := range ot.Children {
+			walk(c)
+		}
+	}
+	walk(t.Root)
+}

@@ -46,6 +46,7 @@ import (
 	"pref/internal/table"
 	"pref/internal/tpcds"
 	"pref/internal/tpch"
+	"pref/internal/trace"
 	"pref/internal/value"
 )
 
@@ -168,6 +169,18 @@ type (
 	Result = engine.Result
 	// Stats is the execution telemetry (bytes shipped, rows, exchanges).
 	Stats = engine.Stats
+	// Trace is the per-operator, per-node execution trace populated by
+	// Explain / ExecOptions.Trace; renders as EXPLAIN ANALYZE via
+	// Trace.Render and exports via Trace.JSON.
+	Trace = trace.Trace
+	// OpTrace is one operator's span within a Trace.
+	OpTrace = trace.OpTrace
+	// TraceRenderOptions tunes EXPLAIN ANALYZE rendering (wall-time
+	// hiding for deterministic output, per-node breakdowns).
+	TraceRenderOptions = trace.RenderOptions
+	// TraceKind classifies a span's operator (trace.KindJoin, ...);
+	// TraceKind.Exchange reports whether the operator legally ships rows.
+	TraceKind = trace.Kind
 	// CostModel converts telemetry into simulated cluster runtime.
 	CostModel = engine.CostModel
 	// ExecOptions tunes the execution model (buffer-pool size etc.).
@@ -186,6 +199,26 @@ type (
 	AggExpr = plan.AggExpr
 	// OrderSpec is one ORDER BY term of a TopK operator.
 	OrderSpec = plan.OrderSpec
+)
+
+// Span kinds: the TraceKind values OpTrace.Kind takes when walking a
+// Trace (internal/trace documents the per-kind conservation laws).
+const (
+	KindScan            = trace.KindScan
+	KindFilter          = trace.KindFilter
+	KindProject         = trace.KindProject
+	KindJoin            = trace.KindJoin
+	KindAggregate       = trace.KindAggregate
+	KindPartialAgg      = trace.KindPartialAgg
+	KindFinalAgg        = trace.KindFinalAgg
+	KindRepartition     = trace.KindRepartition
+	KindBroadcast       = trace.KindBroadcast
+	KindDistinctPref    = trace.KindDistinctPref
+	KindDistinctByValue = trace.KindDistinctByValue
+	KindGather          = trace.KindGather
+	KindTopK            = trace.KindTopK
+	KindResult          = trace.KindResult
+	KindUnexecuted      = trace.KindUnexecuted
 )
 
 // Plan construction (see package plan for the full builder set).
@@ -293,6 +326,18 @@ func Run(root PlanNode, s *Schema, cfg *Config, pdb *PartitionedDatabase) (*Resu
 		return nil, err
 	}
 	return engine.Execute(rw, pdb)
+}
+
+// Explain is Run with per-operator tracing enabled: the result carries a
+// Trace whose Render is an EXPLAIN ANALYZE of the executed plan (observed
+// per-operator, per-node cardinalities, shipped bytes, dedup hits, fault
+// retries and wall times annotated onto the physical operator tree).
+func Explain(root PlanNode, s *Schema, cfg *Config, pdb *PartitionedDatabase) (*Result, error) {
+	rw, err := plan.Rewrite(root, s, cfg, plan.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return engine.ExecuteOpts(rw, pdb, ExecOptions{Trace: true})
 }
 
 // DefaultCostModel approximates the paper's commodity cluster.
