@@ -1,19 +1,31 @@
 // Command preflint runs the repository's custom analyzers (internal/lint)
 // over the module and exits nonzero if any diagnostic fires. It is the CI
 // companion to go vet: vet checks generic Go mistakes, preflint checks
-// this codebase's own invariants (panic policy, context threading in the
-// execution path, Prop slice aliasing).
+// this codebase's own invariants — panic policy, context threading,
+// Prop slice aliasing, partition-state ownership, atomic access
+// discipline, goroutine joining, and ship accounting.
 //
 // Usage:
 //
-//	preflint [dir...]        lint the packages rooted at each dir (default ".")
-//	preflint -list           print the analyzers and their docs
+//	preflint [flags] [dir...]   lint the packages rooted at each dir (default ".")
+//	preflint -list              print the analyzers and their docs
+//
+// Flags:
+//
+//	-json                  emit findings as a JSON report on stdout
+//	-sarif                 emit findings as SARIF 2.1.0 on stdout
+//	-baseline FILE         suppress findings recorded in FILE
+//	-write-baseline FILE   snapshot current findings into FILE and exit 0
+//	-strict                fail (exit 1) if the baseline itself is non-empty,
+//	                       or if any baseline entry is stale
+//
+// Exit status: 0 clean, 1 findings (or a -strict violation), 2 operational
+// error (unparseable package, bad flag, unreadable baseline).
 package main
 
 import (
 	"flag"
 	"fmt"
-	"io/fs"
 	"os"
 	"path/filepath"
 
@@ -22,6 +34,11 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	sarifOut := flag.Bool("sarif", false, "emit findings as SARIF 2.1.0")
+	baselinePath := flag.String("baseline", "", "baseline file of grandfathered findings")
+	writeBaseline := flag.String("write-baseline", "", "write current findings to this baseline file and exit")
+	strict := flag.Bool("strict", false, "fail if the baseline is non-empty or has stale entries")
 	flag.Parse()
 
 	analyzers := lint.Analyzers()
@@ -31,12 +48,16 @@ func main() {
 		}
 		return
 	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "preflint: -json and -sarif are mutually exclusive")
+		os.Exit(2)
+	}
 
 	roots := flag.Args()
 	if len(roots) == 0 {
 		roots = []string{"."}
 	}
-	failed := false
+	var diags []lint.Diagnostic
 	for _, root := range roots {
 		// Accept the conventional "./..." spelling so CI can invoke
 		// preflint like any go tool.
@@ -44,21 +65,57 @@ func main() {
 		if base := filepath.Base(root); base == "..." {
 			root = filepath.Dir(root)
 		}
-		dirs, err := packageDirs(root)
+		dirs, err := lint.PackageDirs(root)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "preflint: %v\n", err)
-			os.Exit(2)
+			fatal(err)
 		}
 		for _, dir := range dirs {
-			diags, err := lint.RunDir(dir, analyzers)
+			ds, err := lint.RunDir(dir, analyzers)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "preflint: %s: %v\n", dir, err)
-				os.Exit(2)
+				fatal(fmt.Errorf("%s: %w", dir, err))
 			}
-			for _, d := range diags {
-				fmt.Println(d)
-				failed = true
-			}
+			diags = append(diags, ds...)
+		}
+	}
+
+	if *writeBaseline != "" {
+		if err := lint.WriteBaseline(*writeBaseline, diags); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "preflint: wrote %d finding(s) to %s\n", len(diags), *writeBaseline)
+		return
+	}
+
+	baseline, err := lint.LoadBaseline(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	fresh, stale := baseline.Filter(diags)
+
+	switch {
+	case *jsonOut:
+		if err := lint.WriteJSON(os.Stdout, fresh); err != nil {
+			fatal(err)
+		}
+	case *sarifOut:
+		if err := lint.WriteSARIF(os.Stdout, analyzers, fresh); err != nil {
+			fatal(err)
+		}
+	default:
+		for _, d := range fresh {
+			fmt.Println(d)
+		}
+	}
+
+	failed := len(fresh) > 0
+	if *strict {
+		if n := len(baseline.Findings); n > 0 {
+			fmt.Fprintf(os.Stderr, "preflint: strict: baseline carries %d grandfathered finding(s); fix them and empty the baseline\n", n)
+			failed = true
+		}
+		for _, e := range stale {
+			fmt.Fprintf(os.Stderr, "preflint: strict: stale baseline entry (already fixed): %s [%s] %s\n", e.File, e.Analyzer, e.Message)
+			failed = true
 		}
 	}
 	if failed {
@@ -66,31 +123,7 @@ func main() {
 	}
 }
 
-// packageDirs walks root and returns every directory containing at least
-// one non-test .go file, skipping VCS metadata and testdata trees.
-func packageDirs(root string) ([]string, error) {
-	seen := map[string]bool{}
-	var dirs []string
-	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() {
-			switch d.Name() {
-			case ".git", "testdata", "vendor":
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if filepath.Ext(path) != ".go" {
-			return nil
-		}
-		dir := filepath.Dir(path)
-		if !seen[dir] {
-			seen[dir] = true
-			dirs = append(dirs, dir)
-		}
-		return nil
-	})
-	return dirs, err
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "preflint: %v\n", err)
+	os.Exit(2)
 }

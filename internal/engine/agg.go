@@ -250,6 +250,9 @@ func (ex *executor) evalPartialAgg(n *plan.PartialAggNode) ([][]value.Tuple, err
 // rows after the preceding Gather). The merge is a single work unit on
 // the coordinator node and runs under the same fault model as the
 // fan-out operators.
+//
+// lint:ship-boundary coordinator-side merge: consumes every partition's
+// partials on the query goroutine; its input exchange already metered them.
 func (ex *executor) evalFinalAgg(n *plan.FinalAggNode) ([][]value.Tuple, error) {
 	top := ex.tb.Begin(n, trace.KindFinalAgg)
 	in, err := ex.eval(n.Child)

@@ -164,6 +164,9 @@ func ExecuteOpts(rw *plan.Rewritten, pdb *table.PartitionedDatabase, opt ExecOpt
 // ExecuteCtx is ExecuteOpts under a caller-supplied context. The query
 // additionally gets its own deadline when the fault policy sets one;
 // cancelling ctx aborts all in-flight per-node work.
+//
+// lint:ship-boundary coordinator assembly: gathers every partition's output
+// and the per-node row counters into the final Result.
 func ExecuteCtx(ctx context.Context, rw *plan.Rewritten, pdb *table.PartitionedDatabase, opt ExecOptions) (*Result, error) {
 	if opt.Verify || verifyEnv() {
 		if err := check.Verify(rw); err != nil {
@@ -354,6 +357,9 @@ func (ex *executor) forEachPart(top *trace.Op, fn partUnit) ([][]value.Tuple, er
 
 // addInputs charges each partition's consumed input rows to the node the
 // consuming unit executes on.
+//
+// lint:ship-boundary trace metering sweep: charges each partition's input
+// rows to the node executing it, on the query goroutine.
 func (ex *executor) addInputs(top *trace.Op, in [][]value.Tuple) {
 	if top == nil {
 		return
@@ -456,6 +462,9 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 // Runs on the query goroutine only. Trace cells are charged to the node
 // actually executing the source partition (the buddy when src is down);
 // fault draws stay keyed by the logical src.
+//
+// lint:ship-boundary the shipment meter itself: every cross-partition batch
+// is charged to Stats and the trace here, under injected ship failures.
 func (ex *executor) shipBatch(top *trace.Op, op, src, rows, width int) error {
 	if rows == 0 {
 		return nil
@@ -652,6 +661,10 @@ func dedupRows(rows []value.Tuple, sch plan.Schema, dupCols []string) ([]value.T
 	return out, nil
 }
 
+// evalDistinctPref drops PREF-duplicate rows (dup != 0) partition-locally.
+//
+// lint:ship-boundary exchange operator: sweeps per-partition outputs on the
+// query goroutine to charge dedup hits; no rows move, nothing is metered.
 func (ex *executor) evalDistinctPref(n *plan.DistinctPrefNode) ([][]value.Tuple, error) {
 	top := ex.tb.Begin(n, trace.KindDistinctPref)
 	in, err := ex.eval(n.Child)
@@ -678,6 +691,11 @@ func (ex *executor) evalDistinctPref(n *plan.DistinctPrefNode) ([][]value.Tuple,
 	return out, nil
 }
 
+// evalDistinctByValue deduplicates by value, which requires a hash shuffle
+// so equal rows meet on one partition.
+//
+// lint:ship-boundary exchange operator: scatters rows to hash-owner
+// partitions and meters every crossing via shipBatch.
 func (ex *executor) evalDistinctByValue(n *plan.DistinctByValueNode) ([][]value.Tuple, error) {
 	top := ex.tb.Begin(n, trace.KindDistinctByValue)
 	in, err := ex.eval(n.Child)
@@ -729,6 +747,10 @@ func (ex *executor) evalDistinctByValue(n *plan.DistinctByValueNode) ([][]value.
 	return out, nil
 }
 
+// evalRepartition hash-partitions rows onto their owner partitions.
+//
+// lint:ship-boundary exchange operator: scatters rows across partitions and
+// meters every boundary crossing via shipBatch.
 func (ex *executor) evalRepartition(n *plan.RepartitionNode) ([][]value.Tuple, error) {
 	top := ex.tb.Begin(n, trace.KindRepartition)
 	in, err := ex.eval(n.Child)
@@ -778,6 +800,10 @@ func (ex *executor) evalRepartition(n *plan.RepartitionNode) ([][]value.Tuple, e
 	return out, nil
 }
 
+// evalBroadcast replicates the full input to every partition.
+//
+// lint:ship-boundary exchange operator: copies rows to all partitions and
+// meters the n-1 remote copies via shipBatch.
 func (ex *executor) evalBroadcast(n *plan.BroadcastNode) ([][]value.Tuple, error) {
 	top := ex.tb.Begin(n, trace.KindBroadcast)
 	in, err := ex.eval(n.Child)
@@ -819,6 +845,10 @@ func (ex *executor) evalBroadcast(n *plan.BroadcastNode) ([][]value.Tuple, error
 	return out, nil
 }
 
+// evalGather concentrates all partitions' rows on the coordinator.
+//
+// lint:ship-boundary exchange operator: drains every partition to slot 0 and
+// meters the remote partitions' rows via shipBatch.
 func (ex *executor) evalGather(n *plan.GatherNode) ([][]value.Tuple, error) {
 	top := ex.tb.Begin(n, trace.KindGather)
 	in, err := ex.eval(n.Child)

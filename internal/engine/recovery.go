@@ -31,6 +31,9 @@ import (
 // surviving duplicate copies. All recovered rows are shipped from
 // survivors to the buddy node and metered; Stats.RecoveredRows counts
 // them. Unrecoverable content returns *fault.PartitionLostError.
+//
+// lint:ship-boundary recovery path: rebuilt rows are shipped from surviving
+// partitions to the buddy node and metered against Stats and the trace.
 func (ex *executor) recoverScan(top *trace.Op, pt *table.Partitioned, p int, withIndexes bool, width int) ([]value.Tuple, error) {
 	surv := ex.survivorIndex(pt)
 	part := pt.Parts[p]
@@ -63,6 +66,9 @@ func (ex *executor) recoverScan(top *trace.Op, pt *table.Partitioned, p int, wit
 // survivorIndex returns the set of full-row contents of pt stored on
 // partitions whose nodes survive, cached per table (the down set is fixed
 // for the whole query). Called from concurrent scan units.
+//
+// lint:ship-boundary recovery path: scans every surviving partition to index
+// redundant copies; read-only, no rows move.
 func (ex *executor) survivorIndex(pt *table.Partitioned) map[value.Key]bool {
 	name := pt.Meta.Name
 	ex.mu.Lock()

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AtomicDiscipline enforces all-or-nothing atomicity per struct field: a
+// field that is written or read through sync/atomic anywhere in the
+// package must be accessed through sync/atomic everywhere. Mixed
+// atomic/plain access is how the trace layer's per-node cells — written
+// with atomic adds from partition goroutines — could be torn or racy
+// while still passing unit tests that never race. The analyzer keys on
+// field *objects* (go/types), so promoted fields and aliased struct types
+// resolve to the same discipline domain. Taking the address of such a
+// field anywhere other than directly inside a sync/atomic call argument is
+// flagged too: an escaped pointer is a plain access waiting to happen.
+var AtomicDiscipline = &Analyzer{
+	Name: "atomicdiscipline",
+	Doc:  "a struct field accessed via sync/atomic anywhere must be accessed atomically everywhere; mixed atomic/plain access is an error",
+	Run:  runAtomicDiscipline,
+}
+
+// atomicFns are the sync/atomic functions whose first argument addresses
+// the cell being accessed.
+func isAtomicFnName(name string) bool {
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func runAtomicDiscipline(p *Pass) error {
+	// Pass 1: find every field reached through a sync/atomic call, and
+	// remember the exact selector nodes of those sanctioned accesses.
+	atomicFields := map[*types.Var]ast.Node{} // field -> one atomic site (for the message)
+	atomicSites := map[*ast.SelectorExpr]bool{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, name := calleePkgFunc(p, call)
+			if pkgPath != "sync/atomic" || !isAtomicFnName(name) || len(call.Args) == 0 {
+				return true
+			}
+			if sel := addressedField(call.Args[0]); sel != nil {
+				if fld := fieldObj(p, sel); fld != nil {
+					if _, seen := atomicFields[fld]; !seen {
+						atomicFields[fld] = call
+					}
+					atomicSites[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	// Pass 2: every other access to those fields is a violation.
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicSites[sel] {
+				return true
+			}
+			fld := fieldObj(p, sel)
+			if fld == nil {
+				return true
+			}
+			site, mixed := atomicFields[fld]
+			if !mixed {
+				return true
+			}
+			p.Report(sel, "plain access to field %s, which is accessed via sync/atomic at %s; use sync/atomic everywhere or split the live cell from its snapshot",
+				fld.Name(), p.Fset.Position(site.Pos()))
+			return true
+		})
+	}
+	return nil
+}
+
+// addressedField unwraps &expr (with parens) down to the selector whose
+// field the atomic call addresses, or nil for non-selector operands.
+func addressedField(arg ast.Expr) *ast.SelectorExpr {
+	for {
+		switch a := arg.(type) {
+		case *ast.ParenExpr:
+			arg = a.X
+		case *ast.UnaryExpr:
+			arg = a.X
+		case *ast.SelectorExpr:
+			return a
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// BaselineEntry identifies one grandfathered finding. Line numbers are
+// deliberately omitted: edits elsewhere in a file must not churn the
+// baseline, so a finding is keyed by where it is, which analyzer produced
+// it, and its exact message.
+type BaselineEntry struct {
+	File     string `json:"file"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// Baseline is the set of findings a repository has accepted as debt. The
+// target state — and this repository's enforced state, via preflint
+// -strict in CI — is an empty findings list: the file exists so the gate
+// is explicit, not so violations accumulate.
+type Baseline struct {
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// LoadBaseline reads a baseline file. An empty path yields an empty
+// baseline (no grandfathering).
+func LoadBaseline(path string) (*Baseline, error) {
+	if path == "" {
+		return &Baseline{}, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// Filter splits diagnostics into new findings (not in the baseline) and
+// returns, separately, the stale baseline entries that no longer match any
+// finding — debt that has been paid off and should be deleted from the
+// file.
+func (b *Baseline) Filter(diags []Diagnostic) (fresh []Diagnostic, stale []BaselineEntry) {
+	used := make([]bool, len(b.Findings))
+	for _, d := range diags {
+		matched := false
+		for i, e := range b.Findings {
+			if !used[i] && e.File == filepath.ToSlash(d.Pos.Filename) &&
+				e.Analyzer == d.Analyzer && e.Message == d.Message {
+				used[i] = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			fresh = append(fresh, d)
+		}
+	}
+	for i, e := range b.Findings {
+		if !used[i] {
+			stale = append(stale, e)
+		}
+	}
+	return fresh, stale
+}
+
+// WriteBaseline snapshots the given diagnostics as the new baseline,
+// sorted for diff stability.
+func WriteBaseline(path string, diags []Diagnostic) error {
+	b := Baseline{Findings: []BaselineEntry{}}
+	for _, d := range diags {
+		b.Findings = append(b.Findings, BaselineEntry{
+			File:     filepath.ToSlash(d.Pos.Filename),
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBaselineFilter(t *testing.T) {
+	diags := sampleDiags()
+	b := &Baseline{Findings: []BaselineEntry{
+		{
+			File:     "internal/engine/engine.go",
+			Analyzer: "partownership",
+			Message:  "evalX indexes per-partition state out outside its own partition",
+		},
+		{
+			File:     "internal/gone/gone.go",
+			Analyzer: "ctxthread",
+			Message:  "a finding that no longer exists",
+		},
+	}}
+	fresh, stale := b.Filter(diags)
+	if len(fresh) != 1 || fresh[0].Analyzer != "atomicdiscipline" {
+		t.Errorf("fresh = %v, want only the atomicdiscipline finding", fresh)
+	}
+	if len(stale) != 1 || stale[0].File != "internal/gone/gone.go" {
+		t.Errorf("stale = %v, want only the paid-off entry", stale)
+	}
+}
+
+func TestBaselineEmptyPassesEverything(t *testing.T) {
+	fresh, stale := (&Baseline{}).Filter(sampleDiags())
+	if len(fresh) != 2 || len(stale) != 0 {
+		t.Errorf("empty baseline: fresh=%d stale=%d, want 2/0", len(fresh), len(stale))
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := WriteBaseline(path, sampleDiags()); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Findings) != 2 {
+		t.Fatalf("round trip lost findings: %v", b.Findings)
+	}
+	// Sorted by file: atomicdiscipline's trace finding comes second.
+	if b.Findings[0].File != "internal/engine/engine.go" || b.Findings[1].Analyzer != "atomicdiscipline" {
+		t.Errorf("baseline not sorted: %+v", b.Findings)
+	}
+	// A written-then-loaded baseline suppresses exactly what it recorded,
+	// line numbers not considered.
+	moved := sampleDiags()
+	for i := range moved {
+		moved[i].Pos.Line += 100
+	}
+	fresh, stale := b.Filter(moved)
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Errorf("line-shifted findings should still match: fresh=%v stale=%v", fresh, stale)
+	}
+}
+
+func TestLoadBaselineEmptyPath(t *testing.T) {
+	b, err := LoadBaseline("")
+	if err != nil || len(b.Findings) != 0 {
+		t.Fatalf("empty path must mean empty baseline, got %v, %v", b, err)
+	}
+}
+
+func TestLoadBaselineBadJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Fatal("want error for malformed baseline")
+	}
+}

@@ -18,7 +18,9 @@ var ctxPkgs = map[string]bool{
 // function — the one legitimate place to mint a root context, namely a
 // public convenience wrapper (engine.ExecuteOpts) whose caller chose not to
 // supply one. Unexported functions and function literals (the per-partition
-// worker closures) must receive the caller's ctx instead.
+// worker closures) must receive the caller's ctx instead. The context
+// package is resolved through the import table, so a renamed import is
+// still caught and a local variable named "context" is not.
 var CtxThread = &Analyzer{
 	Name: "ctxthread",
 	Doc:  "per-partition work must thread the caller's context.Context; context.Background/TODO are only allowed in exported top-level wrappers",
@@ -26,7 +28,7 @@ var CtxThread = &Analyzer{
 }
 
 func runCtxThread(p *Pass) error {
-	if !ctxPkgs[p.Pkg] {
+	if !ctxPkgs[p.PkgName()] {
 		return nil
 	}
 	for _, f := range p.Files {
@@ -56,16 +58,12 @@ func checkCtxCalls(p *Pass, body ast.Node, rootOK bool, fname string) {
 		if !ok {
 			return true
 		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
+		pkgPath, name := calleePkgFunc(p, call)
+		if pkgPath != "context" {
 			return true
 		}
-		pkg, ok := sel.X.(*ast.Ident)
-		if !ok || pkg.Name != "context" {
-			return true
-		}
-		if (sel.Sel.Name == "Background" || sel.Sel.Name == "TODO") && !rootOK {
-			p.Report(call, "context.%s in %s detaches per-partition work from the query context; thread ctx from the caller", sel.Sel.Name, fname)
+		if (name == "Background" || name == "TODO") && !rootOK {
+			p.Report(call, "context.%s in %s detaches per-partition work from the query context; thread ctx from the caller", name, fname)
 		}
 		return true
 	})

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// goroutinePkgs are the packages where a leaked goroutine outlives a query:
+// engine fan-out and fault-injection paths. A partition goroutine that is
+// not joined before the query returns — or that cannot observe the query's
+// cancellation — survives failover and keeps touching state the recovery
+// path has already handed to a buddy node.
+var goroutinePkgs = map[string]bool{
+	"engine": true,
+	"fault":  true,
+}
+
+// GoroutineScope enforces structured concurrency on every `go` statement
+// in the execution packages:
+//
+//   - the goroutine must be a function literal that defers Done() on a
+//     sync.WaitGroup;
+//   - the same WaitGroup must be Add()ed before the `go` statement and
+//     Wait()ed after it, in the same enclosing function (the join);
+//   - the body must be able to observe the query: it references a
+//     context.Context or a context.CancelFunc (checking ctx.Err, selecting
+//     on Done, or cancelling siblings all qualify).
+//
+// Launching a named function (`go f()`) is flagged outright — the join
+// cannot be verified. A deliberate exception takes a
+// "//lint:ignore goroutinescope <reason>" directive.
+var GoroutineScope = &Analyzer{
+	Name: "goroutinescope",
+	Doc:  "go statements in engine/fault must join a WaitGroup (Add before, deferred Done inside, Wait after) and observe the query context",
+	Run:  runGoroutineScope,
+}
+
+func runGoroutineScope(p *Pass) error {
+	if !goroutinePkgs[p.PkgName()] {
+		return nil
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				checkGoStmt(p, fn, g)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkGoStmt(p *Pass, fn *ast.FuncDecl, g *ast.GoStmt) {
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		p.Report(g, "goroutine launches named function %s; spawn a literal that defers a WaitGroup Done so the join is verifiable", exprString(g.Call.Fun))
+		return
+	}
+	wg := deferredDone(p, lit.Body)
+	if wg == nil {
+		p.Report(g, "goroutine in %s has no deferred WaitGroup Done; it can leak past query completion and failover", fn.Name.Name)
+	} else {
+		if !callsOn(p, fn.Body, wg, "Add", func(pos token.Pos) bool { return pos < g.Pos() }) {
+			p.Report(g, "goroutine in %s: missing %s.Add before the go statement", fn.Name.Name, wg.Name())
+		}
+		if !callsOn(p, fn.Body, wg, "Wait", func(pos token.Pos) bool { return pos > g.End() }) {
+			p.Report(g, "goroutine in %s: missing %s.Wait after the go statement; the fan-out is never joined", fn.Name.Name, wg.Name())
+		}
+	}
+	if !observesContext(p, lit.Body) {
+		p.Report(g, "goroutine in %s cannot observe the query context: reference a context.Context or context.CancelFunc so cancellation reaches it", fn.Name.Name)
+	}
+}
+
+// deferredDone finds `defer wg.Done()` in the literal body and returns the
+// WaitGroup variable it resolves to.
+func deferredDone(p *Pass, body *ast.BlockStmt) types.Object {
+	var wg types.Object
+	ast.Inspect(body, func(n ast.Node) bool {
+		if wg != nil {
+			return false
+		}
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		sel, ok := d.Call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Done" || !isWaitGroup(exprType(p, sel.X)) {
+			return true
+		}
+		wg = rootIdentObj(p, sel.X)
+		return true
+	})
+	return wg
+}
+
+// callsOn reports whether body contains a call wg.<method>() on the same
+// WaitGroup object at a position satisfying where.
+func callsOn(p *Pass, body ast.Node, wg types.Object, method string, where func(token.Pos) bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != method || !isWaitGroup(exprType(p, sel.X)) {
+			return true
+		}
+		if rootIdentObj(p, sel.X) == wg && where(call.Pos()) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+func isWaitGroup(t types.Type) bool {
+	return t != nil && isNamedType(t, "sync", "WaitGroup")
+}
+
+// observesContext reports whether the body references any value of type
+// context.Context or context.CancelFunc.
+func observesContext(p *Pass, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		switch e.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+		default:
+			return true
+		}
+		t := exprType(p, e)
+		if t == nil {
+			return true
+		}
+		if isNamedType(t, "context", "CancelFunc") || isContextInterface(t) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isContextInterface(t types.Type) bool {
+	return isNamedType(t, "context", "Context")
+}

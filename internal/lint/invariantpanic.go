@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/types"
 	"strings"
 	"unicode"
 )
@@ -23,7 +24,9 @@ var restrictedPkgs = map[string]bool{
 // acceptable for a declared programmer-error invariant, and declaring it
 // means writing a "// lint:invariant" comment on the panic's line or the
 // line above. In execution-path packages, calling a Must* helper is flagged
-// the same way, because it is a panic by proxy.
+// the same way, because it is a panic by proxy. Type information resolves
+// panic to the builtin, so a shadowing local function named panic is not
+// confused with it.
 var InvariantPanic = &Analyzer{
 	Name: "invariantpanic",
 	Doc:  "panic() and Must* call sites must carry a // lint:invariant marker; execution-path packages may not call Must* at all",
@@ -40,21 +43,32 @@ func runInvariantPanic(p *Pass) error {
 			}
 			switch callee := call.Fun.(type) {
 			case *ast.Ident:
-				if callee.Name == "panic" && !sanctioned(p, marked, call) {
+				if isBuiltinPanic(p, callee) && !sanctioned(p, marked, call) {
 					p.Report(call, "panic without a // lint:invariant marker; declare the invariant or return an error")
 				}
-				if isMustName(callee.Name) && restrictedPkgs[p.Pkg] && !sanctioned(p, marked, call) {
-					p.Report(call, "Must-style call %s in execution-path package %s; use the error-returning variant", callee.Name, p.Pkg)
+				if isMustName(callee.Name) && restrictedPkgs[p.PkgName()] && !sanctioned(p, marked, call) {
+					p.Report(call, "Must-style call %s in execution-path package %s; use the error-returning variant", callee.Name, p.PkgName())
 				}
 			case *ast.SelectorExpr:
-				if isMustName(callee.Sel.Name) && restrictedPkgs[p.Pkg] && !sanctioned(p, marked, call) {
-					p.Report(call, "Must-style call %s in execution-path package %s; use the error-returning variant", callee.Sel.Name, p.Pkg)
+				if isMustName(callee.Sel.Name) && restrictedPkgs[p.PkgName()] && !sanctioned(p, marked, call) {
+					p.Report(call, "Must-style call %s in execution-path package %s; use the error-returning variant", callee.Sel.Name, p.PkgName())
 				}
 			}
 			return true
 		})
 	}
 	return nil
+}
+
+// isBuiltinPanic reports whether the identifier resolves to the predeclared
+// panic builtin (not a shadowing declaration).
+func isBuiltinPanic(p *Pass, id *ast.Ident) bool {
+	if id.Name != "panic" {
+		return false
+	}
+	obj := p.TypesInfo.Uses[id]
+	b, ok := obj.(*types.Builtin)
+	return ok && b.Name() == "panic"
 }
 
 // isMustName matches the Must-prefix naming convention (MustIndex,

@@ -2,10 +2,11 @@
 // repository's custom analyzers. The API is shaped like
 // golang.org/x/tools/go/analysis (Analyzer, Pass, Diagnostic) so the
 // analyzers could be ported to a real go/analysis driver verbatim, but it
-// runs on go/ast + go/parser alone: this repository builds with no
-// external modules, so the x/tools dependency is deliberately gated out.
-// The trade-off is purely syntactic analysis (no type information), which
-// the rules below are designed around.
+// runs on go/ast + go/parser + go/types + go/importer alone: this
+// repository builds with no external modules, so the x/tools dependency is
+// deliberately gated out. Loader (loader.go) stands in for go/packages,
+// type-checking module packages from source, so every analyzer sees full
+// type information.
 //
 // The analyzers encode this codebase's own correctness rules:
 //
@@ -19,6 +20,20 @@
 //   - propalias: plan.Prop's []string property fields (HashCols, DupCols)
 //     must be cloned, not aliased, when copied between props or from plan
 //     nodes; an append through one alias silently corrupts the other.
+//   - partownership: per-partition state may only be indexed by the
+//     owning partition's id; cross-partition access lives only in
+//     functions declared "// lint:ship-boundary".
+//   - atomicdiscipline: a struct field accessed through sync/atomic
+//     anywhere must be accessed atomically everywhere.
+//   - goroutinescope: every goroutine in the execution packages joins a
+//     WaitGroup and can observe the query's cancellation.
+//   - shipaccounting: code that moves rows across partitions meters them
+//     in both engine.Stats and the execution trace, and is declared a
+//     ship boundary.
+//
+// Suppressions: a "//lint:ignore <analyzer> <reason>" comment on the
+// diagnostic's line or the line above silences that analyzer there. A
+// reason is mandatory; a malformed directive is itself a diagnostic.
 //
 // cmd/preflint is the driver; internal/check's RulePropAlias is the
 // runtime complement of propalias.
@@ -27,12 +42,13 @@ package lint
 import (
 	"fmt"
 	"go/ast"
-	"go/parser"
 	"go/token"
-	"os"
+	"go/types"
+	"io/fs"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Diagnostic is one finding of an analyzer.
@@ -46,16 +62,20 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// Pass carries one package's parsed, comment-preserving syntax to an
-// analyzer run.
+// Pass carries one package's parsed, comment-preserving syntax plus its
+// full type information to an analyzer run.
 type Pass struct {
-	Fset    *token.FileSet
-	Files   []*ast.File
-	Pkg     string // package name, e.g. "engine"
-	Dir     string
-	reports *[]Diagnostic
-	current string // analyzer name, set by the runner
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Dir       string
+	reports   *[]Diagnostic
+	current   string // analyzer name, set by the runner
 }
+
+// PkgName is the package's short name, e.g. "engine".
+func (p *Pass) PkgName() string { return p.Pkg.Name() }
 
 // Report records a finding at the given node.
 func (p *Pass) Report(n ast.Node, format string, args ...any) {
@@ -76,46 +96,64 @@ type Analyzer struct {
 // Analyzers is the repository's full analyzer suite, in the order the
 // driver runs them.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{InvariantPanic, CtxThread, PropAlias}
+	return []*Analyzer{
+		InvariantPanic, CtxThread, PropAlias,
+		PartOwnership, AtomicDiscipline, GoroutineScope, ShipAccounting,
+	}
 }
 
-// RunDir parses every non-test .go file of one directory (one package) and
-// runs the analyzers over it. Diagnostics come back sorted by position.
+// defaultLoader shares one Loader (and thus one type-checked view of the
+// module and the standard library) across RunDir/RunSource calls.
+var defaultLoader = sync.OnceValues(func() (*Loader, error) {
+	return NewLoader(".")
+})
+
+// RunDir type-checks the package of one directory (non-test files) and
+// runs the analyzers over it. Diagnostics come back position-sorted, with
+// lint:ignore suppressions already applied.
 func RunDir(dir string, analyzers []*Analyzer) ([]Diagnostic, error) {
-	fset := token.NewFileSet()
-	entries, err := os.ReadDir(dir)
+	l, err := defaultLoader()
 	if err != nil {
 		return nil, err
 	}
-	var files []*ast.File
-	pkgName := ""
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
-			continue
-		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
-		if err != nil {
-			return nil, err
-		}
-		files = append(files, f)
-		pkgName = f.Name.Name
+	pkg, err := l.LoadDir(dir)
+	if err != nil {
+		return nil, err
 	}
-	if len(files) == 0 {
+	if pkg == nil {
 		return nil, nil
 	}
-	return runFiles(fset, files, pkgName, dir, analyzers)
+	return RunPackage(pkg, analyzers)
 }
 
-func runFiles(fset *token.FileSet, files []*ast.File, pkg, dir string, analyzers []*Analyzer) ([]Diagnostic, error) {
+// RunSource analyzes a single in-memory file (test fixtures). The fixture
+// must type-check on its own, importing at most the standard library.
+func RunSource(filename, src string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	l, err := defaultLoader()
+	if err != nil {
+		return nil, err
+	}
+	pkg, err := l.LoadSource(filename, src)
+	if err != nil {
+		return nil, err
+	}
+	return RunPackage(pkg, analyzers)
+}
+
+// RunPackage runs the analyzers over one loaded package.
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
-	pass := &Pass{Fset: fset, Files: files, Pkg: pkg, Dir: dir, reports: &diags}
+	pass := &Pass{
+		Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Pkg,
+		TypesInfo: pkg.Info, Dir: pkg.Dir, reports: &diags,
+	}
 	for _, a := range analyzers {
 		pass.current = a.Name
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
 	}
+	diags = applyIgnores(pass, diags)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -129,14 +167,61 @@ func runFiles(fset *token.FileSet, files []*ast.File, pkg, dir string, analyzers
 	return diags, nil
 }
 
-// RunSource analyzes a single in-memory file (test fixtures).
-func RunSource(filename, src string, analyzers []*Analyzer) ([]Diagnostic, error) {
-	fset := token.NewFileSet()
-	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
-	if err != nil {
-		return nil, err
+// ignoreDirective is one parsed "//lint:ignore <analyzer> <reason>".
+type ignoreDirective struct {
+	analyzer string
+	reason   string
+}
+
+// applyIgnores drops diagnostics suppressed by a lint:ignore directive on
+// their own line or the line above, and reports malformed directives.
+func applyIgnores(p *Pass, diags []Diagnostic) []Diagnostic {
+	ignores := map[string]map[int][]ignoreDirective{} // file -> line -> directives
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, cm := range cg.List {
+				text := strings.TrimPrefix(cm.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(cm.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					diags = append(diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: "directive",
+						Message:  "malformed lint:ignore: need \"//lint:ignore <analyzer> <reason>\"",
+					})
+					continue
+				}
+				if ignores[pos.Filename] == nil {
+					ignores[pos.Filename] = map[int][]ignoreDirective{}
+				}
+				ignores[pos.Filename][pos.Line] = append(ignores[pos.Filename][pos.Line],
+					ignoreDirective{analyzer: fields[0], reason: strings.Join(fields[1:], " ")})
+			}
+		}
 	}
-	return runFiles(fset, []*ast.File{f}, f.Name.Name, ".", analyzers)
+	if len(ignores) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		suppressed := false
+		for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+			for _, dir := range ignores[d.Pos.Filename][line] {
+				if dir.analyzer == d.Analyzer {
+					suppressed = true
+				}
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
 }
 
 // markerLines returns every line covered by a comment containing the given
@@ -166,4 +251,59 @@ func sanctioned(p *Pass, marked map[string]map[int]bool, n ast.Node) bool {
 	pos := p.Fset.Position(n.Pos())
 	lines := marked[pos.Filename]
 	return lines[pos.Line] || lines[pos.Line-1]
+}
+
+// shipBoundaryMarker is the declaration that a function legitimately moves
+// or reads rows across partition boundaries (exchanges, shipment metering,
+// redundancy recovery, coordinator-side assembly). Grammar:
+//
+//	// lint:ship-boundary <reason>
+//
+// placed in the function's doc comment. partownership exempts marked
+// functions from the own-partition indexing rule; shipaccounting requires
+// the marker on functions that call the ship meters.
+const shipBoundaryMarker = "lint:ship-boundary"
+
+// isShipBoundary reports whether a function declaration is marked as a
+// sanctioned ship boundary in its doc comment.
+func isShipBoundary(fn *ast.FuncDecl) bool {
+	if fn == nil || fn.Doc == nil {
+		return false
+	}
+	for _, cm := range fn.Doc.List {
+		if strings.Contains(cm.Text, shipBoundaryMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+// PackageDirs walks root and returns every directory containing at least
+// one non-test .go file, skipping VCS metadata and testdata trees. Shared
+// by the preflint driver and the module-wide self-test.
+func PackageDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "testdata", "vendor":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if filepath.Ext(path) != ".go" || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+		return nil
+	})
+	return dirs, err
 }

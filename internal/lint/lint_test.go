@@ -2,16 +2,18 @@ package lint
 
 import (
 	"bufio"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
-// runWant analyzes src and checks it against the fixture's own // want
-// annotations: every line carrying `// want "substr"` must produce a
-// diagnostic containing substr, and no other line may produce anything.
-func runWant(t *testing.T, filename, src string, analyzers []*Analyzer) {
+// wantsOf parses `// want "substr"` annotations out of fixture source:
+// every annotated line must produce a diagnostic containing substr, and no
+// unannotated line may produce anything.
+func wantsOf(t *testing.T, src string) map[int]string {
 	t.Helper()
-	wants := map[int]string{} // line -> required substring
+	wants := map[int]string{}
 	sc := bufio.NewScanner(strings.NewReader(src))
 	for line := 1; sc.Scan(); line++ {
 		text := sc.Text()
@@ -22,15 +24,16 @@ func runWant(t *testing.T, filename, src string, analyzers []*Analyzer) {
 		rest := text[i+len(`// want "`):]
 		j := strings.Index(rest, `"`)
 		if j < 0 {
-			t.Fatalf("%s:%d: malformed want comment", filename, line)
+			t.Fatalf("line %d: malformed want comment", line)
 		}
 		wants[line] = rest[:j]
 	}
+	return wants
+}
 
-	diags, err := RunSource(filename, src, analyzers)
-	if err != nil {
-		t.Fatalf("%s: %v", filename, err)
-	}
+// checkWants compares diagnostics against want annotations keyed by line.
+func checkWants(t *testing.T, label string, wants map[int]string, diags []Diagnostic) {
+	t.Helper()
 	got := map[int][]string{}
 	for _, d := range diags {
 		got[d.Pos.Line] = append(got[d.Pos.Line], d.Message)
@@ -38,7 +41,7 @@ func runWant(t *testing.T, filename, src string, analyzers []*Analyzer) {
 	for line, substr := range wants {
 		msgs, ok := got[line]
 		if !ok {
-			t.Errorf("%s:%d: want diagnostic containing %q, got none", filename, line, substr)
+			t.Errorf("%s:%d: want diagnostic containing %q, got none", label, line, substr)
 			continue
 		}
 		found := false
@@ -48,18 +51,74 @@ func runWant(t *testing.T, filename, src string, analyzers []*Analyzer) {
 			}
 		}
 		if !found {
-			t.Errorf("%s:%d: want diagnostic containing %q, got %q", filename, line, substr, msgs)
+			t.Errorf("%s:%d: want diagnostic containing %q, got %q", label, line, substr, msgs)
 		}
 	}
 	for line, msgs := range got {
 		if _, ok := wants[line]; !ok {
-			t.Errorf("%s:%d: unexpected diagnostic %q", filename, line, msgs)
+			t.Errorf("%s:%d: unexpected diagnostic %q", label, line, msgs)
 		}
 	}
 }
 
+// runWant analyzes an in-memory fixture against its own want annotations.
+// The fixture must be self-contained: it fully type-checks with at most
+// standard-library imports.
+func runWant(t *testing.T, filename, src string, analyzers []*Analyzer) {
+	t.Helper()
+	diags, err := RunSource(filename, src, analyzers)
+	if err != nil {
+		t.Fatalf("%s: %v", filename, err)
+	}
+	checkWants(t, filename, wantsOf(t, src), diags)
+}
+
+// runWantDir analyzes an on-disk fixture package under testdata/src with a
+// single analyzer, against the want annotations in its files.
+func runWantDir(t *testing.T, a *Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", a.Name)
+	diags, err := RunDir(dir, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("%s: %v", dir, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var own []Diagnostic
+		for _, d := range diags {
+			if filepath.Base(d.Pos.Filename) == e.Name() {
+				own = append(own, d)
+			}
+		}
+		checkWants(t, e.Name(), wantsOf(t, string(src)), own)
+	}
+}
+
+func TestPartOwnershipFixtures(t *testing.T)    { runWantDir(t, PartOwnership) }
+func TestAtomicDisciplineFixtures(t *testing.T) { runWantDir(t, AtomicDiscipline) }
+func TestGoroutineScopeFixtures(t *testing.T)   { runWantDir(t, GoroutineScope) }
+func TestShipAccountingFixtures(t *testing.T)   { runWantDir(t, ShipAccounting) }
+
 func TestInvariantPanicFixtures(t *testing.T) {
 	const src = `package engine
+
+type schema struct{}
+
+func (schema) MustIndex(c string) int { return 0 }
+
+func MustLoad(s string) {}
+func mustard()          {}
+func Mustard()          {}
 
 func ok() {
 	// lint:invariant idx was bounds-checked by the caller
@@ -91,6 +150,10 @@ func TestInvariantPanicUnrestrictedPkg(t *testing.T) {
 	// still need the marker.
 	const src = `package tpch
 
+type schema struct{}
+
+func (schema) MustIndex(c string) int { return 0 }
+
 func f(s schema) {
 	_ = s.MustIndex("c")
 	panic("no") // want "panic without"
@@ -103,6 +166,10 @@ func TestCtxThreadFixtures(t *testing.T) {
 	const src = `package engine
 
 import "context"
+
+type Engine struct{}
+
+type key string
 
 func Execute() {
 	ctx := context.Background() // exported top-level wrapper: allowed
@@ -127,11 +194,26 @@ func (e *Engine) Exec() {
 }
 
 func WithValue(ctx context.Context) {
-	ctx = context.WithValue(ctx, key, 1) // deriving from ctx is fine
+	ctx = context.WithValue(ctx, key("k"), 1) // deriving from ctx is fine
 	_ = ctx
 }
 `
 	runWant(t, "ctxthread_fixture.go", src, []*Analyzer{CtxThread})
+}
+
+func TestCtxThreadRenamedImport(t *testing.T) {
+	// The import table, not the identifier spelling, decides what is the
+	// context package.
+	const src = `package engine
+
+import stdctx "context"
+
+func helper() {
+	ctx := stdctx.Background() // want "context.Background in helper"
+	_ = ctx
+}
+`
+	runWant(t, "ctxthread_renamed.go", src, []*Analyzer{CtxThread})
 }
 
 func TestCtxThreadIgnoresOtherPackages(t *testing.T) {
@@ -154,6 +236,18 @@ func helper() {
 
 func TestPropAliasFixtures(t *testing.T) {
 	const src = `package plan
+
+type Prop struct {
+	HashCols []string
+	DupCols  []string
+}
+
+func cloneCols(c []string) []string {
+	if c == nil {
+		return nil
+	}
+	return append([]string(nil), c...)
+}
 
 func transfer(np, cp *Prop, cols []string) {
 	np.HashCols = cp.HashCols // want "HashCols assigned from an existing slice"
@@ -179,6 +273,151 @@ func literals(cp *Prop, cols []string) *Prop {
 	runWant(t, "propalias_fixture.go", src, []*Analyzer{PropAlias})
 }
 
+func TestPropAliasThroughCallsAndEmbedding(t *testing.T) {
+	// The type-aware upgrade: calls that launder an alias through a
+	// passthrough return are caught (to a fixpoint), and assignment to a
+	// field promoted through struct embedding still resolves to the Prop
+	// field object.
+	const src = `package plan
+
+type Prop struct {
+	HashCols []string
+	DupCols  []string
+}
+
+type annotated struct {
+	Prop
+	note string
+}
+
+func passthrough(cols []string) []string { return cols }
+
+func laundered(cols []string) []string { return passthrough(cols) }
+
+func subsliced(cols []string) []string { return cols[1:] }
+
+func fresh(cols []string) []string { return append([]string(nil), cols...) }
+
+func ownField(p *Prop) []string { return p.HashCols }
+
+func calls(np *Prop, cols []string) {
+	np.HashCols = passthrough(cols) // want "a call to passthrough, which returns an existing slice unchanged"
+	np.HashCols = laundered(cols)   // want "a call to laundered, which returns an existing slice unchanged"
+	np.DupCols = subsliced(cols)    // want "a call to subsliced, which returns an existing slice unchanged"
+	np.DupCols = ownField(np)       // want "a call to ownField, which returns an existing slice unchanged"
+	np.HashCols = fresh(cols)
+	np.DupCols = []string(cols) // want "a slice conversion of an existing slice"
+}
+
+func promoted(a *annotated, cols []string) {
+	a.HashCols = cols // want "HashCols assigned from an existing slice"
+	a.DupCols = fresh(cols)
+}
+`
+	runWant(t, "propalias_typed.go", src, []*Analyzer{PropAlias})
+}
+
+func TestIgnoreDirectives(t *testing.T) {
+	// A well-formed ignore suppresses exactly its analyzer; a malformed one
+	// (missing the reason) is itself reported and suppresses nothing.
+	const src = `package engine
+
+func suppressed() {
+	//lint:ignore invariantpanic fixture demonstrates suppression
+	panic("boom")
+}
+
+func wrongAnalyzer() {
+	//lint:ignore ctxthread suppressing the wrong analyzer does nothing
+	panic("boom")
+}
+
+func malformed() {
+	//lint:ignore invariantpanic
+	panic("boom")
+}
+`
+	diags, err := RunSource("ignore_fixture.go", src, []*Analyzer{InvariantPanic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, d := range diags {
+		msgs = append(msgs, d.Analyzer+": "+d.Message)
+	}
+	joined := strings.Join(msgs, "\n")
+	if len(diags) != 3 {
+		t.Fatalf("want 3 diagnostics (2 panics + 1 malformed directive), got %d:\n%s", len(diags), joined)
+	}
+	if !strings.Contains(joined, "directive: malformed lint:ignore") {
+		t.Errorf("missing malformed-directive diagnostic:\n%s", joined)
+	}
+	if got := strings.Count(joined, "panic without"); got != 2 {
+		t.Errorf("want the wrongAnalyzer and malformed panics reported, got %d panic diagnostics:\n%s", got, joined)
+	}
+}
+
+func TestRegressionTraceMixedAtomicPlain(t *testing.T) {
+	// Regression fixture for the real finding this analyzer surfaced in
+	// internal/trace: live per-node cells were []Metrics, written with
+	// atomic adds by the mutators but read and summed with plain accesses
+	// by merge and the renderer. The fix split the live cell type from the
+	// Metrics snapshot; this fixture preserves the pre-split shape so the
+	// analyzer keeps rejecting it.
+	const src = `package trace
+
+import "sync/atomic"
+
+type metrics struct {
+	rowsIn int64
+}
+
+type op struct {
+	cells []metrics
+}
+
+func (o *op) addIn(node, rows int) {
+	atomic.AddInt64(&o.cells[node].rowsIn, int64(rows))
+}
+
+func (m *metrics) merge(other *metrics) {
+	m.rowsIn += other.rowsIn // want "plain access to field rowsIn"
+}
+`
+	runWant(t, "regression_trace_mixed.go", src, []*Analyzer{AtomicDiscipline})
+}
+
+func TestRegressionUnmarkedShipMeter(t *testing.T) {
+	// Regression fixture for the real shipaccounting findings: shipBatch
+	// and recoverScan charged both ship meters without carrying the
+	// // lint:ship-boundary declaration.
+	const src = `package engine
+
+type stats struct {
+	RowsShipped int64
+}
+
+type op struct{}
+
+func (*op) AddShip(src, rows, width int) {}
+
+type executor struct {
+	stats stats
+	top   *op
+}
+
+func (ex *executor) ship(rows, width int) {
+	ex.stats.RowsShipped += int64(rows)
+}
+
+func (ex *executor) shipBatch(rows, width int) { // want "shipBatch moves rows across partitions but is not declared"
+	ex.ship(rows, width)
+	ex.top.AddShip(0, rows, width)
+}
+`
+	runWant(t, "regression_ship_unmarked.go", src, []*Analyzer{ShipAccounting})
+}
+
 func TestRunDirOnRealPackage(t *testing.T) {
 	// The lint package itself must lint clean under the full suite.
 	diags, err := RunDir(".", Analyzers())
@@ -187,5 +426,30 @@ func TestRunDirOnRealPackage(t *testing.T) {
 	}
 	if len(diags) != 0 {
 		t.Fatalf("internal/lint should be clean, got:\n%v", diags)
+	}
+}
+
+func TestModuleIsLintClean(t *testing.T) {
+	// The strict CI gate in test form: every package of the module is clean
+	// under the full suite, with no baseline. New violations fail here
+	// before they fail in CI.
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	dirs, err := PackageDirs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) < 10 {
+		t.Fatalf("module walk found only %d package dirs; wrong root?", len(dirs))
+	}
+	for _, dir := range dirs {
+		diags, err := RunDir(dir, Analyzers())
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
 	}
 }

@@ -1,0 +1,237 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Loader parses and type-checks packages for the analyzers, one directory
+// per package, with no dependencies outside the standard library:
+//
+//   - import paths inside the enclosing module resolve to module
+//     directories and are type-checked from source by the Loader itself;
+//   - every other path (the standard library) is delegated to
+//     go/importer's source importer, which type-checks GOROOT/src.
+//
+// This is the piece x/tools' go/packages would normally provide; doing it
+// by hand keeps the module dependency-free while giving every analyzer
+// full go/types information.
+type Loader struct {
+	Fset *token.FileSet
+
+	mu      sync.Mutex
+	modPath string // module path from go.mod, e.g. "pref"
+	modRoot string // absolute directory containing go.mod
+	std     types.ImporterFrom
+	pkgs    map[string]*types.Package // import path -> checked package
+	byDir   map[string]*Package       // absolute dir -> loaded package
+}
+
+// Package is one loaded, type-checked package: the comment-preserving
+// syntax trees plus full type information.
+type Package struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	Dir   string
+}
+
+// NewLoader creates a loader rooted at the module containing dir (found by
+// walking up to the nearest go.mod). Loading a directory outside any
+// module still works for packages with only standard-library imports.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Loader{
+		Fset:  token.NewFileSet(),
+		pkgs:  map[string]*types.Package{},
+		byDir: map[string]*Package{},
+	}
+	l.std = importer.ForCompiler(l.Fset, "source", nil).(types.ImporterFrom)
+	root, path := findModule(abs)
+	l.modRoot, l.modPath = root, path
+	return l, nil
+}
+
+// findModule walks up from dir looking for go.mod and returns the module
+// root directory and module path ("", "" when there is none).
+func findModule(dir string) (root, path string) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest)
+				}
+			}
+			return d, ""
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", ""
+		}
+		d = parent
+	}
+}
+
+// importPathFor maps an absolute directory to its module import path, or a
+// synthetic stand-alone path when the directory is outside the module.
+func (l *Loader) importPathFor(dir string) string {
+	if l.modRoot != "" {
+		if rel, err := filepath.Rel(l.modRoot, dir); err == nil && !strings.HasPrefix(rel, "..") {
+			if rel == "." {
+				return l.modPath
+			}
+			return l.modPath + "/" + filepath.ToSlash(rel)
+		}
+	}
+	return "standalone/" + filepath.Base(dir)
+}
+
+// LoadDir parses and type-checks the package in one directory (non-test
+// files only). Returns nil when the directory holds no Go files.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if p, ok := l.byDir[abs]; ok {
+		return p, nil
+	}
+	p, err := l.load(abs)
+	if err != nil {
+		return nil, err
+	}
+	l.byDir[abs] = p
+	return p, nil
+}
+
+// LoadSource type-checks a single in-memory file (test fixtures). The
+// fixture may import standard-library packages only.
+func (l *Loader) LoadSource(filename, src string) (*Package, error) {
+	f, err := parser.ParseFile(l.Fset, filename, src, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.check("fixture/"+f.Name.Name, ".", []*ast.File{f})
+}
+
+// load parses and checks the package in abs; the caller holds l.mu.
+func (l *Loader) load(abs string) (*Package, error) {
+	files, err := l.parseDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	return l.check(l.importPathFor(abs), abs, files)
+}
+
+// parseDir parses every non-test .go file of one directory, sorted by
+// name for deterministic positions.
+func (l *Loader) parseDir(abs string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(abs, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// check runs the type checker over one parsed package.
+func (l *Loader) check(path, dir string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: (*loaderImporter)(l),
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	pkg, _ := conf.Check(path, l.Fset, files, info)
+	if len(errs) > 0 {
+		msgs := make([]string, 0, 3)
+		for i, e := range errs {
+			if i == 3 {
+				msgs = append(msgs, fmt.Sprintf("... and %d more", len(errs)-i))
+				break
+			}
+			msgs = append(msgs, e.Error())
+		}
+		return nil, fmt.Errorf("type-checking %s: %s", path, strings.Join(msgs, "; "))
+	}
+	return &Package{Fset: l.Fset, Files: files, Pkg: pkg, Info: info, Dir: dir}, nil
+}
+
+// loaderImporter adapts the Loader to types.Importer for resolving the
+// imports of the package under analysis: module-internal paths from the
+// module tree, everything else from the standard-library source importer.
+// It is a distinct type so Loader's exported API stays clean.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.modPath != "" && (path == l.modPath || strings.HasPrefix(path, l.modPath+"/")) {
+		dir := filepath.Join(l.modRoot, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")))
+		p, err := l.load(dir)
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			return nil, fmt.Errorf("no Go files in %s for import %q", dir, path)
+		}
+		l.pkgs[path] = p.Pkg
+		return p.Pkg, nil
+	}
+	pkg, err := l.std.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}

@@ -2,14 +2,15 @@ package lint
 
 import (
 	"go/ast"
+	"go/types"
 )
 
 // propSliceFields are the plan.Prop []string fields with copy-on-write
 // semantics: the rewrite clones them at every transfer step, and
 // internal/check's RulePropAlias verifies at runtime that no two live
 // props share a backing array. This analyzer is the compile-time half: it
-// flags assignments that store an existing slice variable into one of
-// these fields, which aliases the backing array.
+// flags assignments that store an existing slice into one of these fields,
+// which aliases the backing array.
 var propSliceFields = map[string]bool{
 	"HashCols": true,
 	"DupCols":  true,
@@ -17,28 +18,46 @@ var propSliceFields = map[string]bool{
 
 // PropAlias flags `x.HashCols = y` / `x.DupCols = y.DupCols` style
 // assignments (and the equivalent composite-literal fields) where the
-// right-hand side is a plain variable or selector rather than a fresh
-// slice. nil, slice literals, and call results (append, cloneCols, ...)
-// are fine; a deliberate alias can be sanctioned with "// lint:alias-ok".
+// right-hand side aliases an existing slice rather than allocating a fresh
+// one. Type information narrows the rule to fields of the actual Prop
+// struct (a field merely named HashCols on an unrelated type is left
+// alone, and access promoted through struct embedding is still caught) and
+// closes the documented call false-negative: a call to a function that
+// returns one of its slice parameters — or a Prop field — unchanged is an
+// alias, not a fresh slice. nil, slice literals, append, and clone-style
+// calls are fine; a deliberate alias can be sanctioned with
+// "// lint:alias-ok".
 var PropAlias = &Analyzer{
 	Name: "propalias",
-	Doc:  "Prop.HashCols/DupCols must be set from freshly allocated slices (clone, append, literal), never aliased from another slice variable",
+	Doc:  "Prop.HashCols/DupCols must be set from freshly allocated slices (clone, append, literal), never aliased from another slice",
 	Run:  runPropAlias,
 }
 
 func runPropAlias(p *Pass) error {
+	targets := propFieldTargets(p)
+	if len(targets) == 0 {
+		return nil
+	}
+	aliasFns := aliasReturners(p, targets)
 	marked := markerLines(p, "lint:alias-ok")
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
 				for i, lhs := range n.Lhs {
 					sel, ok := lhs.(*ast.SelectorExpr)
-					if !ok || !propSliceFields[sel.Sel.Name] || i >= len(n.Rhs) {
+					if !ok {
 						continue
 					}
-					if aliasingExpr(n.Rhs[i]) && !sanctioned(p, marked, n) {
-						p.Report(n, "%s assigned from an existing slice; clone it (or mark // lint:alias-ok)", sel.Sel.Name)
+					fld := fieldObj(p, sel)
+					if fld == nil || !targets[fld] {
+						continue
+					}
+					if why := aliasingExpr(p, aliasFns, n.Rhs[i]); why != "" && !sanctioned(p, marked, n) {
+						p.Report(n, "%s assigned from %s; clone it (or mark // lint:alias-ok)", sel.Sel.Name, why)
 					}
 				}
 			case *ast.CompositeLit:
@@ -48,11 +67,15 @@ func runPropAlias(p *Pass) error {
 						continue
 					}
 					key, ok := kv.Key.(*ast.Ident)
-					if !ok || !propSliceFields[key.Name] {
+					if !ok {
 						continue
 					}
-					if aliasingExpr(kv.Value) && !sanctioned(p, marked, kv) {
-						p.Report(kv, "%s initialized from an existing slice; clone it (or mark // lint:alias-ok)", key.Name)
+					fld, ok := p.TypesInfo.Uses[key].(*types.Var)
+					if !ok || !fld.IsField() || !targets[fld] {
+						continue
+					}
+					if why := aliasingExpr(p, aliasFns, kv.Value); why != "" && !sanctioned(p, marked, kv) {
+						p.Report(kv, "%s initialized from %s; clone it (or mark // lint:alias-ok)", key.Name, why)
 					}
 				}
 			}
@@ -62,22 +85,194 @@ func runPropAlias(p *Pass) error {
 	return nil
 }
 
-// aliasingExpr reports whether assigning e shares a backing array: a bare
-// identifier (other than nil) or a selector chain. Calls, literals, slice
-// expressions of fresh copies, and nil are all non-aliasing as written.
-func aliasingExpr(e ast.Expr) bool {
-	switch e := e.(type) {
+// propFieldTargets collects the *types.Var field objects of every Prop
+// struct visible to this package (its own and those of direct imports): a
+// defined struct type named Prop with both HashCols and DupCols []string
+// fields. Keying on field objects means promoted access through embedding
+// resolves to the same target, while unrelated fields that merely share a
+// name do not.
+func propFieldTargets(p *Pass) map[*types.Var]bool {
+	targets := map[*types.Var]bool{}
+	scopes := []*types.Scope{p.Pkg.Scope()}
+	for _, imp := range p.Pkg.Imports() {
+		scopes = append(scopes, imp.Scope())
+	}
+	for _, scope := range scopes {
+		obj := scope.Lookup("Prop")
+		tn, ok := obj.(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		var fields []*types.Var
+		found := 0
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if propSliceFields[f.Name()] && isStringSlice(f.Type()) {
+				fields = append(fields, f)
+				found++
+			}
+		}
+		if found == len(propSliceFields) {
+			for _, f := range fields {
+				targets[f] = true
+			}
+		}
+	}
+	return targets
+}
+
+func isStringSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.String
+}
+
+// aliasReturners finds this package's functions that return an aliasing
+// view of caller-owned memory: a return statement whose result is (after
+// unwrapping parens and subslicing) one of the function's own slice
+// parameters, a targeted Prop field, or a call to another alias returner.
+// Iterates to a fixpoint so aliases laundered through one wrapper are
+// still caught.
+func aliasReturners(p *Pass, targets map[*types.Var]bool) map[types.Object]bool {
+	fns := map[types.Object]bool{}
+	for {
+		grew := false
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				obj := p.TypesInfo.Defs[fn.Name]
+				if obj == nil || fns[obj] {
+					continue
+				}
+				params := paramObjs(p, fn)
+				aliases := false
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					if aliases {
+						return false
+					}
+					if _, ok := n.(*ast.FuncLit); ok {
+						return false // a closure's returns are not fn's
+					}
+					ret, ok := n.(*ast.ReturnStmt)
+					if !ok {
+						return true
+					}
+					for _, res := range ret.Results {
+						if returnsAlias(p, fns, params, targets, res) {
+							aliases = true
+						}
+					}
+					return true
+				})
+				if aliases {
+					fns[obj] = true
+					grew = true
+				}
+			}
+		}
+		if !grew {
+			return fns
+		}
+	}
+}
+
+// paramObjs collects the parameter and receiver objects of fn that have
+// slice type.
+func paramObjs(p *Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	collect := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj := p.TypesInfo.Defs[name]; obj != nil {
+					if _, ok := obj.Type().Underlying().(*types.Slice); ok {
+						out[obj] = true
+					}
+				}
+			}
+		}
+	}
+	collect(fn.Recv)
+	collect(fn.Type.Params)
+	return out
+}
+
+// returnsAlias reports whether returning res hands the caller an alias of
+// a parameter slice or a Prop property slice.
+func returnsAlias(p *Pass, fns map[types.Object]bool, params map[types.Object]bool, targets map[*types.Var]bool, res ast.Expr) bool {
+	switch res := res.(type) {
 	case *ast.Ident:
-		return e.Name != "nil"
+		return params[p.TypesInfo.Uses[res]]
 	case *ast.SelectorExpr:
-		return true
+		fld := fieldObj(p, res)
+		return fld != nil && targets[fld]
 	case *ast.ParenExpr:
-		return aliasingExpr(e.X)
+		return returnsAlias(p, fns, params, targets, res.X)
 	case *ast.SliceExpr:
-		// s[i:j] still shares s's backing array unless it is a full-slice
-		// expression of a fresh value; treat any slice of an aliasing
-		// expression as aliasing.
-		return aliasingExpr(e.X)
+		return returnsAlias(p, fns, params, targets, res.X)
+	case *ast.CallExpr:
+		if id, ok := res.Fun.(*ast.Ident); ok {
+			return fns[p.TypesInfo.Uses[id]]
+		}
 	}
 	return false
+}
+
+// aliasingExpr classifies whether assigning e shares a backing array,
+// returning a short description of the alias ("" when e is fresh): a bare
+// variable, a field or promoted field, a subslice of either, a slice
+// conversion, or a call to an alias-returning function. append, make,
+// literals, clone helpers, and nil are fresh.
+func aliasingExpr(p *Pass, aliasFns map[types.Object]bool, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj, ok := p.TypesInfo.Uses[e].(*types.Var); ok && obj != nil {
+			return "an existing slice"
+		}
+		return "" // nil, constants
+	case *ast.SelectorExpr:
+		if fieldObj(p, e) != nil {
+			return "an existing slice"
+		}
+		if _, ok := p.TypesInfo.Uses[e.Sel].(*types.Var); ok {
+			return "an existing slice"
+		}
+		return ""
+	case *ast.ParenExpr:
+		return aliasingExpr(p, aliasFns, e.X)
+	case *ast.SliceExpr:
+		// s[i:j] still shares s's backing array; treat any slice of an
+		// aliasing expression as aliasing.
+		return aliasingExpr(p, aliasFns, e.X)
+	case *ast.CallExpr:
+		if tv, ok := p.TypesInfo.Types[e.Fun]; ok && tv.IsType() {
+			// A conversion like []string(x) reuses x's backing array.
+			if len(e.Args) == 1 && aliasingExpr(p, aliasFns, e.Args[0]) != "" {
+				return "a slice conversion of an existing slice"
+			}
+			return ""
+		}
+		if id, ok := e.Fun.(*ast.Ident); ok && aliasFns[p.TypesInfo.Uses[id]] {
+			return "a call to " + id.Name + ", which returns an existing slice unchanged"
+		}
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			if obj := p.TypesInfo.Uses[sel.Sel]; obj != nil && aliasFns[obj] {
+				return "a call to " + sel.Sel.Name + ", which returns an existing slice unchanged"
+			}
+		}
+		return ""
+	}
+	return ""
 }

@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// shipPkgs are the packages holding the two ship meters: engine owns the
+// query-wide Stats meter ((*executor).ship) and trace owns the per-node
+// cell meter ((*Op).AddShip).
+var shipPkgs = map[string]bool{
+	"engine": true,
+	"trace":  true,
+}
+
+// shipCounterFields are the two counters every cross-partition row
+// movement must charge. check.VerifyTrace's stats-sum law asserts at
+// runtime that the two meters agree; this analyzer is the static half.
+var shipCounterFields = map[string]bool{
+	"RowsShipped":  true,
+	"BytesShipped": true,
+}
+
+// ShipAccounting enforces that rows never cross a partition boundary off
+// the books:
+//
+//  1. The ship counters have exactly one writer per meter. In engine,
+//     plain writes to RowsShipped/BytesShipped live only in a function
+//     named "ship"; in trace, atomic writes to them live only in
+//     "AddShip". Everything else must go through those meters.
+//  2. A function that charges one meter must charge both — calling
+//     (*executor).ship without (*Op).AddShip desynchronizes the Stats
+//     total from the trace cells (or vice versa) — and any function that
+//     meters shipments is by definition moving rows across partitions, so
+//     it must carry the "// lint:ship-boundary" declaration.
+//  3. Conversely, a declared ship boundary that scatters rows into
+//     another partition's slot (a variable-indexed write to per-partition
+//     state) must call a meter: ship, AddShip, or the shipBatch wrapper.
+var ShipAccounting = &Analyzer{
+	Name: "shipaccounting",
+	Doc:  "functions that move rows across partitions must meter both Stats and trace ship counters and be declared // lint:ship-boundary",
+	Run:  runShipAccounting,
+}
+
+// shipMeterFor maps the package to the function allowed to write the
+// counters, and whether that package's sanctioned writes are atomic.
+func runShipAccounting(p *Pass) error {
+	pkg := p.PkgName()
+	if !shipPkgs[pkg] {
+		return nil
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkShipWrites(p, pkg, fn)
+			checkMeterPairing(p, fn)
+			checkBoundaryMeters(p, fn)
+		}
+	}
+	return nil
+}
+
+// checkShipWrites enforces rule 1: the counters have one writer per meter.
+func checkShipWrites(p *Pass, pkg string, fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if pkg != "engine" || name == "ship" {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if sel, ok := lhs.(*ast.SelectorExpr); ok && shipCounterFields[sel.Sel.Name] && fieldObj(p, sel) != nil {
+					p.Report(n, "%s writes ship counter %s directly; all Stats ship accounting goes through (*executor).ship", name, sel.Sel.Name)
+				}
+			}
+		case *ast.IncDecStmt:
+			if pkg != "engine" || name == "ship" {
+				return true
+			}
+			if sel, ok := n.X.(*ast.SelectorExpr); ok && shipCounterFields[sel.Sel.Name] && fieldObj(p, sel) != nil {
+				p.Report(n, "%s writes ship counter %s directly; all Stats ship accounting goes through (*executor).ship", name, sel.Sel.Name)
+			}
+		case *ast.CallExpr:
+			if name == "AddShip" {
+				return true
+			}
+			pkgPath, fnName := calleePkgFunc(p, n)
+			if pkgPath != "sync/atomic" || !isAtomicWriteName(fnName) || len(n.Args) == 0 {
+				return true
+			}
+			if sel := addressedField(n.Args[0]); sel != nil && shipCounterFields[sel.Sel.Name] && fieldObj(p, sel) != nil {
+				p.Report(n, "%s atomically writes ship counter %s; all trace ship accounting goes through (*Op).AddShip", name, sel.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+// isAtomicWriteName reports whether a sync/atomic function name mutates
+// its cell (Load* is a read and stays legal in snapshot code).
+func isAtomicWriteName(name string) bool {
+	for _, prefix := range []string{"Add", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkMeterPairing enforces rule 2 on every function other than the
+// meters themselves.
+func checkMeterPairing(p *Pass, fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	if name == "ship" || name == "AddShip" {
+		return
+	}
+	calls := calledNames(fn.Body)
+	switch {
+	case calls["ship"] && !calls["AddShip"]:
+		p.Report(fn.Name, "%s charges the Stats ship meter but never records trace ship bytes; call AddShip on the operator's trace Op too", name)
+	case calls["AddShip"] && !calls["ship"]:
+		p.Report(fn.Name, "%s records trace ship bytes but never charges the Stats ship meter; call (*executor).ship too", name)
+	}
+	if (calls["ship"] || calls["AddShip"]) && !isShipBoundary(fn) {
+		p.Report(fn.Name, "%s moves rows across partitions but is not declared; add a \"// lint:ship-boundary <reason>\" doc comment", name)
+	}
+}
+
+// checkBoundaryMeters enforces rule 3: a declared boundary that scatters
+// rows into variable partition slots must meter the movement.
+func checkBoundaryMeters(p *Pass, fn *ast.FuncDecl) {
+	if !isShipBoundary(fn) {
+		return
+	}
+	calls := calledNames(fn.Body)
+	if calls["ship"] || calls["AddShip"] || calls["shipBatch"] {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			ix, ok := lhs.(*ast.IndexExpr)
+			if !ok || !isPartState(p, ix.X) {
+				continue
+			}
+			if _, constIdx := ix.Index.(*ast.BasicLit); constIdx {
+				continue // a fixed coordinator slot, not a scatter
+			}
+			p.Report(as, "ship boundary %s scatters rows across partitions of %s without metering; call shipBatch (or ship + AddShip)",
+				fn.Name.Name, exprString(ix.X))
+		}
+		return true
+	})
+}
+
+// calledNames collects the bare names of every function/method called in
+// body (closures included: a meter call made inside a per-partition
+// closure still charges the shipment).
+func calledNames(body ast.Node) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			out[fun.Name] = true
+		case *ast.SelectorExpr:
+			out[fun.Sel.Name] = true
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,35 @@
+// Fixture for the atomicdiscipline analyzer: a field accessed through
+// sync/atomic anywhere must be accessed atomically everywhere.
+package engine
+
+import "sync/atomic"
+
+type counters struct {
+	hits   int64
+	misses int64
+}
+
+func (c *counters) hit() {
+	atomic.AddInt64(&c.hits, 1) // establishes hits as an atomic field
+}
+
+func (c *counters) snapshot() int64 {
+	return atomic.LoadInt64(&c.hits) // atomic read: fine
+}
+
+func (c *counters) torn() int64 {
+	return c.hits // want "plain access to field hits"
+}
+
+func (c *counters) tornWrite() {
+	c.hits++ // want "plain access to field hits"
+}
+
+func (c *counters) plainOnly() {
+	c.misses++ // never touched atomically anywhere: fine
+}
+
+func (c *counters) sanctioned() int64 {
+	//lint:ignore atomicdiscipline single-goroutine teardown path
+	return c.hits
+}

@@ -1,0 +1,79 @@
+// Fixture for the goroutinescope analyzer: every go statement in the
+// execution packages must join a WaitGroup (Add before, deferred Done
+// inside, Wait after) and be able to observe the query context.
+package engine
+
+import (
+	"context"
+	"sync"
+)
+
+func joined(ctx context.Context, n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = ctx.Err()
+		}()
+	}
+	wg.Wait()
+}
+
+func worker() {}
+
+func named(ctx context.Context) {
+	go worker() // want "launches named function worker"
+	_ = ctx
+}
+
+func noDone(ctx context.Context) {
+	go func() { // want "has no deferred WaitGroup Done"
+		_ = ctx.Err()
+	}()
+}
+
+func noAdd(ctx context.Context) {
+	var wg sync.WaitGroup
+	go func() { // want "missing wg.Add before the go statement"
+		defer wg.Done()
+		_ = ctx.Err()
+	}()
+	wg.Wait()
+}
+
+func noWait(ctx context.Context) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "missing wg.Wait after the go statement"
+		defer wg.Done()
+		_ = ctx.Err()
+	}()
+}
+
+func deaf(n int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "cannot observe the query context"
+		defer wg.Done()
+		_ = n
+	}()
+	wg.Wait()
+}
+
+func cancelSibling(cancel context.CancelFunc) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cancel() // holding the query's CancelFunc counts as observing it
+	}()
+	wg.Wait()
+}
+
+func fireAndForget(ch chan int) {
+	//lint:ignore goroutinescope fixture: deliberate detached helper
+	go func() {
+		close(ch)
+	}()
+}

@@ -1,0 +1,71 @@
+// Fixture for the shipaccounting analyzer: the ship counters have one
+// writer per meter, any function charging one meter charges both and is a
+// declared ship boundary, and a declared boundary that scatters rows
+// meters them.
+package engine
+
+import "sync/atomic"
+
+type row []int64
+
+type shipStats struct {
+	RowsShipped  int64
+	BytesShipped int64
+}
+
+type traceOp struct {
+	RowsShipped int64
+}
+
+func (t *traceOp) AddShip(src, rows, width int) {
+	atomic.AddInt64(&t.RowsShipped, int64(rows))
+}
+
+type executor struct {
+	stats shipStats
+	top   *traceOp
+}
+
+// ship is the Stats meter: the only legal writer of the ship counters.
+func (ex *executor) ship(rows, width int) {
+	ex.stats.RowsShipped += int64(rows)
+	ex.stats.BytesShipped += int64(rows) * int64(width) * 8
+}
+
+func (ex *executor) leak(rows int) {
+	ex.stats.RowsShipped += int64(rows) // want "leak writes ship counter RowsShipped directly"
+}
+
+func (ex *executor) atomicLeak(rows int) {
+	atomic.AddInt64(&ex.top.RowsShipped, int64(rows)) // want "atomicLeak atomically writes ship counter RowsShipped"
+}
+
+func (ex *executor) halfStats(rows, width int) { // want "halfStats charges the Stats ship meter but never records trace ship bytes"
+	ex.ship(rows, width)
+}
+
+func (ex *executor) halfTrace(rows, width int) { // want "halfTrace records trace ship bytes but never charges the Stats ship meter"
+	ex.top.AddShip(0, rows, width)
+}
+
+func (ex *executor) fullUnmarked(rows, width int) { // want "fullUnmarked moves rows across partitions but is not declared"
+	ex.ship(rows, width)
+	ex.top.AddShip(0, rows, width)
+}
+
+// metered is the sanctioned shape: a declared exchange charging both
+// meters for the rows it moves.
+//
+// lint:ship-boundary fixture exchange: meters every boundary crossing.
+func (ex *executor) metered(parts [][]row, dst int, r row, width int) {
+	parts[dst] = append(parts[dst], r)
+	ex.ship(1, width)
+	ex.top.AddShip(dst, 1, width)
+}
+
+// silentScatter is declared but moves rows off the books.
+//
+// lint:ship-boundary fixture exchange that forgets the meter.
+func (ex *executor) silentScatter(parts [][]row, dst int, r row) {
+	parts[dst] = append(parts[dst], r) // want "silentScatter scatters rows across partitions of parts without metering"
+}

@@ -25,9 +25,25 @@ import (
 	"pref/internal/plan"
 )
 
-// Metrics is one cell of execution counters: either one (operator, node)
-// pair, or a rollup of such cells. All fields are int64 so live cells can
-// be written with atomic adds from partition goroutines.
+// cell is the live, atomics-only counterpart of Metrics: one per node,
+// written concurrently by partition goroutines through the Add* mutators
+// and read only by finish. Keeping it a separate type from the exported
+// Metrics snapshot means every access to a live counter must spell out
+// sync/atomic (the atomicdiscipline analyzer enforces all-or-nothing per
+// field), while snapshot code — merge, rendering, JSON — works on plain
+// Metrics values that no goroutine is still writing.
+type cell struct {
+	rowsIn, rowsOut           int64
+	rowsShipped, bytesShipped int64
+	dedupHits, work           int64
+	retries, wastedRows       int64
+	failovers, recoveredRows  int64
+	wallNanos                 int64
+}
+
+// Metrics is one finished cell of execution counters: either one
+// (operator, node) pair, or a rollup of such cells. Values are immutable
+// snapshots taken on the query goroutine after all work units completed.
 type Metrics struct {
 	// RowsIn counts input rows the operator actually consumed (for
 	// OneCopy exchanges, only the coordinator copy it reads).
@@ -89,7 +105,7 @@ type Op struct {
 	label   string
 	prop    string
 	readOne bool
-	cells   []Metrics
+	cells   []cell
 }
 
 // Kind classifies an operator for the trace invariants: which
@@ -136,7 +152,7 @@ func (o *Op) AddIn(node, rows int) {
 	if o == nil || rows == 0 {
 		return
 	}
-	atomic.AddInt64(&o.cells[node].RowsIn, int64(rows))
+	atomic.AddInt64(&o.cells[node].rowsIn, int64(rows))
 }
 
 // AddOut charges successfully produced output rows to a node's cell.
@@ -144,7 +160,7 @@ func (o *Op) AddOut(node, rows int) {
 	if o == nil || rows == 0 {
 		return
 	}
-	atomic.AddInt64(&o.cells[node].RowsOut, int64(rows))
+	atomic.AddInt64(&o.cells[node].rowsOut, int64(rows))
 }
 
 // AddShip charges one shipment attempt leaving src.
@@ -152,8 +168,8 @@ func (o *Op) AddShip(src, rows, width int) {
 	if o == nil || rows == 0 {
 		return
 	}
-	atomic.AddInt64(&o.cells[src].RowsShipped, int64(rows))
-	atomic.AddInt64(&o.cells[src].BytesShipped, int64(rows)*int64(width)*8)
+	atomic.AddInt64(&o.cells[src].rowsShipped, int64(rows))
+	atomic.AddInt64(&o.cells[src].bytesShipped, int64(rows)*int64(width)*8)
 }
 
 // AddDedup charges PREF-duplicate (or value-distinctness) filter hits.
@@ -161,7 +177,7 @@ func (o *Op) AddDedup(node, hits int) {
 	if o == nil || hits == 0 {
 		return
 	}
-	atomic.AddInt64(&o.cells[node].DedupHits, int64(hits))
+	atomic.AddInt64(&o.cells[node].dedupHits, int64(hits))
 }
 
 // AddWork charges processed rows (CPU proxy) to a node's cell.
@@ -169,7 +185,7 @@ func (o *Op) AddWork(node, rows int) {
 	if o == nil || rows == 0 {
 		return
 	}
-	atomic.AddInt64(&o.cells[node].Work, int64(rows))
+	atomic.AddInt64(&o.cells[node].work, int64(rows))
 }
 
 // AddRetry records one discarded attempt and the row payload it wasted.
@@ -177,8 +193,8 @@ func (o *Op) AddRetry(node, wastedRows int) {
 	if o == nil {
 		return
 	}
-	atomic.AddInt64(&o.cells[node].Retries, 1)
-	atomic.AddInt64(&o.cells[node].WastedRows, int64(wastedRows))
+	atomic.AddInt64(&o.cells[node].retries, 1)
+	atomic.AddInt64(&o.cells[node].wastedRows, int64(wastedRows))
 }
 
 // AddFailover records one partition unit redirected to a buddy node.
@@ -186,7 +202,7 @@ func (o *Op) AddFailover(node int) {
 	if o == nil {
 		return
 	}
-	atomic.AddInt64(&o.cells[node].Failovers, 1)
+	atomic.AddInt64(&o.cells[node].failovers, 1)
 }
 
 // AddRecovered records tuple copies rebuilt from redundancy on node.
@@ -194,7 +210,7 @@ func (o *Op) AddRecovered(node, rows int) {
 	if o == nil || rows == 0 {
 		return
 	}
-	atomic.AddInt64(&o.cells[node].RecoveredRows, int64(rows))
+	atomic.AddInt64(&o.cells[node].recoveredRows, int64(rows))
 }
 
 // AddWall charges wall time spent in this operator's work on node.
@@ -202,7 +218,7 @@ func (o *Op) AddWall(node int, d time.Duration) {
 	if o == nil || d <= 0 {
 		return
 	}
-	atomic.AddInt64(&o.cells[node].WallNanos, int64(d))
+	atomic.AddInt64(&o.cells[node].wallNanos, int64(d))
 }
 
 // SetReadOne marks the operator as consuming only the coordinator copy of
@@ -276,7 +292,7 @@ func (b *Builder) BeginResult() *Op {
 }
 
 func (b *Builder) newOp(kind Kind, label string) *Op {
-	op := &Op{id: b.seq, kind: kind, label: label, cells: make([]Metrics, b.n)}
+	op := &Op{id: b.seq, kind: kind, label: label, cells: make([]cell, b.n)}
 	b.seq++
 	return op
 }
@@ -373,21 +389,24 @@ func (b *Builder) Build(rw *plan.Rewritten) *Trace {
 // children). Runs on the query goroutine after all units completed, so
 // plain loads are safe; atomic loads keep the race detector satisfied if
 // a straggler goroutine is still draining.
+//
+// lint:ship-boundary snapshot sweep: reads every node's live cell on the
+// query goroutine after the fan-out has joined.
 func (o *Op) finish() *OpTrace {
 	ot := &OpTrace{ID: o.id, Kind: o.kind, Label: o.label, Prop: o.prop, ReadOne: o.readOne}
 	for node := range o.cells {
 		m := Metrics{
-			RowsIn:        atomic.LoadInt64(&o.cells[node].RowsIn),
-			RowsOut:       atomic.LoadInt64(&o.cells[node].RowsOut),
-			RowsShipped:   atomic.LoadInt64(&o.cells[node].RowsShipped),
-			BytesShipped:  atomic.LoadInt64(&o.cells[node].BytesShipped),
-			DedupHits:     atomic.LoadInt64(&o.cells[node].DedupHits),
-			Work:          atomic.LoadInt64(&o.cells[node].Work),
-			Retries:       atomic.LoadInt64(&o.cells[node].Retries),
-			WastedRows:    atomic.LoadInt64(&o.cells[node].WastedRows),
-			Failovers:     atomic.LoadInt64(&o.cells[node].Failovers),
-			RecoveredRows: atomic.LoadInt64(&o.cells[node].RecoveredRows),
-			WallNanos:     atomic.LoadInt64(&o.cells[node].WallNanos),
+			RowsIn:        atomic.LoadInt64(&o.cells[node].rowsIn),
+			RowsOut:       atomic.LoadInt64(&o.cells[node].rowsOut),
+			RowsShipped:   atomic.LoadInt64(&o.cells[node].rowsShipped),
+			BytesShipped:  atomic.LoadInt64(&o.cells[node].bytesShipped),
+			DedupHits:     atomic.LoadInt64(&o.cells[node].dedupHits),
+			Work:          atomic.LoadInt64(&o.cells[node].work),
+			Retries:       atomic.LoadInt64(&o.cells[node].retries),
+			WastedRows:    atomic.LoadInt64(&o.cells[node].wastedRows),
+			Failovers:     atomic.LoadInt64(&o.cells[node].failovers),
+			RecoveredRows: atomic.LoadInt64(&o.cells[node].recoveredRows),
+			WallNanos:     atomic.LoadInt64(&o.cells[node].wallNanos),
 		}
 		if m.Zero() {
 			continue
