@@ -10,6 +10,8 @@
 //	prefbench -sf 0.02 -parts 10 # larger data
 //	prefbench -exp fault         # degradation-vs-fault-probability sweep
 //	prefbench -exp ops -q Q5     # per-operator breakdown of Q5 per variant
+//	prefbench -exp hedge         # straggler tail latency, hedging off vs on
+//	prefbench -exp soak          # cluster health-layer fault-schedule soak
 //	prefbench -exp fig7 -crash 0.05 -down 2 # fig7 under injected faults
 //	prefbench -list              # available experiment ids
 package main

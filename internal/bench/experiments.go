@@ -495,10 +495,13 @@ var Experiments = map[string]func(Params) (*Report, error){
 	"fig13":  Fig13,
 	"fault":  FaultSweep,
 	"ops":    OpBreakdown,
+	"hedge":  HedgeSweep,
+	"soak":   ResilienceSoak,
 }
 
 // ExperimentOrder lists experiment ids in presentation order.
 var ExperimentOrder = []string{
 	"table1", "fig7", "fig8", "fig9", "fig10",
 	"fig11a", "fig11b", "fig12a", "fig12b", "fig13", "fault", "ops",
+	"hedge", "soak",
 }

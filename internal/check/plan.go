@@ -516,7 +516,7 @@ func (c *checker) checkAliasing() {
 		n     plan.Node
 		field string
 	}
-	propOwner := map[*string]slot{}  // backing array -> first Prop field using it
+	propOwner := map[*string]slot{} // backing array -> first Prop field using it
 	seenProp := map[*plan.Prop]plan.Node{}
 
 	for _, n := range c.order {

@@ -114,6 +114,22 @@ func (tv *traceVerifier) checkOp(n plan.Node, ot *trace.OpTrace, vs *Violations)
 				m.RowsShipped)
 		}
 	}
+	// Hedge legality: speculative duplicates race partition work units,
+	// which only per-partition operators run. Exchanges and the
+	// coordinator Result execute on the query goroutine and must never
+	// carry hedge counters.
+	if m.Hedges > 0 || m.HedgeWins > 0 || m.HedgeWastedRows > 0 {
+		switch ot.Kind {
+		case trace.KindRepartition, trace.KindBroadcast, trace.KindGather,
+			trace.KindDistinctByValue, trace.KindResult:
+			bad(RuleTraceShip,
+				"hedge counters (hedges=%d wins=%d wasted=%d) on a coordinator-side operator that never hedges",
+				m.Hedges, m.HedgeWins, m.HedgeWastedRows)
+		}
+	}
+	if m.HedgeWins > m.Hedges {
+		bad(RuleTraceConserve, "hedge wins %d exceed hedges launched %d", m.HedgeWins, m.Hedges)
+	}
 	if m.DedupHits > 0 {
 		switch ot.Kind {
 		case trace.KindDistinctPref, trace.KindDistinctByValue,
@@ -204,6 +220,9 @@ func (tv *traceVerifier) accumulate(ot *trace.OpTrace) {
 	tv.sum.Failovers += m.Failovers
 	tv.sum.WastedRows += m.WastedRows
 	tv.sum.RecoveredRows += m.RecoveredRows
+	tv.sum.Hedges += m.Hedges
+	tv.sum.HedgeWins += m.HedgeWins
+	tv.sum.HedgeWastedRows += m.HedgeWastedRows
 	for _, nm := range ot.Nodes {
 		if nm.Node >= 0 && nm.Node < len(tv.nodeWork) {
 			tv.nodeWork[nm.Node] += nm.Work
@@ -244,6 +263,15 @@ func (tv *traceVerifier) checkTotals(tr *trace.Trace, vs *Violations) {
 	}
 	if tv.sum.RecoveredRows != t.RecoveredRows {
 		bad("span RecoveredRows sum %d != Stats.RecoveredRows %d", tv.sum.RecoveredRows, t.RecoveredRows)
+	}
+	if tv.sum.Hedges != int64(t.Hedges) {
+		bad("span Hedges sum %d != Stats.Hedges %d", tv.sum.Hedges, t.Hedges)
+	}
+	if tv.sum.HedgeWins != int64(t.HedgeWins) {
+		bad("span HedgeWins sum %d != Stats.HedgeWins %d", tv.sum.HedgeWins, t.HedgeWins)
+	}
+	if tv.sum.HedgeWastedRows != t.HedgeWastedRows {
+		bad("span HedgeWastedRows sum %d != Stats.HedgeWastedRows %d", tv.sum.HedgeWastedRows, t.HedgeWastedRows)
 	}
 	var maxWork int64
 	for _, w := range tv.nodeWork {

@@ -1,0 +1,543 @@
+// Package cluster is the long-lived membership and health layer between
+// the engine and the fault injector: where the engine's fault handling is
+// per-query (retry, failover, redundancy recovery), this package carries
+// what one query learned into the next. Each node runs a health state
+// machine (healthy → suspect → down → recovering → healthy) driven by
+// per-attempt outcomes the engine reports, with a per-node circuit
+// breaker: consecutive failures trip the node out of the placement so
+// later queries route around it instead of re-paying the same retries, a
+// cool-down counted in completed queries leads to a half-open probe, and
+// a successful probe hands the node to a background rebuild worker that
+// re-materializes its partitions from PREF/replication redundancy before
+// flipping it back to healthy.
+//
+// The package also owns the cross-query resources the engine borrows per
+// execution: an admission gate (bounded concurrent queries with a queue
+// timeout, so fault storms shed load instead of amplifying), a latency
+// sampler that prices the hedging delay for straggler duplicates, and a
+// per-health-epoch cache of survivor indexes and placements, so degraded
+// queries resolve "which surviving partition can serve p" once per epoch
+// instead of once per scan.
+//
+// A nil *Cluster is valid everywhere and disables the layer, mirroring
+// the nil-injector convention of internal/fault.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pref/internal/value"
+)
+
+// Typed errors surfaced to query callers.
+var (
+	// ErrAdmissionTimeout reports a query that waited longer than the
+	// admission queue timeout for an execution slot.
+	ErrAdmissionTimeout = errors.New("cluster: admission queue timeout")
+	// ErrNodeTripped reports a work unit aborted because its node's
+	// circuit breaker tripped mid-query: further retries against the node
+	// would be burned, so the unit fails fast and the next query routes
+	// around the node entirely.
+	ErrNodeTripped = errors.New("cluster: node circuit breaker tripped")
+	// ErrClosed reports an operation against a closed cluster.
+	ErrClosed = errors.New("cluster: closed")
+)
+
+// State is one node's position in the health state machine.
+type State int
+
+const (
+	// Healthy nodes serve work.
+	Healthy State = iota
+	// Suspect nodes have failed recently but still serve work; one more
+	// failure streak trips them, one success clears them.
+	Suspect
+	// Down nodes have an open circuit breaker: the placement routes
+	// around them and no work units run on them until a probe succeeds.
+	Down
+	// Recovering nodes passed a half-open probe and are being rebuilt
+	// from redundancy by the background worker; they do not serve work
+	// until the rebuild completes.
+	Recovering
+)
+
+func (s State) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Suspect:
+		return "suspect"
+	case Down:
+		return "down"
+	case Recovering:
+		return "recovering"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Options configures a cluster health layer. The zero value of every
+// field gets a sensible default from New.
+type Options struct {
+	// Nodes is the logical node count (required, must match the
+	// partitioned databases executed against the cluster).
+	Nodes int
+	// SuspectAfter is the consecutive-failure count that moves a healthy
+	// node to suspect (default 1).
+	SuspectAfter int
+	// TripAfter is the consecutive-failure count that trips the breaker,
+	// moving the node to down (default 3).
+	TripAfter int
+	// CoolDownQueries is how many completed queries must pass after a
+	// trip (or a failed probe) before the breaker goes half-open and the
+	// next query probes the node (default 2). Counting in queries rather
+	// than wall time keeps tests deterministic.
+	CoolDownQueries int
+	// MaxConcurrent bounds concurrently admitted queries (0 = unbounded).
+	MaxConcurrent int
+	// QueueTimeout is how long Admit waits for a slot before failing with
+	// ErrAdmissionTimeout (0 = wait as long as the caller's context).
+	QueueTimeout time.Duration
+	// Hedge configures speculative duplicates for straggling units.
+	Hedge HedgePolicy
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.SuspectAfter <= 0 {
+		o.SuspectAfter = 1
+	}
+	if o.TripAfter <= 0 {
+		o.TripAfter = 3
+	}
+	if o.CoolDownQueries <= 0 {
+		o.CoolDownQueries = 2
+	}
+	o.Hedge = o.Hedge.withDefaults()
+	return o
+}
+
+// node is one node's live health record.
+type node struct {
+	state       State
+	consecFails int
+	coolDown    int  // completed queries until the breaker goes half-open
+	probes      int  // failed half-open probes since the trip
+	recovered   bool // healed and rebuilt: injected node faults are cleared
+	lost        bool // rebuild found unrecoverable data: down for good
+}
+
+// Stats is a snapshot of the cluster's cross-query counters.
+type Stats struct {
+	// Epoch counts health-state transitions; placement and survivor-index
+	// caches are keyed by it.
+	Epoch int
+	// Admitted and Rejected count queries through the admission gate.
+	Admitted int64
+	Rejected int64
+	// Trips counts breaker openings; Probes and ProbeSuccesses count
+	// half-open probes and the ones that passed.
+	Trips          int64
+	Probes         int64
+	ProbeSuccesses int64
+	// Rebuilds counts completed background partition rebuilds;
+	// RebuiltRows / RebuiltBytes meter the data re-materialized from
+	// surviving duplicate copies; FailedRebuilds counts nodes whose data
+	// had no surviving copy (the node stays down).
+	Rebuilds       int64
+	RebuiltRows    int64
+	RebuiltBytes   int64
+	FailedRebuilds int64
+}
+
+// View is an immutable snapshot of cluster health, taken once per query
+// at admission. Serving[n] is false for down and recovering nodes (the
+// placement must route around them); Recovered[n] marks nodes that healed
+// and were rebuilt (the engine clears their injected faults); Probes[n]
+// is the failed-probe count the epoch-aware fault hooks consume.
+type View struct {
+	Epoch     int
+	Serving   []bool
+	Recovered []bool
+	Probes    []int
+}
+
+// Cluster is the long-lived health layer. All methods are safe for
+// concurrent use and safe on a nil receiver (layer disabled).
+type Cluster struct {
+	opt Options
+
+	mu     sync.Mutex
+	nodes  []node
+	epoch  int
+	stats  Stats
+	closed bool
+
+	// surv caches survivor key indexes per (table, effective-down) key;
+	// place caches buddy maps the same way. Both reset on epoch change.
+	surv     map[string]map[value.Key]bool
+	place    map[string][]int
+	cacheGen int
+
+	// sem is the admission semaphore (nil = unbounded).
+	sem chan struct{}
+
+	// lat prices the hedging delay from recent unit latencies.
+	lat sampler
+
+	// rebuild worker plumbing; jobs are enqueued on down→recovering.
+	ctx     context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	jobs    chan rebuildJob
+	pending int
+	idle    *sync.Cond
+}
+
+// New builds a cluster health layer for n nodes and starts its background
+// rebuild worker. Call Close to stop the worker.
+func New(opt Options) *Cluster {
+	opt = opt.withDefaults()
+	if opt.Nodes <= 0 {
+		// A cluster without nodes is a programming error at the call site,
+		// on par with a negative partition count.
+		// lint:invariant
+		panic(fmt.Sprintf("cluster: invalid node count %d", opt.Nodes))
+	}
+	c := &Cluster{
+		opt:   opt,
+		nodes: make([]node, opt.Nodes),
+		surv:  make(map[string]map[value.Key]bool),
+		place: make(map[string][]int),
+		jobs:  make(chan rebuildJob, opt.Nodes),
+	}
+	c.idle = sync.NewCond(&c.mu)
+	c.lat.init(latencyWindow)
+	if opt.MaxConcurrent > 0 {
+		c.sem = make(chan struct{}, opt.MaxConcurrent)
+	}
+	c.ctx, c.cancel = context.WithCancel(context.Background())
+	c.wg.Add(1)
+	// The rebuild worker is the cluster's one deliberately long-lived
+	// goroutine: it observes c.ctx and joins in Close (c.wg.Wait), not in
+	// the spawning function, so the goroutinescope contract is met across
+	// New/Close rather than within one body.
+	//lint:ignore goroutinescope long-lived worker; observes c.ctx, joined by c.wg.Wait in Close
+	go c.rebuildWorker()
+	return c
+}
+
+// Close stops the background rebuild worker and waits for it. Idempotent.
+func (c *Cluster) Close() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.cancel()
+	c.wg.Wait()
+	// Wake any WaitRebuilds callers: jobs abandoned by the worker exit
+	// will never complete.
+	c.mu.Lock()
+	c.pending = 0
+	c.idle.Broadcast()
+	c.mu.Unlock()
+}
+
+// Admit acquires a query execution slot, waiting up to the queue timeout
+// (and the caller's context). The returned release function must be
+// called exactly once when the query completes; releasing also advances
+// the breaker cool-downs, which are counted in completed queries.
+func (c *Cluster) Admit(ctx context.Context) (func(), error) {
+	if c == nil {
+		return func() {}, nil
+	}
+	if c.sem != nil {
+		var timeout <-chan time.Time
+		if c.opt.QueueTimeout > 0 {
+			t := time.NewTimer(c.opt.QueueTimeout)
+			defer t.Stop()
+			timeout = t.C
+		}
+		select {
+		case c.sem <- struct{}{}:
+		case <-ctx.Done():
+			c.reject()
+			return nil, ctx.Err()
+		case <-timeout:
+			c.reject()
+			return nil, fmt.Errorf("cluster: no execution slot within %v: %w",
+				c.opt.QueueTimeout, ErrAdmissionTimeout)
+		}
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		if c.sem != nil {
+			<-c.sem
+		}
+		return nil, ErrClosed
+	}
+	c.stats.Admitted++
+	c.mu.Unlock()
+	var once sync.Once
+	return func() { once.Do(c.endQuery) }, nil
+}
+
+func (c *Cluster) reject() {
+	c.mu.Lock()
+	c.stats.Rejected++
+	c.mu.Unlock()
+}
+
+// endQuery releases the admission slot and ticks breaker cool-downs: each
+// completed query brings every down node one step closer to a half-open
+// probe.
+func (c *Cluster) endQuery() {
+	c.mu.Lock()
+	for i := range c.nodes {
+		n := &c.nodes[i]
+		if n.state == Down && !n.lost && n.coolDown > 0 {
+			n.coolDown--
+		}
+	}
+	c.mu.Unlock()
+	if c.sem != nil {
+		<-c.sem
+	}
+}
+
+// BeginQuery snapshots cluster health for one query and performs the
+// health work that anchors to query admission:
+//
+//   - nodes the fault layer reports as down right now (downNow) are
+//     tripped immediately — the simulation analogue of a refused
+//     connection, which needs no failed retries to detect;
+//   - down nodes whose cool-down expired get a half-open probe (probeOK);
+//     a passed probe moves the node to recovering and enqueues a
+//     background rebuild of its partitions from src.
+//
+// It returns the post-probe view and the number of probes performed.
+// Either hook may be nil. src may be nil when no rebuild source is
+// available (probed nodes then recover without a rebuild).
+func (c *Cluster) BeginQuery(src RebuildSource, downNow func(node int) bool, probeOK func(node, probes int) bool) (View, int) {
+	if c == nil {
+		return View{}, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	probed := 0
+	for i := range c.nodes {
+		n := &c.nodes[i]
+		switch n.state {
+		case Healthy, Suspect:
+			if downNow != nil && !n.recovered && downNow(i) {
+				c.trip(i)
+			}
+		case Down:
+			if n.lost || n.coolDown > 0 || probeOK == nil {
+				continue
+			}
+			// Half-open: one trial request decides.
+			probed++
+			c.stats.Probes++
+			if probeOK(i, n.probes) {
+				c.stats.ProbeSuccesses++
+				c.setState(i, Recovering)
+				c.enqueueRebuild(i, src)
+			} else {
+				n.probes++
+				n.coolDown = c.opt.CoolDownQueries
+			}
+		}
+	}
+	return c.viewLocked(), probed
+}
+
+// ReportSuccess records a completed work unit on a node: consecutive
+// failures reset and a suspect node is cleared back to healthy.
+func (c *Cluster) ReportSuccess(nodeID int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := &c.nodes[nodeID]
+	n.consecFails = 0
+	if n.state == Suspect {
+		c.setState(nodeID, Healthy)
+	}
+}
+
+// ReportFailure records a failed work-unit attempt on a node, driving the
+// healthy → suspect → down legs of the state machine. Reaching the trip
+// threshold opens the breaker.
+func (c *Cluster) ReportFailure(nodeID int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := &c.nodes[nodeID]
+	if n.state == Down || n.state == Recovering {
+		return
+	}
+	n.consecFails++
+	if n.consecFails >= c.opt.TripAfter {
+		c.trip(nodeID)
+		return
+	}
+	if n.state == Healthy && n.consecFails >= c.opt.SuspectAfter {
+		c.setState(nodeID, Suspect)
+	}
+}
+
+// Allow reports whether work may still be sent to the node: false once
+// the breaker is open (down or recovering). Engines consult it between
+// retry attempts to stop burning a budget on a node that tripped
+// mid-query.
+func (c *Cluster) Allow(nodeID int) bool {
+	if c == nil {
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.nodes[nodeID].state
+	return s == Healthy || s == Suspect
+}
+
+// trip opens the breaker: the node leaves the placement until a probe
+// succeeds. Callers hold c.mu.
+func (c *Cluster) trip(nodeID int) {
+	n := &c.nodes[nodeID]
+	if n.state == Down {
+		return
+	}
+	c.stats.Trips++
+	n.coolDown = c.opt.CoolDownQueries
+	n.probes = 0
+	n.recovered = false
+	c.setState(nodeID, Down)
+}
+
+// setState transitions a node and bumps the health epoch, invalidating
+// the per-epoch caches. Callers hold c.mu.
+func (c *Cluster) setState(nodeID int, s State) {
+	n := &c.nodes[nodeID]
+	if n.state == s {
+		return
+	}
+	n.state = s
+	if s == Healthy {
+		n.consecFails = 0
+	}
+	c.epoch++
+	c.stats.Epoch = c.epoch
+	if len(c.surv) > 0 {
+		c.surv = make(map[string]map[value.Key]bool)
+	}
+	if len(c.place) > 0 {
+		c.place = make(map[string][]int)
+	}
+}
+
+// NodeState returns one node's current health state.
+func (c *Cluster) NodeState(nodeID int) State {
+	if c == nil {
+		return Healthy
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes[nodeID].state
+}
+
+// View returns the current health snapshot without performing probes.
+func (c *Cluster) View() View {
+	if c == nil {
+		return View{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.viewLocked()
+}
+
+func (c *Cluster) viewLocked() View {
+	v := View{
+		Epoch:     c.epoch,
+		Serving:   make([]bool, len(c.nodes)),
+		Recovered: make([]bool, len(c.nodes)),
+		Probes:    make([]int, len(c.nodes)),
+	}
+	for i := range c.nodes {
+		s := c.nodes[i].state
+		v.Serving[i] = s == Healthy || s == Suspect
+		v.Recovered[i] = c.nodes[i].recovered
+		v.Probes[i] = c.nodes[i].probes
+	}
+	return v
+}
+
+// Stats returns a snapshot of the cross-query counters.
+func (c *Cluster) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// SurvivorIndex returns the cached survivor key index for a table under
+// the given effective-down key, building it with build on a miss. The
+// cache is keyed by the health epoch (any state transition invalidates
+// it), which is what turns the per-scan survivor sweep of query-time
+// recovery into a once-per-epoch computation. Concurrent first callers
+// may build twice; last write wins, both results are identical.
+func (c *Cluster) SurvivorIndex(tbl, downKey string, build func() map[value.Key]bool) map[value.Key]bool {
+	if c == nil {
+		return build()
+	}
+	key := tbl + "|" + downKey
+	c.mu.Lock()
+	if idx, ok := c.surv[key]; ok {
+		c.mu.Unlock()
+		return idx
+	}
+	c.mu.Unlock()
+	idx := build()
+	c.mu.Lock()
+	c.surv[key] = idx
+	c.mu.Unlock()
+	return idx
+}
+
+// Placement returns the cached executing-node map for the given
+// effective-down key, building it with build on a miss. Same epoch-keyed
+// contract as SurvivorIndex.
+func (c *Cluster) Placement(downKey string, build func() ([]int, error)) ([]int, error) {
+	if c == nil {
+		return build()
+	}
+	c.mu.Lock()
+	if dst, ok := c.place[downKey]; ok {
+		c.mu.Unlock()
+		return dst, nil
+	}
+	c.mu.Unlock()
+	dst, err := build()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.place[downKey] = dst
+	c.mu.Unlock()
+	return dst, nil
+}

@@ -1,0 +1,342 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"pref/internal/catalog"
+	"pref/internal/table"
+	"pref/internal/value"
+)
+
+// newTestCluster builds a small cluster with deterministic thresholds and
+// registers its Close with the test.
+func newTestCluster(t *testing.T, opt Options) *Cluster {
+	t.Helper()
+	if opt.Nodes == 0 {
+		opt.Nodes = 4
+	}
+	c := New(opt)
+	t.Cleanup(c.Close)
+	return c
+}
+
+// testPDB builds a 4-partition database where every row of table "t" is
+// stored on two partitions (p and (p+1)%4), so any single node is fully
+// rebuildable from survivors.
+func testPDB(t *testing.T) *table.PartitionedDatabase {
+	t.Helper()
+	meta, err := catalog.NewTable("t", []catalog.Column{{Name: "k"}, {Name: "v"}}, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := table.NewPartitioned(meta, 4)
+	for k := 0; k < 20; k++ {
+		p := k % 4
+		row := value.Tuple{int64(k), int64(100 + k)}
+		pt.Parts[p].Append(row, false, false)
+		pt.Parts[(p+1)%4].Append(row, true, false)
+	}
+	pt.OriginalRows = 20
+	return &table.PartitionedDatabase{Tables: map[string]*table.Partitioned{"t": pt}, N: 4}
+}
+
+// uncoveredPDB stores every row exactly once: losing any node loses data.
+func uncoveredPDB(t *testing.T) *table.PartitionedDatabase {
+	t.Helper()
+	meta, err := catalog.NewTable("t", []catalog.Column{{Name: "k"}}, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := table.NewPartitioned(meta, 4)
+	for k := 0; k < 8; k++ {
+		pt.Parts[k%4].Append(value.Tuple{int64(k)}, false, false)
+	}
+	pt.OriginalRows = 8
+	return &table.PartitionedDatabase{Tables: map[string]*table.Partitioned{"t": pt}, N: 4}
+}
+
+func TestNilClusterIsDisabled(t *testing.T) {
+	var c *Cluster
+	release, err := c.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	if v, n := c.BeginQuery(nil, nil, nil); len(v.Serving) != 0 || n != 0 {
+		t.Fatal("nil cluster must return an empty view")
+	}
+	c.ReportSuccess(0)
+	c.ReportFailure(0)
+	if !c.Allow(0) {
+		t.Fatal("nil cluster must allow everything")
+	}
+	if c.NodeState(0) != Healthy {
+		t.Fatal("nil cluster nodes are healthy")
+	}
+	if _, ok := c.HedgeDelay(); ok {
+		t.Fatal("nil cluster must not hedge")
+	}
+	c.ObserveUnit(time.Millisecond)
+	c.WaitRebuilds()
+	c.Close()
+	built := 0
+	idx := c.SurvivorIndex("t", "0000", func() map[value.Key]bool { built++; return map[value.Key]bool{} })
+	if built != 1 || idx == nil {
+		t.Fatal("nil cluster SurvivorIndex must pass through to build")
+	}
+}
+
+// TestBreakerTripAndFSM walks healthy → suspect → down on consecutive
+// failures and back to healthy on success before the trip.
+func TestBreakerTripAndFSM(t *testing.T) {
+	c := newTestCluster(t, Options{SuspectAfter: 1, TripAfter: 3})
+	if c.NodeState(2) != Healthy {
+		t.Fatal("fresh node must be healthy")
+	}
+	c.ReportFailure(2)
+	if c.NodeState(2) != Suspect {
+		t.Fatalf("after 1 failure: %v, want suspect", c.NodeState(2))
+	}
+	// A success clears the streak.
+	c.ReportSuccess(2)
+	if c.NodeState(2) != Healthy {
+		t.Fatalf("after success: %v, want healthy", c.NodeState(2))
+	}
+	// Three consecutive failures trip the breaker.
+	c.ReportFailure(2)
+	c.ReportFailure(2)
+	if !c.Allow(2) {
+		t.Fatal("suspect node must still serve")
+	}
+	c.ReportFailure(2)
+	if c.NodeState(2) != Down {
+		t.Fatalf("after 3 failures: %v, want down", c.NodeState(2))
+	}
+	if c.Allow(2) {
+		t.Fatal("tripped node must not serve")
+	}
+	if got := c.Stats().Trips; got != 1 {
+		t.Fatalf("Trips = %d, want 1", got)
+	}
+	// Further failures on a down node are no-ops.
+	c.ReportFailure(2)
+	if got := c.Stats().Trips; got != 1 {
+		t.Fatalf("Trips after redundant failure = %d, want 1", got)
+	}
+	v := c.View()
+	if v.Serving[2] || !v.Serving[0] {
+		t.Fatal("view must exclude only the tripped node")
+	}
+}
+
+// TestEpochInvalidatesCaches: survivor-index and placement caches are
+// reused within an epoch and dropped on a health transition.
+func TestEpochInvalidatesCaches(t *testing.T) {
+	c := newTestCluster(t, Options{TripAfter: 1})
+	builds := 0
+	build := func() map[value.Key]bool { builds++; return map[value.Key]bool{} }
+	c.SurvivorIndex("t", "0000", build)
+	c.SurvivorIndex("t", "0000", build)
+	if builds != 1 {
+		t.Fatalf("builds = %d, want 1 (cached within epoch)", builds)
+	}
+	places := 0
+	c.Placement("0000", func() ([]int, error) { places++; return []int{0, 1, 2, 3}, nil })
+	c.Placement("0000", func() ([]int, error) { places++; return []int{0, 1, 2, 3}, nil })
+	if places != 1 {
+		t.Fatalf("places = %d, want 1 (cached within epoch)", places)
+	}
+	c.ReportFailure(1) // trips (TripAfter 1): epoch bump
+	c.SurvivorIndex("t", "0000", build)
+	if builds != 2 {
+		t.Fatalf("builds after epoch change = %d, want 2", builds)
+	}
+	if err := errors.New("boom"); func() error {
+		_, e := c.Placement("x", func() ([]int, error) { return nil, err })
+		return e
+	}() != err {
+		t.Fatal("Placement must propagate build errors uncached")
+	}
+}
+
+// TestProbeLifecycleAndRebuild drives the full FSM loop: trip via
+// BeginQuery's downNow hook, cool down over completed queries, fail one
+// half-open probe, pass the next, rebuild in the background, serve again.
+func TestProbeLifecycleAndRebuild(t *testing.T) {
+	c := newTestCluster(t, Options{CoolDownQueries: 1, TripAfter: 3})
+	pdb := testPDB(t)
+	downNow := func(n int) bool { return n == 1 }
+	probeOK := func(n, probes int) bool { return probes >= 1 } // second probe passes
+
+	// Query 1: node 1 reported down now → tripped without burning retries.
+	v, probes := c.BeginQuery(pdb, downNow, probeOK)
+	if probes != 0 || v.Serving[1] || c.NodeState(1) != Down {
+		t.Fatalf("query 1: probes=%d serving=%v state=%v", probes, v.Serving[1], c.NodeState(1))
+	}
+	rel, err := c.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel() // completes query 1: cool-down 1 → 0
+
+	// Query 2: cool-down expired → half-open probe, which fails.
+	v, probes = c.BeginQuery(pdb, downNow, probeOK)
+	if probes != 1 || v.Serving[1] {
+		t.Fatalf("query 2: probes=%d serving=%v, want a failed probe", probes, v.Serving[1])
+	}
+	if v.Probes[1] != 1 {
+		t.Fatalf("query 2: view probe count = %d, want 1", v.Probes[1])
+	}
+	rel, _ = c.Admit(context.Background())
+	rel()
+
+	// Query 3: second probe passes → recovering, rebuild enqueued.
+	_, probes = c.BeginQuery(pdb, downNow, probeOK)
+	if probes != 1 {
+		t.Fatalf("query 3: probes=%d, want 1", probes)
+	}
+	c.WaitRebuilds()
+	if c.NodeState(1) != Healthy {
+		t.Fatalf("after rebuild: %v, want healthy", c.NodeState(1))
+	}
+	st := c.Stats()
+	if st.Probes != 2 || st.ProbeSuccesses != 1 || st.Rebuilds != 1 {
+		t.Fatalf("stats = %+v, want 2 probes, 1 success, 1 rebuild", st)
+	}
+	if st.RebuiltRows != 10 { // node 1 held 5 primaries + 5 dup copies
+		t.Fatalf("RebuiltRows = %d, want 10", st.RebuiltRows)
+	}
+	if st.RebuiltBytes != 10*2*8 {
+		t.Fatalf("RebuiltBytes = %d, want %d", st.RebuiltBytes, 10*2*8)
+	}
+	// Query 4: the recovered node serves again and downNow is ignored
+	// (the view reports it healed so the engine clears injected faults).
+	v, _ = c.BeginQuery(pdb, downNow, probeOK)
+	if !v.Serving[1] || !v.Recovered[1] {
+		t.Fatalf("query 4: serving=%v recovered=%v, want both", v.Serving[1], v.Recovered[1])
+	}
+}
+
+// TestRebuildUnrecoverable: a node whose partition has no surviving copy
+// stays down for good, marked lost, and is never probed again.
+func TestRebuildUnrecoverable(t *testing.T) {
+	c := newTestCluster(t, Options{CoolDownQueries: 1})
+	pdb := uncoveredPDB(t)
+	downNow := func(n int) bool { return n == 2 }
+	probeOK := func(int, int) bool { return true }
+
+	c.BeginQuery(pdb, downNow, probeOK) // trip
+	rel, _ := c.Admit(context.Background())
+	rel()
+	c.BeginQuery(pdb, downNow, probeOK) // probe passes → rebuild attempt
+	c.WaitRebuilds()
+	if c.NodeState(2) != Down {
+		t.Fatalf("unrecoverable node state = %v, want down", c.NodeState(2))
+	}
+	st := c.Stats()
+	if st.FailedRebuilds != 1 || st.Rebuilds != 0 {
+		t.Fatalf("stats = %+v, want exactly 1 failed rebuild", st)
+	}
+	// No further probes: the node is lost, not cooling down.
+	rel, _ = c.Admit(context.Background())
+	rel()
+	if _, probes := c.BeginQuery(pdb, downNow, probeOK); probes != 0 {
+		t.Fatal("lost node must not be probed again")
+	}
+}
+
+// TestAdmissionQueueTimeout: with one slot taken, a second query times
+// out with the typed admission error; releasing frees the slot.
+func TestAdmissionQueueTimeout(t *testing.T) {
+	c := newTestCluster(t, Options{MaxConcurrent: 1, QueueTimeout: 5 * time.Millisecond})
+	rel1, err := c.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Admit(context.Background()); !errors.Is(err, ErrAdmissionTimeout) {
+		t.Fatalf("second Admit = %v, want ErrAdmissionTimeout", err)
+	}
+	rel1()
+	rel2, err := c.Admit(context.Background())
+	if err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	rel2()
+	rel2() // double release must be a no-op
+	st := c.Stats()
+	if st.Admitted != 2 || st.Rejected != 1 {
+		t.Fatalf("admitted=%d rejected=%d, want 2/1", st.Admitted, st.Rejected)
+	}
+}
+
+// TestAdmissionContextCancel: a cancelled caller context aborts the wait.
+func TestAdmissionContextCancel(t *testing.T) {
+	c := newTestCluster(t, Options{MaxConcurrent: 1})
+	rel, err := c.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Admit(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Admit under cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+// TestHedgeDelayPricing: cold sampler → MaxDelay; warm sampler →
+// clamp(quantile × multiplier, Min, Max).
+func TestHedgeDelayPricing(t *testing.T) {
+	c := newTestCluster(t, Options{Hedge: HedgePolicy{
+		Enabled: true, Quantile: 0.9, Multiplier: 2,
+		MinDelay: time.Millisecond, MaxDelay: 100 * time.Millisecond, MinSamples: 8,
+	}})
+	d, ok := c.HedgeDelay()
+	if !ok || d != 100*time.Millisecond {
+		t.Fatalf("cold delay = %v ok=%v, want MaxDelay", d, ok)
+	}
+	for i := 0; i < 100; i++ {
+		c.ObserveUnit(3 * time.Millisecond)
+	}
+	d, ok = c.HedgeDelay()
+	if !ok || d != 6*time.Millisecond {
+		t.Fatalf("warm delay = %v ok=%v, want 6ms (2 × p90 of 3ms)", d, ok)
+	}
+	// Clamping at both ends.
+	cLow := newTestCluster(t, Options{Hedge: HedgePolicy{
+		Enabled: true, MinDelay: 50 * time.Millisecond, MaxDelay: 60 * time.Millisecond, MinSamples: 1,
+	}})
+	cLow.ObserveUnit(time.Microsecond)
+	if d, _ := cLow.HedgeDelay(); d != 50*time.Millisecond {
+		t.Fatalf("clamped-low delay = %v, want MinDelay", d)
+	}
+	off := newTestCluster(t, Options{})
+	if _, ok := off.HedgeDelay(); ok {
+		t.Fatal("hedging disabled by default")
+	}
+}
+
+// TestCloseIdempotentAndWakesWaiters: Close joins the worker, is safe to
+// call twice, and rejects later admissions.
+func TestCloseIdempotentAndWakesWaiters(t *testing.T) {
+	c := New(Options{Nodes: 2})
+	c.Close()
+	c.Close()
+	if _, err := c.Admit(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Admit after Close = %v, want ErrClosed", err)
+	}
+	c.WaitRebuilds() // must not hang on a closed cluster
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{
+		Healthy: "healthy", Suspect: "suspect", Down: "down", Recovering: "recovering", State(9): "state(9)",
+	} {
+		if s.String() != want {
+			t.Fatalf("State(%d).String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+}

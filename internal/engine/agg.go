@@ -264,15 +264,15 @@ func (ex *executor) evalFinalAgg(n *plan.FinalAggNode) ([][]value.Tuple, error) 
 	top.AddIn(ex.execDst[0], len(in[0]))
 	sch := ex.rw.Schemas[n.Child]
 	op := ex.nextOp()
+	en := ex.execDst[0]
 	start := time.Now()
-	rows, work, err := ex.runUnit(top, op, 0, func(int) ([]value.Tuple, int, error) {
+	rows, work, err := ex.runUnit(ex.ctx, top, op, 0, en, func(int) ([]value.Tuple, int, error) {
 		rs, err := mergePartials(n, sch, in[0])
 		if err != nil {
 			return nil, 0, err
 		}
 		return rs, len(rs), nil
 	})
-	en := ex.execDst[0]
 	top.AddWall(en, time.Since(start))
 	if err != nil {
 		return nil, err

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"pref/internal/check"
+	"pref/internal/cluster"
 	"pref/internal/fault"
 	"pref/internal/plan"
 	"pref/internal/table"
@@ -62,6 +63,17 @@ type Stats struct {
 	// WastedRows counts rows of work discarded by failed attempts (the
 	// output of crashed units, the payload of failed shipments).
 	WastedRows int64
+	// Hedges counts speculative duplicate units launched for straggling
+	// partitions; HedgeWins counts hedges that finished before their
+	// straggling primary; HedgeWastedRows is the discarded row output of
+	// hedge-race losers. All zero unless ExecOptions.Cluster enables
+	// hedging.
+	Hedges          int
+	HedgeWins       int
+	HedgeWastedRows int64
+	// Probes counts half-open circuit-breaker probes the cluster layer
+	// charged to this query at admission.
+	Probes int
 }
 
 // Result is a completed query: output schema, gathered rows, telemetry.
@@ -116,6 +128,13 @@ type ExecOptions struct {
 	// statically proven plan properties (check.VerifyTrace): rows shipped
 	// through an operator the verifier proved local fail the query.
 	Trace bool
+	// Cluster attaches the query to a long-lived cluster health layer:
+	// admission control, circuit-breaker routing (nodes tripped by earlier
+	// queries are routed around without burning retries), half-open
+	// probing with background partition rebuild, and hedged execution for
+	// straggling partition units. Nil executes without the layer, exactly
+	// as before it existed.
+	Cluster *cluster.Cluster
 }
 
 // verifyEnv caches the PREF_VERIFY environment toggle.
@@ -139,6 +158,17 @@ type executor struct {
 	cancel  context.CancelFunc
 	opSeq   int   // deterministic operator counter (main goroutine only)
 	execDst []int // executing node per logical partition (buddy when down)
+	// cl is the cluster health layer (nil: disabled); view is its
+	// admission-time snapshot and down the effective down set — injector
+	// faults not yet healed, plus breaker-tripped nodes — both immutable
+	// for the whole query.
+	cl   *cluster.Cluster
+	view cluster.View
+	down []bool
+	// hedgeDelay is the speculative-duplicate delay priced at admission;
+	// hedgeOK gates the hedged fan-out path.
+	hedgeDelay time.Duration
+	hedgeOK    bool
 	// tb is the trace sink; nil when tracing is off. Its ops' mutators
 	// are nil-safe, so recording sites need no enabled-checks. Note the
 	// fault-schedule anchor opSeq is NOT shared with trace op ids:
@@ -188,15 +218,36 @@ func ExecuteCtx(ctx context.Context, rw *plan.Rewritten, pdb *table.PartitionedD
 	}
 	defer cancel()
 
-	execDst, err := buddyMap(pdb.N, inj)
+	// Admission first: a query that cannot get an execution slot must not
+	// touch cluster health or launch work. The release tick also advances
+	// breaker cool-downs (counted in completed queries).
+	cl := opt.Cluster
+	release, err := cl.Admit(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("engine: query not admitted: %w", err)
+	}
+	defer release()
+
+	// One health snapshot per query: trip nodes the fault layer reports
+	// down right now, run due half-open probes (which may enqueue
+	// background rebuilds), and resolve the degraded placement from the
+	// per-epoch cache instead of once per scan.
+	view, probes := cl.BeginQuery(pdb, inj.NodeDown, inj.ProbeOK)
+	down := effectiveDown(pdb.N, inj, view)
+	execDst, err := cl.Placement(downKey(down), func() ([]int, error) {
+		return buddyMap(pdb.N, down)
+	})
 	if err != nil {
 		return nil, err
 	}
 	ex := &executor{
 		rw: rw, pdb: pdb, n: pdb.N, opt: opt, inj: inj,
 		ctx: ctx, cancel: cancel, execDst: execDst,
+		cl: cl, view: view, down: down,
 		nodeRow: make([]int64, pdb.N),
 	}
+	ex.stats.Probes = probes
+	ex.hedgeDelay, ex.hedgeOK = cl.HedgeDelay()
 	if opt.Trace || traceEnv() {
 		ex.tb = trace.NewBuilder(pdb.N)
 	}
@@ -240,16 +291,20 @@ func ExecuteCtx(ctx context.Context, rw *plan.Rewritten, pdb *table.PartitionedD
 	res := &Result{Schema: sch, Rows: rows, Stats: ex.stats}
 	if ex.tb != nil {
 		ex.tb.SetTotals(trace.Totals{
-			BytesShipped:  ex.stats.BytesShipped,
-			RowsShipped:   ex.stats.RowsShipped,
-			RowsProcessed: ex.stats.RowsProcessed,
-			MaxNodeRows:   ex.stats.MaxNodeRows,
-			Repartitions:  ex.stats.Repartitions,
-			Broadcasts:    ex.stats.Broadcasts,
-			Retries:       ex.stats.Retries,
-			Failovers:     ex.stats.Failovers,
-			RecoveredRows: ex.stats.RecoveredRows,
-			WastedRows:    ex.stats.WastedRows,
+			BytesShipped:    ex.stats.BytesShipped,
+			RowsShipped:     ex.stats.RowsShipped,
+			RowsProcessed:   ex.stats.RowsProcessed,
+			MaxNodeRows:     ex.stats.MaxNodeRows,
+			Repartitions:    ex.stats.Repartitions,
+			Broadcasts:      ex.stats.Broadcasts,
+			Retries:         ex.stats.Retries,
+			Failovers:       ex.stats.Failovers,
+			RecoveredRows:   ex.stats.RecoveredRows,
+			WastedRows:      ex.stats.WastedRows,
+			Hedges:          ex.stats.Hedges,
+			HedgeWins:       ex.stats.HedgeWins,
+			HedgeWastedRows: ex.stats.HedgeWastedRows,
+			Probes:          ex.stats.Probes,
 		})
 		res.Trace = ex.tb.Build(rw)
 		if opt.Verify || verifyEnv() {
@@ -263,24 +318,52 @@ func ExecuteCtx(ctx context.Context, rw *plan.Rewritten, pdb *table.PartitionedD
 	return res, nil
 }
 
+// effectiveDown resolves the query's down set: nodes the injector faults
+// that the cluster has not healed and rebuilt, plus nodes the cluster
+// routes around (breaker open: down or recovering). Without a cluster,
+// view is zero-valued and the set degenerates to the injector's.
+func effectiveDown(n int, inj *fault.Injector, view cluster.View) []bool {
+	down := make([]bool, n)
+	for p := range down {
+		healed := p < len(view.Recovered) && view.Recovered[p]
+		tripped := p < len(view.Serving) && !view.Serving[p]
+		down[p] = (inj.NodeDown(p) && !healed) || tripped
+	}
+	return down
+}
+
+// downKey renders a down set as the cache key of the per-epoch placement
+// and survivor-index caches.
+func downKey(down []bool) string {
+	b := make([]byte, len(down))
+	for i, d := range down {
+		if d {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}
+
 // buddyMap assigns every logical partition its executing node: itself, or
-// — for permanently failed nodes — the next surviving node in ring order.
-func buddyMap(n int, inj *fault.Injector) ([]int, error) {
+// — for down nodes — the next surviving node in ring order.
+func buddyMap(n int, down []bool) ([]int, error) {
 	dst := make([]int, n)
 	for p := range dst {
 		dst[p] = p
-		if !inj.NodeDown(p) {
+		if !down[p] {
 			continue
 		}
 		buddy := -1
 		for d := 1; d < n; d++ {
-			if c := (p + d) % n; !inj.NodeDown(c) {
+			if c := (p + d) % n; !down[c] {
 				buddy = c
 				break
 			}
 		}
 		if buddy < 0 {
-			return nil, fmt.Errorf("engine: all %d nodes are permanently failed", n)
+			return nil, fmt.Errorf("engine: all %d nodes are down", n)
 		}
 		dst[p] = buddy
 	}
@@ -327,25 +410,13 @@ func (ex *executor) forEachPart(top *trace.Op, fn partUnit) ([][]value.Tuple, er
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			en := ex.execDst[p]
-			start := time.Now()
-			rows, work, err := ex.runUnit(top, op, p, fn)
-			top.AddWall(en, time.Since(start))
+			rows, err := ex.runPart(ex.ctx, top, op, p, fn)
 			if err != nil {
 				errs[p] = err
 				ex.cancel()
 				return
 			}
 			out[p] = rows
-			top.AddOut(en, len(rows))
-			top.AddWork(en, work)
-			ex.mu.Lock()
-			if en != p {
-				ex.stats.Failovers++
-				top.AddFailover(en)
-			}
-			ex.work(en, work)
-			ex.mu.Unlock()
 		}(p)
 	}
 	wg.Wait()
@@ -387,20 +458,44 @@ func firstErr(errs []error) error {
 	return fallback
 }
 
-// runUnit executes one per-partition work unit under the fault model:
-// straggler delay, crash injection with capped exponential backoff, panic
-// recovery, and cancellation checks between attempts. Fault draws are
-// keyed by the executing node, so work failed over from a down node
-// inherits the buddy's fault behaviour.
-func (ex *executor) runUnit(top *trace.Op, op, p int, fn partUnit) ([]value.Tuple, int, error) {
-	en := ex.execDst[p]
+// healed reports whether the cluster has repaired and rebuilt a node, so
+// the injector's node-level faults for it no longer apply.
+func (ex *executor) healed(node int) bool {
+	return node < len(ex.view.Recovered) && ex.view.Recovered[node]
+}
+
+// crashAttempt and stragglerDelay are the injector hooks filtered through
+// cluster health: a healed node's scripted node faults are gone.
+func (ex *executor) crashAttempt(op, node, attempt int) bool {
+	if ex.healed(node) {
+		return false
+	}
+	return ex.inj.CrashAttempt(op, node, attempt)
+}
+
+func (ex *executor) stragglerDelay(op, node int) time.Duration {
+	if ex.healed(node) {
+		return 0
+	}
+	return ex.inj.StragglerDelay(op, node)
+}
+
+// runUnit executes one work unit of partition p on node en under the
+// fault model: straggler delay, crash injection with jittered capped
+// exponential backoff, panic recovery, and cancellation checks between
+// attempts. Fault draws are keyed by the executing node, so work failed
+// over (or hedged) to another node inherits that node's fault behaviour.
+// Every attempt outcome is reported to the cluster health layer, and a
+// breaker that trips mid-query fails the unit fast instead of burning
+// the remaining retry budget against a node already judged down.
+func (ex *executor) runUnit(ctx context.Context, top *trace.Op, op, p, en int, fn partUnit) ([]value.Tuple, int, error) {
 	max := ex.inj.MaxAttempts()
 	for attempt := 0; ; attempt++ {
-		if err := ex.ctx.Err(); err != nil {
+		if err := ctx.Err(); err != nil {
 			return nil, 0, err
 		}
-		if d := ex.inj.StragglerDelay(op, en); d > 0 {
-			if err := sleepCtx(ex.ctx, d); err != nil {
+		if d := ex.stragglerDelay(op, en); d > 0 {
+			if err := sleepCtx(ctx, d); err != nil {
 				return nil, 0, err
 			}
 		}
@@ -408,9 +503,11 @@ func (ex *executor) runUnit(top *trace.Op, op, p int, fn partUnit) ([]value.Tupl
 		if err != nil {
 			return nil, 0, err // genuine operator error: retrying cannot help
 		}
-		if !ex.inj.CrashAttempt(op, en, attempt) {
+		if !ex.crashAttempt(op, en, attempt) {
+			ex.cl.ReportSuccess(en)
 			return rows, work, nil
 		}
+		ex.cl.ReportFailure(en)
 		// The attempt crashed after doing its work: the output is
 		// discarded, but the CPU it burned still occupied the node.
 		ex.mu.Lock()
@@ -424,7 +521,10 @@ func (ex *executor) runUnit(top *trace.Op, op, p int, fn partUnit) ([]value.Tupl
 			return nil, 0, fmt.Errorf("engine: partition %d on node %d: %d crashed attempts: %w",
 				p, en, max, fault.ErrNodeFailed)
 		}
-		if err := sleepCtx(ex.ctx, ex.inj.Backoff(attempt)); err != nil {
+		if !ex.cl.Allow(en) {
+			return nil, 0, fmt.Errorf("engine: partition %d on node %d: %w", p, en, cluster.ErrNodeTripped)
+		}
+		if err := sleepCtx(ctx, ex.inj.Backoff(op, en, attempt)); err != nil {
 			return nil, 0, err
 		}
 	}
@@ -487,7 +587,7 @@ func (ex *executor) shipBatch(top *trace.Op, op, src, rows, width int) error {
 			return fmt.Errorf("engine: shipment of %d rows from node %d: %d failed attempts: %w",
 				rows, src, max, fault.ErrShipmentFailed)
 		}
-		if err := sleepCtx(ex.ctx, ex.inj.Backoff(attempt)); err != nil {
+		if err := sleepCtx(ex.ctx, ex.inj.Backoff(op, src, attempt)); err != nil {
 			return err
 		}
 	}
@@ -567,9 +667,11 @@ func (ex *executor) evalScan(n *plan.ScanNode) ([][]value.Tuple, error) {
 		if keep != nil && !keep[p] {
 			return nil, 0, nil // pruned: the partition cannot contain matches
 		}
-		if ex.inj.NodeDown(p) {
-			// The node holding this base partition is gone: reconstruct
-			// its scan output from surviving duplicate copies.
+		if ex.down[p] {
+			// The node holding this base partition is unavailable —
+			// permanently failed, or routed around by an open circuit
+			// breaker: reconstruct its scan output from surviving
+			// duplicate copies.
 			rows, err := ex.recoverScan(top, pt, p, withIndexes, len(sch))
 			if err != nil {
 				return nil, 0, err

@@ -457,14 +457,14 @@ func contains(s, sub string) bool {
 // TestFailoverExecutesOnBuddy: work for a down node runs on its ring buddy
 // and is counted as a failover.
 func TestFailoverExecutesOnBuddy(t *testing.T) {
-	dst, err := buddyMap(4, fault.NewInjector(fault.Policy{DownNodes: []int{1, 2}}))
+	dst, err := buddyMap(4, []bool{false, true, true, false})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if want := []int{0, 3, 3, 3}; !reflect.DeepEqual(dst, want) {
 		t.Fatalf("buddyMap = %v, want %v", dst, want)
 	}
-	if _, err := buddyMap(2, fault.NewInjector(fault.Policy{DownNodes: []int{0, 1}})); err == nil {
+	if _, err := buddyMap(2, []bool{true, true}); err == nil {
 		t.Fatal("buddyMap must reject a fully failed cluster")
 	}
 }

@@ -65,33 +65,54 @@ func (ex *executor) recoverScan(top *trace.Op, pt *table.Partitioned, p int, wit
 
 // survivorIndex returns the set of full-row contents of pt stored on
 // partitions whose nodes survive, cached per table (the down set is fixed
-// for the whole query). Called from concurrent scan units.
+// for the whole query). With a cluster attached the cache lives there
+// instead, keyed by table and effective down set and invalidated on
+// health-epoch change — degraded queries between two health transitions
+// share one survivor sweep instead of re-paying it per query per scan.
+// Called from concurrent scan units.
 //
 // lint:ship-boundary recovery path: scans every surviving partition to index
 // redundant copies; read-only, no rows move.
 func (ex *executor) survivorIndex(pt *table.Partitioned) map[value.Key]bool {
 	name := pt.Meta.Name
+	if ex.cl != nil {
+		// ex.down is immutable for the whole query, so building outside
+		// ex.mu is safe; the cluster cache does its own locking.
+		return ex.cl.SurvivorIndex(name, downKey(ex.down), func() map[value.Key]bool {
+			return buildSurvivorIndex(pt, ex.down)
+		})
+	}
 	ex.mu.Lock()
 	defer ex.mu.Unlock()
 	if idx, ok := ex.survIdx[name]; ok {
 		return idx
 	}
+	idx := buildSurvivorIndex(pt, ex.down)
+	if ex.survIdx == nil {
+		ex.survIdx = make(map[string]map[value.Key]bool)
+	}
+	ex.survIdx[name] = idx
+	return idx
+}
+
+// buildSurvivorIndex sweeps pt's partitions on surviving nodes and
+// indexes their full-row contents.
+//
+// lint:ship-boundary recovery path: reads every surviving partition's rows;
+// read-only, no rows move.
+func buildSurvivorIndex(pt *table.Partitioned, down []bool) map[value.Key]bool {
 	allCols := make([]int, pt.Meta.NumCols())
 	for i := range allCols {
 		allCols[i] = i
 	}
 	idx := make(map[value.Key]bool)
 	for q, part := range pt.Parts {
-		if ex.inj.NodeDown(q) {
+		if q < len(down) && down[q] {
 			continue
 		}
 		for _, r := range part.Rows {
 			idx[value.MakeKey(r, allCols)] = true
 		}
 	}
-	if ex.survIdx == nil {
-		ex.survIdx = make(map[string]map[value.Key]bool)
-	}
-	ex.survIdx[name] = idx
 	return idx
 }

@@ -73,6 +73,15 @@ type Policy struct {
 	// every unit terminally.
 	FlakyNodes map[int]int
 
+	// RepairAfterProbes maps a node to the number of failed half-open
+	// probes after which its node-level fault (permanent down, flaky
+	// crashes) heals — the simulation stand-in for an operator replacing
+	// the hardware while the cluster layer keeps probing. A node without
+	// an entry never heals. Only consulted through the epoch-aware hooks
+	// (NodeDownAt, ProbeOK); the legacy NodeDown treats every down node
+	// as down forever.
+	RepairAfterProbes map[int]int
+
 	// CrashProb is the probability that any single work-unit attempt
 	// crashes after doing its work; the output is discarded and the
 	// attempt retried with backoff.
@@ -107,6 +116,7 @@ type Injector struct {
 	seed           int64
 	down           map[int]bool
 	flaky          map[int]int
+	repair         map[int]int
 	crashProb      float64
 	stragglerProb  float64
 	stragglerDelay time.Duration
@@ -138,6 +148,12 @@ func NewInjector(p Policy) *Injector {
 	for n, k := range p.FlakyNodes {
 		in.flaky[n] = k
 	}
+	if len(p.RepairAfterProbes) > 0 {
+		in.repair = make(map[int]int, len(p.RepairAfterProbes))
+		for n, k := range p.RepairAfterProbes {
+			in.repair[n] = k
+		}
+	}
 	if in.maxAttempts <= 0 {
 		in.maxAttempts = DefaultMaxAttempts
 	}
@@ -155,6 +171,7 @@ const (
 	kindCrash = iota + 1
 	kindStraggle
 	kindShip
+	kindBackoff
 )
 
 // mix64 is the SplitMix64 finalizer: a bijective avalanche mix.
@@ -176,9 +193,39 @@ func (in *Injector) draw(kind, a, b, c int) float64 {
 	return float64(h>>11) / (1 << 53)
 }
 
-// NodeDown reports whether a node is permanently failed.
+// NodeDown reports whether a node is permanently failed, ignoring repair:
+// the epoch-0 view, kept for callers without a cluster health layer.
 func (in *Injector) NodeDown(node int) bool {
-	return in != nil && in.down[node]
+	return in.NodeDownAt(node, 0)
+}
+
+// NodeDownAt is the epoch-aware NodeDown: the node is down if the policy
+// lists it and its fault has not yet healed after the given number of
+// failed probes (the cluster layer's per-node probe count stands in for a
+// repair clock).
+func (in *Injector) NodeDownAt(node, probes int) bool {
+	return in != nil && in.down[node] && !in.repaired(node, probes)
+}
+
+// ProbeOK is the half-open probe hook: it reports whether a trial request
+// against the node would succeed after the given number of failed probes.
+// A node the policy never faulted always probes healthy; a permanently
+// down or terminally flaky node probes healthy only once repaired.
+func (in *Injector) ProbeOK(node, probes int) bool {
+	if in == nil {
+		return true
+	}
+	if in.down[node] || in.flaky[node] >= in.maxAttempts {
+		return in.repaired(node, probes)
+	}
+	return true
+}
+
+// repaired reports whether the node's fault healed: the policy declares a
+// repair threshold and at least that many probes have failed since.
+func (in *Injector) repaired(node, probes int) bool {
+	k, ok := in.repair[node]
+	return ok && probes >= k
 }
 
 // CrashAttempt reports whether the given attempt of a work unit
@@ -222,8 +269,14 @@ func (in *Injector) MaxAttempts() int {
 }
 
 // Backoff returns the delay before retrying after the given failed
-// attempt: capped exponential, min(base << attempt, max).
-func (in *Injector) Backoff(attempt int) time.Duration {
+// attempt of a work unit (operator op on node): capped exponential
+// min(base << attempt, max), jittered into [d/2, d) by a deterministic
+// draw keyed by the retry's identity. The jitter desynchronizes retries
+// from different units against a shared flaky node (pure exponential
+// backoff fires them in lockstep), while a fixed seed still reproduces
+// the schedule exactly — the jitter comes from the same mix64 stream as
+// every other fault decision.
+func (in *Injector) Backoff(op, node, attempt int) time.Duration {
 	base, max := DefaultBackoffBase, DefaultBackoffMax
 	if in != nil {
 		base, max = in.backoffBase, in.backoffMax
@@ -235,7 +288,11 @@ func (in *Injector) Backoff(attempt int) time.Duration {
 	if d > max {
 		d = max
 	}
-	return d
+	if in == nil || d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(in.draw(kindBackoff, op, node, attempt)*float64(half))
 }
 
 // Timeout returns the per-query deadline (0 = none).

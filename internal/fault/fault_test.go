@@ -103,16 +103,43 @@ func TestNodeDown(t *testing.T) {
 	}
 }
 
-func TestBackoffCapped(t *testing.T) {
-	in := NewInjector(Policy{BackoffBase: time.Millisecond, BackoffMax: 4 * time.Millisecond})
-	want := []time.Duration{
+// TestBackoffJitterBounds: the jittered backoff stays within [d/2, d] of
+// the capped exponential envelope d = min(base << attempt, max).
+func TestBackoffJitterBounds(t *testing.T) {
+	in := NewInjector(Policy{Seed: 7, BackoffBase: time.Millisecond, BackoffMax: 4 * time.Millisecond})
+	envelope := []time.Duration{
 		time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond,
 		4 * time.Millisecond, 4 * time.Millisecond,
 	}
-	for attempt, w := range want {
-		if got := in.Backoff(attempt); got != w {
-			t.Fatalf("Backoff(%d) = %v, want %v", attempt, got, w)
+	for attempt, d := range envelope {
+		for node := 0; node < 4; node++ {
+			got := in.Backoff(3, node, attempt)
+			if got < d/2 || got > d {
+				t.Fatalf("Backoff(3, %d, %d) = %v, want within [%v, %v]", node, attempt, got, d/2, d)
+			}
 		}
+	}
+}
+
+// TestBackoffDeterministicAndDesynced: a fixed seed reproduces the jitter
+// exactly, while two nodes retrying against the same operator are not in
+// lockstep.
+func TestBackoffDeterministicAndDesynced(t *testing.T) {
+	a := NewInjector(Policy{Seed: 42, BackoffBase: time.Millisecond, BackoffMax: 8 * time.Millisecond})
+	b := NewInjector(Policy{Seed: 42, BackoffBase: time.Millisecond, BackoffMax: 8 * time.Millisecond})
+	for attempt := 0; attempt < 5; attempt++ {
+		if a.Backoff(1, 0, attempt) != b.Backoff(1, 0, attempt) {
+			t.Fatalf("same seed, different backoff at attempt %d", attempt)
+		}
+	}
+	desynced := false
+	for attempt := 0; attempt < 5; attempt++ {
+		if a.Backoff(1, 0, attempt) != a.Backoff(1, 1, attempt) {
+			desynced = true
+		}
+	}
+	if !desynced {
+		t.Fatal("nodes 0 and 1 retry in lockstep: jitter must desynchronize per-node schedules")
 	}
 }
 
@@ -121,11 +148,45 @@ func TestDefaults(t *testing.T) {
 	if in.MaxAttempts() != DefaultMaxAttempts {
 		t.Fatalf("MaxAttempts = %d, want %d", in.MaxAttempts(), DefaultMaxAttempts)
 	}
-	if in.Backoff(0) != DefaultBackoffBase {
-		t.Fatalf("Backoff(0) = %v, want %v", in.Backoff(0), DefaultBackoffBase)
+	if d := in.Backoff(0, 0, 0); d < DefaultBackoffBase/2 || d > DefaultBackoffBase {
+		t.Fatalf("Backoff(0,0,0) = %v, want within [%v, %v]", d, DefaultBackoffBase/2, DefaultBackoffBase)
 	}
-	if in.Backoff(100) != DefaultBackoffMax {
-		t.Fatalf("Backoff(100) = %v, want %v", in.Backoff(100), DefaultBackoffMax)
+	if d := in.Backoff(0, 0, 100); d < DefaultBackoffMax/2 || d > DefaultBackoffMax {
+		t.Fatalf("Backoff(0,0,100) = %v, want within [%v, %v]", d, DefaultBackoffMax/2, DefaultBackoffMax)
+	}
+}
+
+// TestNodeRepair: the epoch-aware hooks heal a down node once enough
+// half-open probes have failed, while the legacy NodeDown never does.
+func TestNodeRepair(t *testing.T) {
+	in := NewInjector(Policy{DownNodes: []int{1}, RepairAfterProbes: map[int]int{1: 2}})
+	if !in.NodeDownAt(1, 0) || !in.NodeDownAt(1, 1) {
+		t.Fatal("node 1 should stay down before the repair threshold")
+	}
+	if in.ProbeOK(1, 0) || in.ProbeOK(1, 1) {
+		t.Fatal("probes before the repair threshold must fail")
+	}
+	if in.NodeDownAt(1, 2) {
+		t.Fatal("node 1 should be repaired after 2 failed probes")
+	}
+	if !in.ProbeOK(1, 2) {
+		t.Fatal("probe at the repair threshold must succeed")
+	}
+	if !in.NodeDown(1) {
+		t.Fatal("legacy NodeDown must treat a down node as down forever")
+	}
+	// A node without a repair entry never heals.
+	in2 := NewInjector(Policy{DownNodes: []int{0}})
+	if !in2.NodeDownAt(0, 1000) || in2.ProbeOK(0, 1000) {
+		t.Fatal("node without RepairAfterProbes must never heal")
+	}
+	// A healthy node always probes OK; a terminally flaky node heals too.
+	if !in2.ProbeOK(3, 0) {
+		t.Fatal("unfaulted node must probe healthy")
+	}
+	in3 := NewInjector(Policy{FlakyNodes: map[int]int{2: 99}, RepairAfterProbes: map[int]int{2: 1}})
+	if in3.ProbeOK(2, 0) || !in3.ProbeOK(2, 1) {
+		t.Fatal("terminally flaky node must heal at its repair threshold")
 	}
 }
 

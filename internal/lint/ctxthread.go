@@ -9,8 +9,9 @@ import (
 // honor deadlines and cancellation, and a context minted mid-call-tree
 // silently opts that work out of both.
 var ctxPkgs = map[string]bool{
-	"engine": true,
-	"fault":  true,
+	"engine":  true,
+	"fault":   true,
+	"cluster": true,
 }
 
 // CtxThread flags context.Background() and context.TODO() in the execution

@@ -84,9 +84,9 @@ type Rewriter struct {
 // optimizations.
 func Rewrite(root Node, schema *catalog.Schema, cfg *partition.Config, opt Options) (*Rewritten, error) {
 	r := &Rewriter{
-		Schema:  schema,
-		Cfg:     cfg,
-		Opt:     opt,
+		Schema: schema,
+		Cfg:    cfg,
+		Opt:    opt,
 		out: &Rewritten{
 			Schemas: map[Node]Schema{}, Props: map[Node]*Prop{},
 			Catalog: schema, Cfg: cfg,

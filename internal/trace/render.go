@@ -88,6 +88,12 @@ func metricsLine(m *Metrics, opt RenderOptions) string {
 	if m.RecoveredRows > 0 {
 		parts = append(parts, fmt.Sprintf("recovered=%d", m.RecoveredRows))
 	}
+	if m.Hedges > 0 {
+		parts = append(parts, fmt.Sprintf("hedges=%d/%d won", m.HedgeWins, m.Hedges))
+	}
+	if m.HedgeWastedRows > 0 {
+		parts = append(parts, fmt.Sprintf("hedge-wasted=%d", m.HedgeWastedRows))
+	}
 	if !opt.HideWall {
 		parts = append(parts, fmt.Sprintf("wall=%s", time.Duration(m.WallNanos).Round(time.Microsecond)))
 	}

@@ -38,6 +38,8 @@ type cell struct {
 	dedupHits, work           int64
 	retries, wastedRows       int64
 	failovers, recoveredRows  int64
+	hedges, hedgeWins         int64
+	hedgeWastedRows           int64
 	wallNanos                 int64
 }
 
@@ -72,6 +74,13 @@ type Metrics struct {
 	// RecoveredRows counts base-table tuple copies rebuilt from PREF /
 	// replication redundancy during a scan of a lost partition.
 	RecoveredRows int64 `json:"recovered_rows"`
+	// Hedges counts speculative duplicate units launched on the node for
+	// straggling partitions; HedgeWins counts the hedges that finished
+	// first (beating the straggling primary); HedgeWastedRows is the row
+	// output of hedge-race losers, discarded after the winner returned.
+	Hedges          int64 `json:"hedges"`
+	HedgeWins       int64 `json:"hedge_wins"`
+	HedgeWastedRows int64 `json:"hedge_wasted_rows"`
 	// WallNanos is wall time spent in this operator's work units on the
 	// node, including retry backoff and straggler delays.
 	WallNanos int64 `json:"wall_nanos"`
@@ -88,6 +97,9 @@ func (m *Metrics) merge(o *Metrics) {
 	m.WastedRows += o.WastedRows
 	m.Failovers += o.Failovers
 	m.RecoveredRows += o.RecoveredRows
+	m.Hedges += o.Hedges
+	m.HedgeWins += o.HedgeWins
+	m.HedgeWastedRows += o.HedgeWastedRows
 	m.WallNanos += o.WallNanos
 }
 
@@ -213,6 +225,32 @@ func (o *Op) AddRecovered(node, rows int) {
 	atomic.AddInt64(&o.cells[node].recoveredRows, int64(rows))
 }
 
+// AddHedge records one speculative duplicate unit launched on node.
+func (o *Op) AddHedge(node int) {
+	if o == nil {
+		return
+	}
+	atomic.AddInt64(&o.cells[node].hedges, 1)
+}
+
+// AddHedgeWin records a hedge that returned before its straggling
+// primary.
+func (o *Op) AddHedgeWin(node int) {
+	if o == nil {
+		return
+	}
+	atomic.AddInt64(&o.cells[node].hedgeWins, 1)
+}
+
+// AddHedgeWaste records the discarded row output of a hedge-race loser
+// on node.
+func (o *Op) AddHedgeWaste(node, rows int) {
+	if o == nil || rows == 0 {
+		return
+	}
+	atomic.AddInt64(&o.cells[node].hedgeWastedRows, int64(rows))
+}
+
 // AddWall charges wall time spent in this operator's work on node.
 func (o *Op) AddWall(node int, d time.Duration) {
 	if o == nil || d <= 0 {
@@ -245,6 +283,13 @@ type Totals struct {
 	Failovers     int   `json:"failovers"`
 	RecoveredRows int64 `json:"recovered_rows"`
 	WastedRows    int64 `json:"wasted_rows"`
+	// Hedged-execution and health-probe counters (engine.Stats mirrors).
+	Hedges          int   `json:"hedges"`
+	HedgeWins       int   `json:"hedge_wins"`
+	HedgeWastedRows int64 `json:"hedge_wasted_rows"`
+	// Probes counts half-open breaker probes charged to this query at
+	// admission; probes have no operator span, so no span-sum law applies.
+	Probes int `json:"probes"`
 }
 
 // Builder accumulates live Ops during one execution. Begin/Build run on
@@ -396,17 +441,20 @@ func (o *Op) finish() *OpTrace {
 	ot := &OpTrace{ID: o.id, Kind: o.kind, Label: o.label, Prop: o.prop, ReadOne: o.readOne}
 	for node := range o.cells {
 		m := Metrics{
-			RowsIn:        atomic.LoadInt64(&o.cells[node].rowsIn),
-			RowsOut:       atomic.LoadInt64(&o.cells[node].rowsOut),
-			RowsShipped:   atomic.LoadInt64(&o.cells[node].rowsShipped),
-			BytesShipped:  atomic.LoadInt64(&o.cells[node].bytesShipped),
-			DedupHits:     atomic.LoadInt64(&o.cells[node].dedupHits),
-			Work:          atomic.LoadInt64(&o.cells[node].work),
-			Retries:       atomic.LoadInt64(&o.cells[node].retries),
-			WastedRows:    atomic.LoadInt64(&o.cells[node].wastedRows),
-			Failovers:     atomic.LoadInt64(&o.cells[node].failovers),
-			RecoveredRows: atomic.LoadInt64(&o.cells[node].recoveredRows),
-			WallNanos:     atomic.LoadInt64(&o.cells[node].wallNanos),
+			RowsIn:          atomic.LoadInt64(&o.cells[node].rowsIn),
+			RowsOut:         atomic.LoadInt64(&o.cells[node].rowsOut),
+			RowsShipped:     atomic.LoadInt64(&o.cells[node].rowsShipped),
+			BytesShipped:    atomic.LoadInt64(&o.cells[node].bytesShipped),
+			DedupHits:       atomic.LoadInt64(&o.cells[node].dedupHits),
+			Work:            atomic.LoadInt64(&o.cells[node].work),
+			Retries:         atomic.LoadInt64(&o.cells[node].retries),
+			WastedRows:      atomic.LoadInt64(&o.cells[node].wastedRows),
+			Failovers:       atomic.LoadInt64(&o.cells[node].failovers),
+			RecoveredRows:   atomic.LoadInt64(&o.cells[node].recoveredRows),
+			Hedges:          atomic.LoadInt64(&o.cells[node].hedges),
+			HedgeWins:       atomic.LoadInt64(&o.cells[node].hedgeWins),
+			HedgeWastedRows: atomic.LoadInt64(&o.cells[node].hedgeWastedRows),
+			WallNanos:       atomic.LoadInt64(&o.cells[node].wallNanos),
 		}
 		if m.Zero() {
 			continue

@@ -38,6 +38,7 @@ import (
 	"pref/internal/bulkload"
 	"pref/internal/catalog"
 	"pref/internal/check"
+	"pref/internal/cluster"
 	"pref/internal/design"
 	"pref/internal/engine"
 	"pref/internal/fault"
@@ -301,6 +302,51 @@ var (
 	// ErrShipmentFailed matches exchanges that exhausted their retry budget.
 	ErrShipmentFailed = fault.ErrShipmentFailed
 )
+
+// ---- cluster resilience layer ----
+
+// Cluster health-layer types. A Cluster is the long-lived membership and
+// health layer shared across queries: per-node health state machine and
+// circuit breaker, per-epoch degraded placements, admission control,
+// hedged stragglers, and background partition rebuild. Attach one via
+// ExecOptions.Cluster; a nil Cluster disables the layer.
+type (
+	// Cluster is the cross-query node-health and admission layer.
+	Cluster = cluster.Cluster
+	// ClusterOptions configures breaker thresholds, admission bounds and
+	// the hedging policy.
+	ClusterOptions = cluster.Options
+	// ClusterView is one query's immutable health snapshot.
+	ClusterView = cluster.View
+	// ClusterStats is a snapshot of the cross-query health counters.
+	ClusterStats = cluster.Stats
+	// NodeState is one node's position in the health state machine.
+	NodeState = cluster.State
+	// HedgePolicy configures speculative duplicates for straggling units.
+	HedgePolicy = cluster.HedgePolicy
+)
+
+// Node health states (healthy → suspect → down → recovering → healthy).
+const (
+	NodeHealthy    = cluster.Healthy
+	NodeSuspect    = cluster.Suspect
+	NodeDown       = cluster.Down
+	NodeRecovering = cluster.Recovering
+)
+
+// Cluster sentinel errors, for errors.Is against failed executions.
+var (
+	// ErrAdmissionTimeout matches queries that timed out waiting for an
+	// execution slot.
+	ErrAdmissionTimeout = cluster.ErrAdmissionTimeout
+	// ErrNodeTripped matches work units failed fast by an open breaker.
+	ErrNodeTripped = cluster.ErrNodeTripped
+)
+
+// NewCluster builds a cluster health layer and starts its background
+// rebuild worker; Close stops it. Pass it to queries via
+// ExecOptions.Cluster.
+func NewCluster(opt ClusterOptions) *Cluster { return cluster.New(opt) }
 
 // Execute runs a rewritten plan against a partitioned database.
 func Execute(rw *Rewritten, pdb *PartitionedDatabase) (*Result, error) {
