@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -38,6 +39,7 @@ func main() {
 		expand = flag.Bool("expand", false, "fig12: sweep every node count 1..100 instead of a coarse grid")
 		query  = flag.String("q", "Q3", "ops: TPC-H query for the per-operator breakdown")
 		list   = flag.Bool("list", false, "list experiment ids and exit")
+		jsonTo = flag.String("json", "", "directory to write BENCH_<experiment>.json artifacts into ('' = off)")
 
 		crash     = flag.Float64("crash", 0, "fault: per-attempt work-unit crash probability")
 		shipFail  = flag.Float64("shipfail", 0, "fault: per-attempt exchange-shipment failure probability")
@@ -101,12 +103,33 @@ func main() {
 			failed = true
 			continue
 		}
+		elapsed := time.Since(start)
 		fmt.Print(r.String())
-		fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s in %v)\n\n", id, elapsed.Round(time.Millisecond))
+		if *jsonTo != "" {
+			if err := writeJSON(*jsonTo, r, elapsed); err != nil {
+				fmt.Fprintf(os.Stderr, "prefbench: %s: %v\n", id, err)
+				failed = true
+			}
+		}
 	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// writeJSON emits one BENCH_<id>.json artifact for CI trending.
+func writeJSON(dir string, r *bench.Report, elapsed time.Duration) error {
+	data, err := r.JSON(elapsed)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+r.ID+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n\n", path)
+	return nil
 }
 
 func parseNodeList(s string) ([]int, error) {

@@ -74,12 +74,22 @@ func main() {
 		fmt.Println("updating a partitioning column is rejected:", err)
 	}
 
-	// Deletes fan out to every partition.
+	// Deletes fan out to every partition — but a referenced tuple cannot
+	// be deleted out from under its PREF dependents: the loader rejects
+	// the delete until the referencing tuples go first (leaf-first order).
+	if _, err := loader.Delete("products", []string{"pid"}, pref.Tuple{42}); err != nil {
+		fmt.Println("deleting a still-referenced product is rejected:", err)
+	}
+	gone, err := loader.Delete("reviews", []string{"pid"}, pref.Tuple{42})
+	if err != nil {
+		log.Fatal(err)
+	}
 	removed, err := loader.Delete("products", []string{"pid"}, pref.Tuple{42})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("deleted product 42: %d copies removed across partitions\n", removed)
+	fmt.Printf("deleted product 42 leaf-first: %d review copies, then %d product copies\n",
+		gone, removed)
 
 	// The loaded database answers queries like any partitioned database.
 	q := pref.Aggregate(

@@ -497,11 +497,12 @@ var Experiments = map[string]func(Params) (*Report, error){
 	"ops":    OpBreakdown,
 	"hedge":  HedgeSweep,
 	"soak":   ResilienceSoak,
+	"mixed":  MixedWorkload,
 }
 
 // ExperimentOrder lists experiment ids in presentation order.
 var ExperimentOrder = []string{
 	"table1", "fig7", "fig8", "fig9", "fig10",
 	"fig11a", "fig11b", "fig12a", "fig12b", "fig13", "fault", "ops",
-	"hedge", "soak",
+	"hedge", "soak", "mixed",
 }

@@ -1,8 +1,10 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
+	"time"
 )
 
 // Report is one regenerated table/figure: named columns and labeled rows,
@@ -45,6 +47,51 @@ func (r *Report) Value(label, column string) (float64, bool) {
 		}
 	}
 	return 0, false
+}
+
+// reportJSON is the machine-readable envelope of one report, the schema
+// of the BENCH_<id>.json artifacts cmd/prefbench emits for CI trending.
+type reportJSON struct {
+	ID        string     `json:"id"`
+	Title     string     `json:"title"`
+	Columns   []string   `json:"columns"`
+	Rows      []rowJSON  `json:"rows"`
+	Notes     []string   `json:"notes,omitempty"`
+	ElapsedMS float64    `json:"elapsed_ms"`
+	Cells     []cellJSON `json:"cells"`
+}
+
+type rowJSON struct {
+	Label  string    `json:"label"`
+	Values []float64 `json:"values"`
+}
+
+// cellJSON flattens one (row, column) measurement so trend tooling can
+// filter by metric name (e.g. every "q_per_s" or "sim_ms" cell) without
+// knowing each report's column layout.
+type cellJSON struct {
+	Row    string  `json:"row"`
+	Column string  `json:"column"`
+	Value  float64 `json:"value"`
+}
+
+// JSON renders the report as an indented machine-readable artifact:
+// the table verbatim plus flattened per-cell measurements and the
+// experiment's wall-clock time.
+func (r *Report) JSON(elapsed time.Duration) ([]byte, error) {
+	env := reportJSON{
+		ID: r.ID, Title: r.Title, Columns: r.Columns, Notes: r.Notes,
+		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+	}
+	for _, row := range r.Rows {
+		env.Rows = append(env.Rows, rowJSON{Label: row.Label, Values: row.Values})
+		for i, v := range row.Values {
+			if i < len(r.Columns) {
+				env.Cells = append(env.Cells, cellJSON{Row: row.Label, Column: r.Columns[i], Value: v})
+			}
+		}
+	}
+	return json.MarshalIndent(env, "", "  ")
 }
 
 // String renders the report as an aligned text table.

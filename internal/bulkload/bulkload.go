@@ -1,22 +1,47 @@
-// Package bulkload implements the bulk-loading path of Section 2.3:
+// Package bulkload implements the incremental write path of Section 2.3:
 // inserting new tuples into an already-partitioned database. Inserts into
 // a PREF-partitioned table use the partition index — a hash index mapping
 // referenced-attribute values to the set of partitions holding them — so
 // no join with the referenced table is executed per tuple. Updates and
 // deletes fan out to all partitions; partitioning-predicate columns are
 // immutable.
+//
+// Writes are crash-consistent. Every batch follows one protocol:
+//
+//  1. plan    — compute the full physical step list (per-partition
+//     appends/deletes/rewrites) against the last published epoch;
+//  2. intend  — record the plan in the intent log (IntentPending);
+//  3. apply   — execute the steps on copy-on-write clones of the shared
+//     partitions (the published epoch is never mutated);
+//  4. publish — atomically commit a new database epoch and mark the
+//     intent IntentApplied.
+//
+// An injected crash at any point between 2 and 4 leaves the loader in a
+// torn state: further writes return ErrNeedRecovery until Recover rolls
+// the head back to the published epoch and replays the pending intent's
+// recorded steps verbatim. Queries are unaffected throughout — they read
+// pinned epoch snapshots, never the write head.
 package bulkload
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 
+	"pref/internal/fault"
 	"pref/internal/partition"
 	"pref/internal/table"
+	"pref/internal/trace"
 	"pref/internal/value"
 )
 
+// ErrNeedRecovery rejects writes after a crashed batch until Recover has
+// rolled back the torn head and replayed the pending intent.
+var ErrNeedRecovery = errors.New("bulkload: store torn by a crashed write; run Recover first")
+
 // Loader incrementally loads tuples into one partitioned database under
-// its configuration.
+// its configuration. It is single-writer: one goroutine applies batches,
+// while any number of readers query pinned snapshots concurrently.
 type Loader struct {
 	pdb *table.PartitionedDatabase
 	cfg *partition.Config
@@ -28,11 +53,21 @@ type Loader struct {
 	// Section 2.3 ablation): inserts then scan the referenced table.
 	UsePartitionIndex bool
 
-	// rr tracks the round-robin cursor for orphan tuples per table.
+	// rr tracks the round-robin cursor for orphan tuples per table. It
+	// advances only at commit (the cursor after a batch is recorded in
+	// the intent), so a crashed batch replays with identical placement.
 	rr map[string]int
-	// seen tracks keys already present per PREF table, so the dup bit of
-	// later copies is set correctly across incremental batches.
-	firstSeen map[string]map[value.Key]bool
+
+	// Faults, when set, supplies write-side crash and index-race
+	// injection. Nil disables injection.
+	Faults *fault.Injector
+
+	// Metrics accumulates write-amplification and protocol counters.
+	Metrics trace.WriteMetrics
+
+	log     IntentLog
+	seq     int64
+	crashed bool
 
 	// Lookups counts referenced-table partition lookups performed.
 	Lookups int
@@ -47,9 +82,485 @@ func NewLoader(pdb *table.PartitionedDatabase, cfg *partition.Config) *Loader {
 		pdb: pdb, cfg: cfg,
 		partIdx:           map[string]map[value.Key][]int{},
 		rr:                map[string]int{},
-		firstSeen:         map[string]map[value.Key]bool{},
 		UsePartitionIndex: true,
 	}
+}
+
+// NeedsRecovery reports whether a crashed batch left the head torn.
+func (l *Loader) NeedsRecovery() bool { return l.crashed }
+
+// Log exposes the intent journal (pending intents after a crash).
+func (l *Loader) Log() *IntentLog { return &l.log }
+
+// Commit describes one published batch.
+type Commit struct {
+	// Seq is the batch's intent sequence number.
+	Seq int64
+	// Epoch is the database epoch the batch published.
+	Epoch int64
+	// Tables lists the tables republished by the commit.
+	Tables []string
+
+	// Inserted counts logical inserts; Stored, Removed, and Rewritten
+	// count physical copies appended, deleted, and rewritten in place.
+	Inserted  int
+	Stored    int
+	Removed   int
+	Rewritten int
+}
+
+// Apply plans, intends, applies, and publishes one batch atomically. A
+// batch targets a single table with a single op kind; insert batches may
+// carry any number of rows, delete and update batches exactly one op.
+// Under fault injection Apply may return fault.ErrWriteCrashed, after
+// which every write returns ErrNeedRecovery until Recover is run.
+func (l *Loader) Apply(ops ...Op) (*Commit, error) {
+	if l.crashed {
+		return nil, ErrNeedRecovery
+	}
+	if len(ops) == 0 {
+		return &Commit{Seq: -1, Epoch: l.pdb.Epoch()}, nil
+	}
+	// Anchor the current epoch so a rollback target always exists, even
+	// for tables that have never been committed through this loader.
+	l.pdb.Snapshot()
+
+	it, err := l.plan(ops)
+	if err != nil {
+		return nil, err
+	}
+	l.Metrics.IntentOps += int64(it.Ops)
+	switch it.Kind {
+	case OpInsert:
+		l.Metrics.LogicalInserts += int64(it.Ops)
+	case OpDelete:
+		l.Metrics.LogicalDeletes += int64(it.Ops)
+	case OpUpdate:
+		l.Metrics.LogicalUpdates += int64(it.Ops)
+	}
+	l.log.append(it)
+	l.seq++
+
+	seq := int(it.Seq)
+	if l.Faults.WriteIndexRace(seq) {
+		// Invalidation race: the cached partition indexes vanish mid-
+		// write. Targets were already bound during planning, so the race
+		// only costs a rebuild on the next batch — which is exactly the
+		// invariant the intent log is meant to guarantee.
+		l.partIdx = map[string]map[value.Key][]int{}
+		l.Metrics.IndexRaces++
+	}
+	stage, stepIdx := l.Faults.WriteCrash(seq, len(it.Steps))
+	if stage != fault.WriteNoCrash {
+		l.Metrics.Crashes++
+	}
+	if stage == fault.CrashAfterIntent {
+		l.crashed = true
+		return nil, fault.ErrWriteCrashed
+	}
+	if err := l.applySteps(it, stage, stepIdx); err != nil {
+		l.crashed = true
+		return nil, err
+	}
+	if stage == fault.CrashBeforePublish {
+		l.crashed = true
+		return nil, fault.ErrWriteCrashed
+	}
+	return l.commit(it), nil
+}
+
+// Recover repairs the store after a crashed batch: it rolls every table
+// touched by pending intents back to its published epoch (discarding
+// torn rows and half-applied fan-outs wholesale), verifies the bitmap/
+// row-length invariants, then replays the pending intents' recorded
+// steps in sequence order and publishes them. After a successful
+// recovery the crashed batch is durable — its epoch exists exactly as if
+// the crash had never happened.
+func (l *Loader) Recover() (*RecoveryReport, error) {
+	rep := &RecoveryReport{}
+	pend := l.log.Pending()
+	rep.Pending = len(pend)
+	if !l.crashed && len(pend) == 0 {
+		return rep, nil
+	}
+
+	tset := map[string]bool{}
+	for _, it := range pend {
+		for _, t := range it.tables() {
+			tset[t] = true
+		}
+	}
+	names := make([]string, 0, len(tset))
+	for t := range tset {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+
+	for _, t := range names {
+		d := l.pdb.Tables[t].ResetToPublished()
+		rep.DiscardedRows += d
+		rep.RepairedTables = append(rep.RepairedTables, t)
+		l.Metrics.RolledBackRows += int64(d)
+	}
+	for _, t := range names {
+		pt := l.pdb.Tables[t]
+		for p, part := range pt.Parts {
+			if err := part.CheckInvariants(); err != nil {
+				return rep, fmt.Errorf("bulkload: rollback of %s partition %d: %w", t, p, err)
+			}
+		}
+	}
+	for _, it := range pend {
+		if err := l.applySteps(it, fault.WriteNoCrash, 0); err != nil {
+			return rep, fmt.Errorf("bulkload: replay of intent %d: %w", it.Seq, err)
+		}
+		l.commit(it)
+		rep.Replayed++
+		l.Metrics.Replays++
+	}
+	l.crashed = false
+	// The head moved underneath the caches; rebuild lazily.
+	l.partIdx = map[string]map[value.Key][]int{}
+	return rep, nil
+}
+
+// plan validates a batch and computes its full physical step list
+// against the current (published-equal) head. Planning mutates nothing.
+func (l *Loader) plan(ops []Op) (*Intent, error) {
+	kind, tbl := ops[0].Kind, ops[0].Table
+	for _, op := range ops {
+		if op.Kind != kind || op.Table != tbl {
+			return nil, fmt.Errorf("bulkload: a batch must target one table with one op kind")
+		}
+	}
+	if kind != OpInsert && len(ops) != 1 {
+		return nil, fmt.Errorf("bulkload: %s batches must contain exactly one op", kind)
+	}
+	pt := l.pdb.Tables[tbl]
+	if pt == nil {
+		return nil, fmt.Errorf("bulkload: unknown table %s", tbl)
+	}
+	ts := l.cfg.Scheme(tbl)
+	if ts == nil {
+		return nil, fmt.Errorf("bulkload: no scheme for table %s", tbl)
+	}
+	it := &Intent{
+		Seq: l.seq, BaseEpoch: l.pdb.Epoch(), Kind: kind, Table: tbl,
+		Ops: len(ops), RRAfter: map[string]int{}, DeltaRows: map[string]int{},
+		State: IntentPending,
+	}
+	var err error
+	switch kind {
+	case OpInsert:
+		err = l.planInserts(it, pt, ts, ops)
+	case OpDelete:
+		err = l.planDelete(it, pt, ops[0])
+	case OpUpdate:
+		err = l.planUpdate(it, pt, ops[0])
+	default:
+		err = fmt.Errorf("bulkload: unknown op kind %v", kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return it, nil
+}
+
+// planInserts routes each row by the table's scheme: hash tuples to
+// their computed partition, round-robin by cursor, replicated tuples to
+// every partition, and PREF tuples to every partition holding a
+// partitioning partner (orphans by hash-equivalence or round-robin —
+// condition (2) of Definition 1). The referenced table must be loaded
+// first; inserts into the batch's own table cannot change its own
+// targets, so the partition index stays valid for the whole batch.
+func (l *Loader) planInserts(it *Intent, pt *table.Partitioned, ts *partition.TableScheme, ops []Op) error {
+	n := l.pdb.N
+	appends := map[int][]AppendRec{}
+	rr := l.rr[it.Table]
+
+	var hashCols, ringCols, orphanCols []int
+	var orphanHash bool
+	var err error
+	switch ts.Method {
+	case partition.Hash:
+		if hashCols, err = pt.Meta.ColIndexes(ts.Cols); err != nil {
+			return err
+		}
+	case partition.Pref:
+		if ringCols, err = pt.Meta.ColIndexes(ts.Pred.ReferencingCols); err != nil {
+			return err
+		}
+		if mapped, ok := l.cfg.HashEquivalent(it.Table); ok {
+			if orphanCols, err = pt.Meta.ColIndexes(mapped); err != nil {
+				return err
+			}
+			orphanHash = true
+		}
+	case partition.RoundRobin, partition.Replicated:
+	default:
+		return fmt.Errorf("bulkload: unsupported scheme %v for %s", ts.Method, it.Table)
+	}
+
+	for _, op := range ops {
+		row := op.Row
+		if len(row) != pt.Meta.NumCols() {
+			return fmt.Errorf("bulkload: table %s: row arity %d, want %d", it.Table, len(row), pt.Meta.NumCols())
+		}
+		switch ts.Method {
+		case partition.Hash:
+			p := int(value.HashTuple(row, hashCols) % uint64(n))
+			appends[p] = append(appends[p], AppendRec{Row: row})
+
+		case partition.RoundRobin:
+			p := rr % n
+			rr++
+			appends[p] = append(appends[p], AppendRec{Row: row})
+
+		case partition.Replicated:
+			for p := 0; p < n; p++ {
+				appends[p] = append(appends[p], AppendRec{Row: row, Dup: p > 0})
+			}
+
+		case partition.Pref:
+			key := value.MakeKey(row, ringCols)
+			targets, err := l.targetPartitions(it.Table, key)
+			if err != nil {
+				return err
+			}
+			if len(targets) == 0 {
+				var p int
+				if orphanHash {
+					p = int(value.HashTuple(row, orphanCols) % uint64(n))
+				} else {
+					p = rr % n
+					rr++
+				}
+				appends[p] = append(appends[p], AppendRec{Row: row})
+			} else {
+				for i, p := range targets {
+					appends[p] = append(appends[p], AppendRec{Row: row, Dup: i > 0, HasRef: true})
+				}
+			}
+		}
+	}
+
+	if rr != l.rr[it.Table] {
+		it.RRAfter[it.Table] = rr
+	}
+	it.DeltaRows[it.Table] = len(ops)
+	parts := make([]int, 0, len(appends))
+	for p := range appends {
+		parts = append(parts, p)
+	}
+	sort.Ints(parts)
+	for _, p := range parts {
+		it.Steps = append(it.Steps, IntentStep{
+			Table: it.Table, Part: p, Appends: appends[p], PreLen: pt.Parts[p].Len(),
+		})
+	}
+	return nil
+}
+
+// planDelete fans the match predicate out to every partition (Section
+// 2.3) and records pre-batch row indexes to drop. Deletes that would
+// strand PREF copies of a referencing table are rejected: the loader
+// does not re-place referencing tuples downward, so the referenced-side
+// key must be unreferenced first.
+func (l *Loader) planDelete(it *Intent, pt *table.Partitioned, op Op) error {
+	idx, err := pt.Meta.ColIndexes(op.Cols)
+	if err != nil {
+		return err
+	}
+	want := value.MakeKey(op.Vals, idxRange(len(op.Cols)))
+	originals := 0
+	var deleted []value.Tuple
+	for p, part := range pt.Parts {
+		var del []int
+		for i, r := range part.Rows {
+			if value.MakeKey(r, idx) == want {
+				del = append(del, i)
+				if !part.Dup.Get(i) {
+					originals++
+					deleted = append(deleted, r)
+				}
+			}
+		}
+		if len(del) > 0 {
+			it.Steps = append(it.Steps, IntentStep{
+				Table: it.Table, Part: p, Deletes: del, PreLen: part.Len(),
+			})
+		}
+	}
+	if err := l.checkNoDanglingRefs(it.Table, pt, deleted); err != nil {
+		return err
+	}
+	it.DeltaRows[it.Table] = -originals
+	return nil
+}
+
+// checkNoDanglingRefs rejects a delete whose victim keys are still used
+// by a PREF partitioning predicate: removing the referenced-side copies
+// would leave the referencing tuples' hasRef bits and partition-index
+// justification dangling. Conservative: any surviving referencing tuple
+// with a matching ring key blocks the delete.
+func (l *Loader) checkNoDanglingRefs(tbl string, pt *table.Partitioned, deleted []value.Tuple) error {
+	if len(deleted) == 0 {
+		return nil
+	}
+	var deps []string
+	for name, other := range l.cfg.Schemes {
+		if other.Method == partition.Pref && other.RefTable == tbl {
+			deps = append(deps, name)
+		}
+	}
+	sort.Strings(deps)
+	for _, name := range deps {
+		other := l.cfg.Schemes[name]
+		dep := l.pdb.Tables[name]
+		if dep == nil || dep.StoredRows() == 0 {
+			continue
+		}
+		refIdx, err := pt.Meta.ColIndexes(other.Pred.ReferencedCols)
+		if err != nil {
+			return err
+		}
+		keys := map[value.Key]bool{}
+		for _, r := range deleted {
+			keys[value.MakeKey(r, refIdx)] = true
+		}
+		depIdx, err := dep.Meta.ColIndexes(other.Pred.ReferencingCols)
+		if err != nil {
+			return err
+		}
+		for _, part := range dep.Parts {
+			for _, r := range part.Rows {
+				if keys[value.MakeKey(r, depIdx)] {
+					return fmt.Errorf("bulkload: delete from %s would strand PREF copies in %s (referenced key still in use); delete the %s tuples first", tbl, name, name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// planUpdate fans the rewrite out to every copy of matching tuples.
+// Updating partitioning-predicate, own-scheme, or seed-partitioning
+// (hash-equivalence-mapped) columns is rejected — Section 2.3's
+// restriction.
+func (l *Loader) planUpdate(it *Intent, pt *table.Partitioned, op Op) error {
+	if l.isPartitioningColumn(it.Table, op.SetCol) {
+		return fmt.Errorf("bulkload: column %s.%s is used for partitioning and cannot be updated", it.Table, op.SetCol)
+	}
+	set := pt.Meta.ColIndex(op.SetCol)
+	if set < 0 {
+		return fmt.Errorf("bulkload: unknown column %s.%s", it.Table, op.SetCol)
+	}
+	idx, err := pt.Meta.ColIndexes(op.Cols)
+	if err != nil {
+		return err
+	}
+	want := value.MakeKey(op.Vals, idxRange(len(op.Cols)))
+	for p, part := range pt.Parts {
+		var sets []SetRec
+		for i, r := range part.Rows {
+			if value.MakeKey(r, idx) == want {
+				sets = append(sets, SetRec{Row: i, Col: set, Val: op.SetVal})
+			}
+		}
+		if len(sets) > 0 {
+			it.Steps = append(it.Steps, IntentStep{
+				Table: it.Table, Part: p, Sets: sets, PreLen: part.Len(),
+			})
+		}
+	}
+	return nil
+}
+
+// applySteps executes an intent's steps on copy-on-write head clones,
+// honoring an injected crash stage: CrashMidApply stops cleanly before
+// step stepIdx (earlier steps fully applied), CrashTornApply tears step
+// stepIdx — half its appends land fully, one more row lands without its
+// bitmap entries. Replay calls this with fault.WriteNoCrash.
+func (l *Loader) applySteps(it *Intent, stage fault.WriteStage, stepIdx int) error {
+	for j := range it.Steps {
+		st := &it.Steps[j]
+		if stage == fault.CrashMidApply && j == stepIdx {
+			return fault.ErrWriteCrashed
+		}
+		pt := l.pdb.Tables[st.Table]
+		part := pt.BeginWrite(st.Part)
+		if len(part.Rows) != st.PreLen {
+			// lint:invariant — the step was planned against a different
+			// partition image than the one being written.
+			return fmt.Errorf("bulkload: intent %d step %d: %s[%d] has %d rows, planned against %d",
+				it.Seq, j, st.Table, st.Part, len(part.Rows), st.PreLen)
+		}
+		for _, s := range st.Sets {
+			nr := part.Rows[s.Row].Clone()
+			nr[s.Col] = s.Val
+			part.Rows[s.Row] = nr
+		}
+		if len(st.Deletes) > 0 {
+			drop := make(map[int]bool, len(st.Deletes))
+			for _, i := range st.Deletes {
+				drop[i] = true
+			}
+			np := table.NewPartition()
+			for i, r := range part.Rows {
+				if drop[i] {
+					continue
+				}
+				np.Append(r, part.Dup.Get(i), part.HasRef.Get(i))
+			}
+			*part = *np
+		}
+		if stage == fault.CrashTornApply && j == stepIdx {
+			k := len(st.Appends) / 2
+			for _, a := range st.Appends[:k] {
+				part.Append(a.Row, a.Dup, a.HasRef)
+			}
+			if k < len(st.Appends) {
+				part.Rows = append(part.Rows, st.Appends[k].Row)
+			}
+			return fault.ErrWriteCrashed
+		}
+		for _, a := range st.Appends {
+			part.Append(a.Row, a.Dup, a.HasRef)
+		}
+	}
+	return nil
+}
+
+// commit installs the intent's bookkeeping deltas, publishes a new
+// database epoch covering every touched table, and marks the intent
+// applied. Called only after every step executed crash-free.
+func (l *Loader) commit(it *Intent) *Commit {
+	for t, d := range it.DeltaRows {
+		l.pdb.Tables[t].OriginalRows += d
+	}
+	for t, c := range it.RRAfter {
+		l.rr[t] = c
+	}
+	tables := it.tables()
+	epoch := l.pdb.Commit(tables...)
+	it.State = IntentApplied
+	l.invalidateDependents(it.Table)
+	l.log.prune()
+
+	l.Metrics.Batches++
+	l.Metrics.Publishes++
+	l.Metrics.StoredCopies += int64(it.appended())
+	l.Metrics.RemovedCopies += int64(it.removed())
+	l.Metrics.RewrittenCopies += int64(it.rewritten())
+
+	c := &Commit{
+		Seq: it.Seq, Epoch: epoch, Tables: tables,
+		Stored: it.appended(), Removed: it.removed(), Rewritten: it.rewritten(),
+	}
+	if it.Kind == OpInsert {
+		c.Inserted = it.Ops
+	}
+	return c
 }
 
 // partitionIndex returns (building on first use) the partition index on
@@ -103,88 +614,6 @@ func (l *Loader) targetPartitions(tbl string, ringKey value.Key) ([]int, error) 
 	return targets, nil
 }
 
-// Insert adds one tuple to a partitioned table, honoring its scheme:
-// hash/range tuples go to their computed partition, replicated tuples to
-// every partition, and PREF tuples to every partition holding a
-// partitioning partner (round-robin when none exists — condition (2) of
-// Definition 1). The referenced table must be loaded first.
-func (l *Loader) Insert(tbl string, row value.Tuple) error {
-	pt := l.pdb.Tables[tbl]
-	if pt == nil {
-		return fmt.Errorf("bulkload: unknown table %s", tbl)
-	}
-	ts := l.cfg.Scheme(tbl)
-	if ts == nil {
-		return fmt.Errorf("bulkload: no scheme for table %s", tbl)
-	}
-	if len(row) != pt.Meta.NumCols() {
-		return fmt.Errorf("bulkload: table %s: row arity %d, want %d", tbl, len(row), pt.Meta.NumCols())
-	}
-	n := l.pdb.N
-	switch ts.Method {
-	case partition.Hash:
-		cols, err := pt.Meta.ColIndexes(ts.Cols)
-		if err != nil {
-			return err
-		}
-		p := int(value.HashTuple(row, cols) % uint64(n))
-		pt.Parts[p].Append(row, false, false)
-
-	case partition.RoundRobin:
-		p := l.rr[tbl] % n
-		l.rr[tbl]++
-		pt.Parts[p].Append(row, false, false)
-
-	case partition.Replicated:
-		for p := 0; p < n; p++ {
-			pt.Parts[p].Append(row, p > 0, false)
-		}
-
-	case partition.Pref:
-		ringCols, err := pt.Meta.ColIndexes(ts.Pred.ReferencingCols)
-		if err != nil {
-			return err
-		}
-		key := value.MakeKey(row, ringCols)
-		targets, err := l.targetPartitions(tbl, key)
-		if err != nil {
-			return err
-		}
-		if len(targets) == 0 {
-			// Orphans follow the hash-equivalence placement when the
-			// configuration guarantees it (matching partition.Apply),
-			// else round-robin.
-			var p int
-			if mapped, ok := l.cfg.HashEquivalent(tbl); ok {
-				cols, err := pt.Meta.ColIndexes(mapped)
-				if err != nil {
-					return err
-				}
-				p = int(value.HashTuple(row, cols) % uint64(n))
-			} else {
-				p = l.rr[tbl] % n
-				l.rr[tbl]++
-			}
-			pt.Parts[p].Append(row, false, false)
-		} else {
-			for i, p := range targets {
-				pt.Parts[p].Append(row, i > 0, true)
-			}
-		}
-		// A newly inserted referenced-side key may already be indexed by
-		// downstream tables' partition indexes; invalidate them.
-		l.invalidateDependents(tbl)
-
-	default:
-		return fmt.Errorf("bulkload: unsupported scheme %v for %s", ts.Method, tbl)
-	}
-	pt.OriginalRows++
-	if ts.Method != partition.Pref {
-		l.invalidateDependents(tbl)
-	}
-	return nil
-}
-
 // invalidateDependents drops cached partition indexes of tables that
 // PREF-reference tbl (their referenced data changed).
 func (l *Loader) invalidateDependents(tbl string) {
@@ -195,14 +624,24 @@ func (l *Loader) invalidateDependents(tbl string) {
 	}
 }
 
-// InsertBatch loads many tuples into one table.
+// Insert adds one tuple as a single-op batch.
+func (l *Loader) Insert(tbl string, row value.Tuple) error {
+	_, err := l.Apply(Insert(tbl, row))
+	return err
+}
+
+// InsertBatch loads many tuples into one table as one atomic batch (one
+// published epoch, one COW clone per touched partition).
 func (l *Loader) InsertBatch(tbl string, rows []value.Tuple) error {
-	for _, r := range rows {
-		if err := l.Insert(tbl, r); err != nil {
-			return err
-		}
+	if len(rows) == 0 {
+		return nil
 	}
-	return nil
+	ops := make([]Op, len(rows))
+	for i, r := range rows {
+		ops[i] = Insert(tbl, r)
+	}
+	_, err := l.Apply(ops...)
+	return err
 }
 
 // LoadDatabase bulk loads a full unpartitioned database in
@@ -232,72 +671,30 @@ func (l *Loader) LoadDatabase(db *table.Database) (map[string]int, error) {
 // partition of a table (deletes fan out, Section 2.3). It returns the
 // number of stored copies removed.
 func (l *Loader) Delete(tbl string, cols []string, keyVals value.Tuple) (int, error) {
-	pt := l.pdb.Tables[tbl]
-	if pt == nil {
-		return 0, fmt.Errorf("bulkload: unknown table %s", tbl)
-	}
-	idx, err := pt.Meta.ColIndexes(cols)
+	c, err := l.Apply(Delete(tbl, cols, keyVals))
 	if err != nil {
 		return 0, err
 	}
-	want := value.MakeKey(keyVals, idxRange(len(cols)))
-	removed := 0
-	originals := 0
-	for _, part := range pt.Parts {
-		newPart := table.NewPartition()
-		for i, r := range part.Rows {
-			if value.MakeKey(r, idx) == want {
-				removed++
-				if !part.Dup.Get(i) {
-					originals++
-				}
-				continue
-			}
-			newPart.Append(r, part.Dup.Get(i), part.HasRef.Get(i))
-		}
-		*part = *newPart
-	}
-	pt.OriginalRows -= originals
-	l.invalidateDependents(tbl)
-	return removed, nil
+	return c.Removed, nil
 }
 
 // Update rewrites non-key attributes of all copies of matching tuples.
 // Updating partitioning-predicate or partitioning columns is rejected
-// (Section 2.3's restriction).
+// (Section 2.3's restriction). It returns the number of copies
+// rewritten.
 func (l *Loader) Update(tbl string, matchCols []string, matchVals value.Tuple, setCol string, setVal int64) (int, error) {
-	pt := l.pdb.Tables[tbl]
-	if pt == nil {
-		return 0, fmt.Errorf("bulkload: unknown table %s", tbl)
-	}
-	if l.isPartitioningColumn(tbl, setCol) {
-		return 0, fmt.Errorf("bulkload: column %s.%s is used for partitioning and cannot be updated", tbl, setCol)
-	}
-	set := pt.Meta.ColIndex(setCol)
-	if set < 0 {
-		return 0, fmt.Errorf("bulkload: unknown column %s.%s", tbl, setCol)
-	}
-	idx, err := pt.Meta.ColIndexes(matchCols)
+	c, err := l.Apply(Update(tbl, matchCols, matchVals, setCol, setVal))
 	if err != nil {
 		return 0, err
 	}
-	want := value.MakeKey(matchVals, idxRange(len(matchCols)))
-	updated := 0
-	for _, part := range pt.Parts {
-		for i, r := range part.Rows {
-			if value.MakeKey(r, idx) == want {
-				nr := r.Clone()
-				nr[set] = setVal
-				part.Rows[i] = nr
-				updated++
-			}
-		}
-	}
-	return updated, nil
+	return c.Rewritten, nil
 }
 
 // isPartitioningColumn reports whether a column participates in the
-// table's own scheme or in any PREF predicate referencing the table.
+// table's own scheme, in any PREF predicate referencing the table, or in
+// the table's seed-partitioning placement (the hash-equivalence-mapped
+// columns that decide where orphans — and for hash-equivalent schemes,
+// every copy — are stored).
 func (l *Loader) isPartitioningColumn(tbl, col string) bool {
 	ts := l.cfg.Scheme(tbl)
 	if ts != nil {
@@ -311,6 +708,13 @@ func (l *Loader) isPartitioningColumn(tbl, col string) bool {
 				if c == col {
 					return true
 				}
+			}
+		}
+	}
+	if mapped, ok := l.cfg.HashEquivalent(tbl); ok {
+		for _, c := range mapped {
+			if c == col {
+				return true
 			}
 		}
 	}

@@ -1,11 +1,13 @@
 package bulkload
 
 import (
+	"errors"
 	"reflect"
 	"sort"
 	"testing"
 
 	"pref/internal/catalog"
+	"pref/internal/fault"
 	"pref/internal/partition"
 	"pref/internal/table"
 	"pref/internal/value"
@@ -293,5 +295,367 @@ func TestReplicatedAndRoundRobinInsert(t *testing.T) {
 		if pdb.Tables["orders"].Parts[p].Len() != 2 {
 			t.Fatal("round robin insert must spread evenly")
 		}
+	}
+}
+
+// mixedOp returns the i'th op batch of a deterministic mixed write
+// stream over the fullDB(8,2,2) chain: partnered inserts into orders and
+// customer, fresh-key lineitem inserts, leaf deletes, and non-key
+// updates.
+func mixedOp(i int) []Op {
+	switch {
+	case i%7 == 3:
+		return []Op{Update("customer", []string{"custkey"}, value.Tuple{int64(i % 8)}, "nation", int64(i))}
+	case i%11 == 5:
+		return []Op{Delete("customer", []string{"custkey"}, value.Tuple{int64((i * 3) % 8)})}
+	case i%3 == 0:
+		return []Op{Insert("orders", value.Tuple{int64(1000 + i), int64(i % 16)})}
+	case i%3 == 1:
+		return []Op{Insert("customer", value.Tuple{int64(100 + i), int64(i % 8)})}
+	default:
+		return []Op{
+			Insert("lineitem", value.Tuple{int64(2000 + i), int64(3000 + i)}),
+			Insert("lineitem", value.Tuple{int64(2500 + i), int64(3000 + i)}),
+		}
+	}
+}
+
+// A crash-injected loader, after recovering every crashed batch, must
+// end in exactly the state a crash-free loader reaches on the same
+// logical stream: same epochs, same rows, same bitmaps, same cursors.
+func TestCrashedBatchesRecoverToOracle(t *testing.T) {
+	db := fullDB(t, 8, 2, 2)
+	cfg := chainCfg(3)
+
+	pdb := emptyPDB(db, cfg)
+	l := NewLoader(pdb, cfg)
+	if _, err := l.LoadDatabase(db); err != nil {
+		t.Fatal(err)
+	}
+	opdb := emptyPDB(db, cfg)
+	ol := NewLoader(opdb, cfg)
+	if _, err := ol.LoadDatabase(db); err != nil {
+		t.Fatal(err)
+	}
+
+	l.Faults = fault.NewInjector(fault.Policy{Seed: 21, WriteCrashProb: 0.6, WriteIndexRaceProb: 0.3})
+	recoveries := 0
+	for i := 0; i < 60; i++ {
+		ops := mixedOp(i)
+		if _, err := ol.Apply(ops...); err != nil {
+			t.Fatalf("oracle op %d: %v", i, err)
+		}
+		_, err := l.Apply(ops...)
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, fault.ErrWriteCrashed) {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		if !l.NeedsRecovery() {
+			t.Fatal("crashed loader must need recovery")
+		}
+		if _, err := l.Apply(ops...); !errors.Is(err, ErrNeedRecovery) {
+			t.Fatalf("writes after a crash must be gated, got %v", err)
+		}
+		rep, err := l.Recover()
+		if err != nil {
+			t.Fatalf("recover after op %d: %v", i, err)
+		}
+		if rep.Pending != 1 || rep.Replayed != 1 {
+			t.Fatalf("recovery report %+v, want one pending intent replayed", rep)
+		}
+		recoveries++
+	}
+	if recoveries == 0 || l.Metrics.Crashes == 0 {
+		t.Fatal("fault schedule never crashed a write; test is vacuous")
+	}
+	if l.Metrics.Replays != int64(recoveries) {
+		t.Fatalf("replays = %d, want %d", l.Metrics.Replays, recoveries)
+	}
+
+	if le, oe := pdb.Epoch(), opdb.Epoch(); le != oe {
+		t.Fatalf("epoch %d after recovery, oracle %d", le, oe)
+	}
+	for _, tbl := range []string{"lineitem", "orders", "customer"} {
+		a, b := opdb.Tables[tbl], pdb.Tables[tbl]
+		if a.OriginalRows != b.OriginalRows {
+			t.Fatalf("%s: original rows %d vs oracle %d", tbl, b.OriginalRows, a.OriginalRows)
+		}
+		for p := range a.Parts {
+			if err := b.Parts[p].CheckInvariants(); err != nil {
+				t.Fatalf("%s[%d]: %v", tbl, p, err)
+			}
+			if !sameRowMultiset(a.Parts[p].Rows, b.Parts[p].Rows) {
+				t.Fatalf("%s partition %d differs from oracle", tbl, p)
+			}
+			if a.Parts[p].Dup.Count() != b.Parts[p].Dup.Count() ||
+				a.Parts[p].HasRef.Count() != b.Parts[p].HasRef.Count() {
+				t.Fatalf("%s partition %d bitmaps differ from oracle", tbl, p)
+			}
+		}
+	}
+	if l.Metrics.Amplification() < 1 {
+		t.Fatalf("amplification %v < 1 on a PREF load", l.Metrics.Amplification())
+	}
+}
+
+// Snapshots pinned before a crashed batch must keep reading the old
+// epoch, untouched and invariant-clean, while the head is torn; after
+// Recover the batch becomes visible in new snapshots exactly once.
+func TestSnapshotIsolationAcrossCrash(t *testing.T) {
+	db := fullDB(t, 4, 2, 2)
+	cfg := chainCfg(2)
+	pdb := emptyPDB(db, cfg)
+	l := NewLoader(pdb, cfg)
+	if _, err := l.LoadDatabase(db); err != nil {
+		t.Fatal(err)
+	}
+
+	pre := pdb.Snapshot()
+	preRows := len(pre.Parts("orders")[0].Rows) + len(pre.Parts("orders")[1].Rows)
+
+	l.Faults = fault.NewInjector(fault.Policy{Seed: 3, WriteCrashProb: 1})
+	_, err := l.Apply(Insert("orders", value.Tuple{555, 0}))
+	if !errors.Is(err, fault.ErrWriteCrashed) {
+		t.Fatalf("want injected crash, got %v", err)
+	}
+
+	mid := pdb.Snapshot()
+	if mid.Epoch != pre.Epoch {
+		t.Fatal("crashed batch must not publish an epoch")
+	}
+	for p, part := range mid.Parts("orders") {
+		if err := part.CheckInvariants(); err != nil {
+			t.Fatalf("snapshot orders[%d] torn: %v", p, err)
+		}
+	}
+	if got := len(mid.Parts("orders")[0].Rows) + len(mid.Parts("orders")[1].Rows); got != preRows {
+		t.Fatalf("snapshot sees %d order rows mid-crash, want %d", got, preRows)
+	}
+
+	l.Faults = nil
+	if _, err := l.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	post := pdb.Snapshot()
+	if post.Epoch != pre.Epoch+1 {
+		t.Fatalf("post-recovery epoch %d, want %d", post.Epoch, pre.Epoch+1)
+	}
+	found := 0
+	for _, part := range post.Parts("orders") {
+		if err := part.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range part.Rows {
+			if r[0] == 555 {
+				found++
+			}
+		}
+	}
+	if found == 0 {
+		t.Fatal("recovered insert missing from the new epoch")
+	}
+}
+
+// Dup bits must be assigned fresh on re-insert of a previously deleted
+// key: exactly one primary copy per logical tuple per epoch, however
+// many times the key has lived before (the old firstSeen cache went
+// stale after Delete).
+func TestInsertDeleteReinsertDupBits(t *testing.T) {
+	db := table.NewDatabase(schemaCOL(t))
+	cfg := chainCfg(2)
+	pdb := emptyPDB(db, cfg)
+	l := NewLoader(pdb, cfg)
+
+	for lk := int64(0); lk < 4; lk++ {
+		if err := l.Insert("lineitem", value.Tuple{lk, 7}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	partner := map[int]bool{}
+	for p, part := range pdb.Tables["lineitem"].Parts {
+		for _, r := range part.Rows {
+			if r[1] == 7 {
+				partner[p] = true
+			}
+		}
+	}
+	if len(partner) < 2 {
+		t.Fatalf("setup: want orderkey 7 on >=2 partitions, got %d", len(partner))
+	}
+
+	countOrder7 := func() (copies, primaries, dups int) {
+		for _, part := range pdb.Tables["orders"].Parts {
+			for i, r := range part.Rows {
+				if r[0] == 7 {
+					copies++
+					if part.Dup.Get(i) {
+						dups++
+					} else {
+						primaries++
+					}
+					if !part.HasRef.Get(i) {
+						t.Fatal("partnered copy must have hasRef=1")
+					}
+				}
+			}
+		}
+		return
+	}
+
+	if err := l.Insert("orders", value.Tuple{7, 0}); err != nil {
+		t.Fatal(err)
+	}
+	c1, p1, d1 := countOrder7()
+	if c1 != len(partner) || p1 != 1 || d1 != c1-1 {
+		t.Fatalf("first insert: copies=%d primaries=%d dups=%d, want %d/1/%d", c1, p1, d1, len(partner), len(partner)-1)
+	}
+
+	removed, err := l.Delete("orders", []string{"orderkey"}, value.Tuple{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != c1 {
+		t.Fatalf("delete removed %d copies, want %d", removed, c1)
+	}
+
+	if err := l.Insert("orders", value.Tuple{7, 1}); err != nil {
+		t.Fatal(err)
+	}
+	c2, p2, d2 := countOrder7()
+	if c2 != len(partner) || p2 != 1 || d2 != c2-1 {
+		t.Fatalf("re-insert: copies=%d primaries=%d dups=%d, want %d/1/%d", c2, p2, d2, len(partner), len(partner)-1)
+	}
+	if pdb.Tables["orders"].OriginalRows != 1 {
+		t.Fatalf("orders OriginalRows = %d, want 1", pdb.Tables["orders"].OriginalRows)
+	}
+}
+
+// Seed-partitioning columns are immutable even when they reach the table
+// only through the hash-equivalence chain, not its own predicate.
+func TestUpdateRejectsSeedPartitioningColumns(t *testing.T) {
+	s := schemaCOL(t)
+	cfg := partition.NewConfig(2)
+	cfg.SetHash("lineitem", "orderkey")
+	cfg.SetPref("orders", "lineitem", []string{"orderkey"}, []string{"orderkey"})
+	cfg.SetPref("customer", "orders", []string{"custkey"}, []string{"custkey"})
+	db := table.NewDatabase(s)
+	db.Tables["lineitem"].MustAppend(value.Tuple{1, 1})
+	db.Tables["orders"].MustAppend(value.Tuple{1, 2})
+	db.Tables["customer"].MustAppend(value.Tuple{2, 0})
+	pdb := emptyPDB(db, cfg)
+	l := NewLoader(pdb, cfg)
+	if _, err := l.LoadDatabase(db); err != nil {
+		t.Fatal(err)
+	}
+
+	if mapped, ok := cfg.HashEquivalent("orders"); !ok || len(mapped) == 0 {
+		t.Fatal("setup: orders should be hash-equivalent")
+	}
+	// orders.orderkey decides hash-equivalent placement (mapped from the
+	// seed's hash column): immutable.
+	if _, err := l.Update("orders", []string{"custkey"}, value.Tuple{2}, "orderkey", 9); err == nil {
+		t.Fatal("updating a seed-mapped placement column must be rejected")
+	}
+	// The seed's own hash column, on the seed table: immutable.
+	if _, err := l.Update("lineitem", []string{"linekey"}, value.Tuple{1}, "orderkey", 9); err == nil {
+		t.Fatal("updating the seed hash column must be rejected")
+	}
+	// Non-placement columns stay writable.
+	if _, err := l.Update("customer", []string{"custkey"}, value.Tuple{2}, "nation", 9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Update("lineitem", []string{"orderkey"}, value.Tuple{1}, "linekey", 9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Deleting referenced-side tuples whose keys are still in use by a PREF
+// predicate is rejected — the loader does not re-place referencing
+// copies downward. Unreferenced keys delete fine.
+func TestDeleteRejectedWhileReferenced(t *testing.T) {
+	db := fullDB(t, 2, 2, 2)
+	cfg := chainCfg(2)
+	pdb := emptyPDB(db, cfg)
+	l := NewLoader(pdb, cfg)
+	if _, err := l.LoadDatabase(db); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := l.Delete("lineitem", []string{"linekey"}, value.Tuple{0}); err == nil {
+		t.Fatal("deleting a referenced lineitem key must be rejected")
+	}
+	if err := l.Insert("lineitem", value.Tuple{500, 999}); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := l.Delete("lineitem", []string{"linekey"}, value.Tuple{500}); err != nil || n != 1 {
+		t.Fatalf("unreferenced delete: n=%d err=%v", n, err)
+	}
+	// Peel the chain from the leaf: customer 0 releases custkey 0, the
+	// orders release orderkey 0, and only then may the lineitems go.
+	if _, err := l.Delete("customer", []string{"custkey"}, value.Tuple{0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Delete("orders", []string{"custkey"}, value.Tuple{0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Delete("lineitem", []string{"orderkey"}, value.Tuple{0}); err != nil {
+		t.Fatalf("delete after dereferencing: %v", err)
+	}
+}
+
+func TestApplyBatchValidation(t *testing.T) {
+	db := fullDB(t, 2, 1, 1)
+	cfg := chainCfg(2)
+	l := NewLoader(emptyPDB(db, cfg), cfg)
+
+	if _, err := l.Apply(Insert("customer", value.Tuple{1, 0}), Insert("orders", value.Tuple{1, 1})); err == nil {
+		t.Fatal("multi-table batch must be rejected")
+	}
+	if _, err := l.Apply(
+		Delete("customer", []string{"custkey"}, value.Tuple{1}),
+		Delete("customer", []string{"custkey"}, value.Tuple{2}),
+	); err == nil {
+		t.Fatal("multi-op delete batch must be rejected")
+	}
+	c, err := l.Apply()
+	if err != nil || c.Epoch != 0 {
+		t.Fatalf("empty batch: %+v, %v", c, err)
+	}
+}
+
+// The intent journal stays bounded: applied intents are pruned at
+// commit, pending intents survive a crash until Recover drains them.
+func TestIntentLogLifecycle(t *testing.T) {
+	db := fullDB(t, 2, 1, 1)
+	cfg := chainCfg(2)
+	pdb := emptyPDB(db, cfg)
+	l := NewLoader(pdb, cfg)
+	if _, err := l.LoadDatabase(db); err != nil {
+		t.Fatal(err)
+	}
+	if l.Log().Len() != 0 {
+		t.Fatalf("journal holds %d applied intents, want 0 after prune", l.Log().Len())
+	}
+
+	l.Faults = fault.NewInjector(fault.Policy{Seed: 3, WriteCrashProb: 1})
+	if _, err := l.Apply(Insert("customer", value.Tuple{50, 1})); !errors.Is(err, fault.ErrWriteCrashed) {
+		t.Fatalf("want crash, got %v", err)
+	}
+	if got := len(l.Log().Pending()); got != 1 {
+		t.Fatalf("pending = %d, want 1", got)
+	}
+	l.Faults = nil
+	rep, err := l.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Replayed != 1 || len(l.Log().Pending()) != 0 || l.NeedsRecovery() {
+		t.Fatalf("journal not drained: %+v", rep)
+	}
+	// Recover with nothing pending is a no-op.
+	if rep, err := l.Recover(); err != nil || rep.Pending != 0 || rep.Replayed != 0 {
+		t.Fatalf("idle recover: %+v, %v", rep, err)
 	}
 }

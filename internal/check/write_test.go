@@ -1,0 +1,199 @@
+package check_test
+
+import (
+	"testing"
+
+	"pref/internal/bulkload"
+	"pref/internal/catalog"
+	"pref/internal/check"
+	"pref/internal/partition"
+	"pref/internal/table"
+	"pref/internal/value"
+)
+
+// storeFixture builds a four-partition store exercising every scheme the
+// write checker knows: hash-seeded lineitem, PREF orders (hash-
+// equivalent through the predicate) and customer, a replicated nation,
+// and a round-robin log table. Each corruption test damages one physical
+// detail and asserts the matching rule fires.
+func storeFixture(t *testing.T) (*table.PartitionedDatabase, *partition.Config) {
+	t.Helper()
+	s := catalog.NewSchema("ws")
+	s.MustAddTable(catalog.MustTable("lineitem",
+		[]catalog.Column{{Name: "orderkey", Kind: value.Int}, {Name: "linekey", Kind: value.Int}}, "orderkey", "linekey"))
+	s.MustAddTable(catalog.MustTable("orders",
+		[]catalog.Column{{Name: "orderkey", Kind: value.Int}, {Name: "custkey", Kind: value.Int}}, "orderkey"))
+	s.MustAddTable(catalog.MustTable("customer",
+		[]catalog.Column{{Name: "custkey", Kind: value.Int}, {Name: "nation", Kind: value.Int}}, "custkey"))
+	s.MustAddTable(catalog.MustTable("nation",
+		[]catalog.Column{{Name: "nkey", Kind: value.Int}}, "nkey"))
+	s.MustAddTable(catalog.MustTable("log",
+		[]catalog.Column{{Name: "seq", Kind: value.Int}}, "seq"))
+	db := table.NewDatabase(s)
+	for i := int64(0); i < 40; i++ {
+		db.Tables["lineitem"].MustAppend(value.Tuple{i % 12, i})
+	}
+	for i := int64(0); i < 12; i++ {
+		db.Tables["orders"].MustAppend(value.Tuple{i, i % 6})
+	}
+	for i := int64(0); i < 6; i++ {
+		db.Tables["customer"].MustAppend(value.Tuple{i, i % 3})
+	}
+	for i := int64(0); i < 3; i++ {
+		db.Tables["nation"].MustAppend(value.Tuple{i})
+	}
+	for i := int64(0); i < 10; i++ {
+		db.Tables["log"].MustAppend(value.Tuple{i})
+	}
+	cfg := partition.NewConfig(4)
+	cfg.SetHash("lineitem", "orderkey")
+	cfg.SetPref("orders", "lineitem", []string{"orderkey"}, []string{"orderkey"})
+	cfg.SetPref("customer", "orders", []string{"custkey"}, []string{"custkey"})
+	cfg.SetReplicated("nation")
+	cfg.Set(&partition.TableScheme{Table: "log", Method: partition.RoundRobin})
+	pdb, err := partition.Apply(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pdb, cfg
+}
+
+// wantRule asserts VerifyStore reports at least the given rule.
+func wantRule(t *testing.T, pdb *table.PartitionedDatabase, cfg *partition.Config, r check.Rule) {
+	t.Helper()
+	err := check.VerifyStore(pdb, cfg)
+	if err == nil {
+		t.Fatalf("corrupted store verified cleanly, want rule %s", r)
+	}
+	vs := check.ViolationsOf(err)
+	if !vs.HasRule(r) {
+		t.Fatalf("want rule %s, got: %v", r, err)
+	}
+}
+
+func TestVerifyStoreCleanFixture(t *testing.T) {
+	pdb, cfg := storeFixture(t)
+	if err := check.VerifyStore(pdb, cfg); err != nil {
+		t.Fatalf("freshly partitioned store must verify: %v", err)
+	}
+}
+
+func TestVerifyStoreTornPartition(t *testing.T) {
+	pdb, cfg := storeFixture(t)
+	part := pdb.Tables["orders"].Parts[1]
+	part.Rows = append(part.Rows, value.Tuple{99, 99}) // row without bits
+	wantRule(t, pdb, cfg, check.RuleWriteTorn)
+}
+
+func TestVerifyStoreMisplacedHashRow(t *testing.T) {
+	pdb, cfg := storeFixture(t)
+	pt := pdb.Tables["lineitem"]
+	// Move one hash row to the wrong partition, keeping counts intact.
+	var from int
+	for p := range pt.Parts {
+		if pt.Parts[p].Len() > 0 {
+			from = p
+			break
+		}
+	}
+	src := pt.Parts[from]
+	row := src.Rows[0]
+	to := (from + 1) % len(pt.Parts)
+	pt.Parts[to].Append(row, false, false)
+	np := table.NewPartition()
+	for i := 1; i < src.Len(); i++ {
+		np.Append(src.Rows[i], src.Dup.Get(i), src.HasRef.Get(i))
+	}
+	pt.Parts[from] = np
+	wantRule(t, pdb, cfg, check.RuleWriteIndex)
+}
+
+func TestVerifyStoreUnjustifiedPrefCopy(t *testing.T) {
+	pdb, cfg := storeFixture(t)
+	pt := pdb.Tables["customer"]
+	// A partnered copy at a partition the referenced table's partition
+	// index does not contain for its ring key: customer custkey 50 has
+	// no orders partner anywhere, so a hasRef copy is unjustified.
+	pt.Parts[2].Append(value.Tuple{50, 0}, false, true)
+	pt.OriginalRows++
+	wantRule(t, pdb, cfg, check.RuleWriteIndex)
+}
+
+func TestVerifyStoreLostPrimary(t *testing.T) {
+	pdb, cfg := storeFixture(t)
+	pt := pdb.Tables["orders"]
+	// Flip every primary copy of one stored value to dup: the value
+	// loses its primary and double-counts disappear from OriginalRows.
+	for _, part := range pt.Parts {
+		for i := range part.Rows {
+			if !part.Dup.Get(i) {
+				part.Dup.Set(i, true)
+				pt.OriginalRows-- // keep the count law out of the way
+			}
+		}
+		break
+	}
+	wantRule(t, pdb, cfg, check.RuleWriteDup)
+}
+
+func TestVerifyStoreOrphanDup(t *testing.T) {
+	pdb, cfg := storeFixture(t)
+	pt := pdb.Tables["customer"]
+	// A dup copy not marked partnered: orphans are single-copy and never
+	// generate dups.
+	pt.Parts[0].Append(value.Tuple{60, 1}, true, false)
+	wantRule(t, pdb, cfg, check.RuleWriteDup)
+}
+
+func TestVerifyStoreCountDrift(t *testing.T) {
+	pdb, cfg := storeFixture(t)
+	pdb.Tables["lineitem"].OriginalRows += 7
+	wantRule(t, pdb, cfg, check.RuleWriteCount)
+}
+
+func TestVerifyStoreReplicatedDivergence(t *testing.T) {
+	pdb, cfg := storeFixture(t)
+	pt := pdb.Tables["nation"]
+	// One replica drops a row: the partition multisets diverge.
+	src := pt.Parts[3]
+	np := table.NewPartition()
+	for i := 1; i < src.Len(); i++ {
+		np.Append(src.Rows[i], src.Dup.Get(i), src.HasRef.Get(i))
+	}
+	pt.Parts[3] = np
+	wantRule(t, pdb, cfg, check.RuleWriteIndex)
+}
+
+func TestVerifyStoreRoundRobinDupBit(t *testing.T) {
+	pdb, cfg := storeFixture(t)
+	pdb.Tables["log"].Parts[0].Dup.Set(0, true)
+	wantRule(t, pdb, cfg, check.RuleWriteDup)
+}
+
+// The checker must pass on stores produced by the incremental write
+// path, not only by the offline partitioner — hash-equivalent orphan
+// placement included.
+func TestVerifyStoreAfterIncrementalWrites(t *testing.T) {
+	pdb, cfg := storeFixture(t)
+	l := bulkload.NewLoader(pdb, cfg)
+	ops := []struct {
+		tbl string
+		row value.Tuple
+	}{
+		{"lineitem", value.Tuple{200, 1}},
+		{"orders", value.Tuple{200, 2}},  // partnered via fresh lineitem
+		{"orders", value.Tuple{300, 3}},  // hash-equivalent orphan
+		{"customer", value.Tuple{40, 0}}, // round-robin orphan
+	}
+	for _, op := range ops {
+		if _, err := l.Apply(bulkload.Insert(op.tbl, op.row)); err != nil {
+			t.Fatalf("insert %s %v: %v", op.tbl, op.row, err)
+		}
+	}
+	if _, err := l.Apply(bulkload.Delete("log", []string{"seq"}, value.Tuple{0})); err != nil {
+		t.Fatal(err)
+	}
+	if err := check.VerifyStore(pdb, cfg); err != nil {
+		t.Fatalf("store must verify after incremental writes: %v", err)
+	}
+}

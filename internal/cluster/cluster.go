@@ -28,6 +28,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"pref/internal/table"
 	"time"
 
 	"pref/internal/value"
@@ -176,9 +178,11 @@ type Cluster struct {
 	stats  Stats
 	closed bool
 
-	// surv caches survivor key indexes per (table, effective-down) key;
-	// place caches buddy maps the same way. Both reset on epoch change.
-	surv     map[string]map[value.Key]bool
+	// surv caches survivor key indexes per (table, effective-down) key,
+	// stamped with the data epoch they were built over; place caches
+	// buddy maps per effective-down key. Both reset on health-epoch
+	// change, and surv entries additionally miss on data-epoch mismatch.
+	surv     map[string]survEntry
 	place    map[string][]int
 	cacheGen int
 
@@ -210,7 +214,7 @@ func New(opt Options) *Cluster {
 	c := &Cluster{
 		opt:   opt,
 		nodes: make([]node, opt.Nodes),
-		surv:  make(map[string]map[value.Key]bool),
+		surv:  make(map[string]survEntry),
 		place: make(map[string][]int),
 		jobs:  make(chan rebuildJob, opt.Nodes),
 	}
@@ -325,12 +329,20 @@ func (c *Cluster) endQuery() {
 //     a passed probe moves the node to recovering and enqueues a
 //     background rebuild of its partitions from src.
 //
-// It returns the post-probe view and the number of probes performed.
-// Either hook may be nil. src may be nil when no rebuild source is
-// available (probed nodes then recover without a rebuild).
-func (c *Cluster) BeginQuery(src RebuildSource, downNow func(node int) bool, probeOK func(node, probes int) bool) (View, int) {
+// It returns the post-probe view, the query's pinned data snapshot (the
+// last epoch the write path published, nil when src is nil), and the
+// number of probes performed. Pinning at admission is what isolates the
+// query from concurrent write batches: everything it scans comes from
+// the snapshot, never the loader's write head. Either hook may be nil.
+// src may be nil when no rebuild source is available (probed nodes then
+// recover without a rebuild).
+func (c *Cluster) BeginQuery(src RebuildSource, downNow func(node int) bool, probeOK func(node, probes int) bool) (View, *table.DBSnapshot, int) {
+	var snap *table.DBSnapshot
+	if src != nil {
+		snap = src.Snapshot()
+	}
 	if c == nil {
-		return View{}, 0
+		return View{}, snap, 0
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -359,7 +371,7 @@ func (c *Cluster) BeginQuery(src RebuildSource, downNow func(node int) bool, pro
 			}
 		}
 	}
-	return c.viewLocked(), probed
+	return c.viewLocked(), snap, probed
 }
 
 // ReportSuccess records a completed work unit on a node: consecutive
@@ -442,7 +454,7 @@ func (c *Cluster) setState(nodeID int, s State) {
 	c.epoch++
 	c.stats.Epoch = c.epoch
 	if len(c.surv) > 0 {
-		c.surv = make(map[string]map[value.Key]bool)
+		c.surv = make(map[string]survEntry)
 	}
 	if len(c.place) > 0 {
 		c.place = make(map[string][]int)
@@ -495,26 +507,36 @@ func (c *Cluster) Stats() Stats {
 	return c.stats
 }
 
+// survEntry is one cached survivor index stamped with the data epoch it
+// was built over.
+type survEntry struct {
+	epoch int64
+	idx   map[value.Key]bool
+}
+
 // SurvivorIndex returns the cached survivor key index for a table under
-// the given effective-down key, building it with build on a miss. The
-// cache is keyed by the health epoch (any state transition invalidates
-// it), which is what turns the per-scan survivor sweep of query-time
-// recovery into a once-per-epoch computation. Concurrent first callers
-// may build twice; last write wins, both results are identical.
-func (c *Cluster) SurvivorIndex(tbl, downKey string, build func() map[value.Key]bool) map[value.Key]bool {
+// the given effective-down key and data epoch, building it with build on
+// a miss. The cache is invalidated by health-state transitions and, per
+// entry, by data-epoch mismatches — an index built over epoch e must not
+// serve a query pinned to epoch e' whose write batch changed the
+// surviving copies. This turns the per-scan survivor sweep of query-time
+// recovery into a once-per-(health, data)-epoch computation. Concurrent
+// first callers may build twice; last write wins, both results are
+// identical for the same epoch.
+func (c *Cluster) SurvivorIndex(tbl, downKey string, epoch int64, build func() map[value.Key]bool) map[value.Key]bool {
 	if c == nil {
 		return build()
 	}
 	key := tbl + "|" + downKey
 	c.mu.Lock()
-	if idx, ok := c.surv[key]; ok {
+	if e, ok := c.surv[key]; ok && e.epoch == epoch {
 		c.mu.Unlock()
-		return idx
+		return e.idx
 	}
 	c.mu.Unlock()
 	idx := build()
 	c.mu.Lock()
-	c.surv[key] = idx
+	c.surv[key] = survEntry{epoch: epoch, idx: idx}
 	c.mu.Unlock()
 	return idx
 }

@@ -65,7 +65,7 @@ func TestNilClusterIsDisabled(t *testing.T) {
 		t.Fatal(err)
 	}
 	release()
-	if v, n := c.BeginQuery(nil, nil, nil); len(v.Serving) != 0 || n != 0 {
+	if v, snap, n := c.BeginQuery(nil, nil, nil); len(v.Serving) != 0 || snap != nil || n != 0 {
 		t.Fatal("nil cluster must return an empty view")
 	}
 	c.ReportSuccess(0)
@@ -83,7 +83,7 @@ func TestNilClusterIsDisabled(t *testing.T) {
 	c.WaitRebuilds()
 	c.Close()
 	built := 0
-	idx := c.SurvivorIndex("t", "0000", func() map[value.Key]bool { built++; return map[value.Key]bool{} })
+	idx := c.SurvivorIndex("t", "0000", 0, func() map[value.Key]bool { built++; return map[value.Key]bool{} })
 	if built != 1 || idx == nil {
 		t.Fatal("nil cluster SurvivorIndex must pass through to build")
 	}
@@ -138,8 +138,8 @@ func TestEpochInvalidatesCaches(t *testing.T) {
 	c := newTestCluster(t, Options{TripAfter: 1})
 	builds := 0
 	build := func() map[value.Key]bool { builds++; return map[value.Key]bool{} }
-	c.SurvivorIndex("t", "0000", build)
-	c.SurvivorIndex("t", "0000", build)
+	c.SurvivorIndex("t", "0000", 0, build)
+	c.SurvivorIndex("t", "0000", 0, build)
 	if builds != 1 {
 		t.Fatalf("builds = %d, want 1 (cached within epoch)", builds)
 	}
@@ -150,7 +150,7 @@ func TestEpochInvalidatesCaches(t *testing.T) {
 		t.Fatalf("places = %d, want 1 (cached within epoch)", places)
 	}
 	c.ReportFailure(1) // trips (TripAfter 1): epoch bump
-	c.SurvivorIndex("t", "0000", build)
+	c.SurvivorIndex("t", "0000", 0, build)
 	if builds != 2 {
 		t.Fatalf("builds after epoch change = %d, want 2", builds)
 	}
@@ -172,7 +172,7 @@ func TestProbeLifecycleAndRebuild(t *testing.T) {
 	probeOK := func(n, probes int) bool { return probes >= 1 } // second probe passes
 
 	// Query 1: node 1 reported down now → tripped without burning retries.
-	v, probes := c.BeginQuery(pdb, downNow, probeOK)
+	v, _, probes := c.BeginQuery(pdb, downNow, probeOK)
 	if probes != 0 || v.Serving[1] || c.NodeState(1) != Down {
 		t.Fatalf("query 1: probes=%d serving=%v state=%v", probes, v.Serving[1], c.NodeState(1))
 	}
@@ -183,7 +183,7 @@ func TestProbeLifecycleAndRebuild(t *testing.T) {
 	rel() // completes query 1: cool-down 1 → 0
 
 	// Query 2: cool-down expired → half-open probe, which fails.
-	v, probes = c.BeginQuery(pdb, downNow, probeOK)
+	v, _, probes = c.BeginQuery(pdb, downNow, probeOK)
 	if probes != 1 || v.Serving[1] {
 		t.Fatalf("query 2: probes=%d serving=%v, want a failed probe", probes, v.Serving[1])
 	}
@@ -194,7 +194,7 @@ func TestProbeLifecycleAndRebuild(t *testing.T) {
 	rel()
 
 	// Query 3: second probe passes → recovering, rebuild enqueued.
-	_, probes = c.BeginQuery(pdb, downNow, probeOK)
+	_, _, probes = c.BeginQuery(pdb, downNow, probeOK)
 	if probes != 1 {
 		t.Fatalf("query 3: probes=%d, want 1", probes)
 	}
@@ -214,7 +214,7 @@ func TestProbeLifecycleAndRebuild(t *testing.T) {
 	}
 	// Query 4: the recovered node serves again and downNow is ignored
 	// (the view reports it healed so the engine clears injected faults).
-	v, _ = c.BeginQuery(pdb, downNow, probeOK)
+	v, _, _ = c.BeginQuery(pdb, downNow, probeOK)
 	if !v.Serving[1] || !v.Recovered[1] {
 		t.Fatalf("query 4: serving=%v recovered=%v, want both", v.Serving[1], v.Recovered[1])
 	}
@@ -243,7 +243,7 @@ func TestRebuildUnrecoverable(t *testing.T) {
 	// No further probes: the node is lost, not cooling down.
 	rel, _ = c.Admit(context.Background())
 	rel()
-	if _, probes := c.BeginQuery(pdb, downNow, probeOK); probes != 0 {
+	if _, _, probes := c.BeginQuery(pdb, downNow, probeOK); probes != 0 {
 		t.Fatal("lost node must not be probed again")
 	}
 }

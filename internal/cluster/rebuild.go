@@ -92,7 +92,10 @@ func (c *Cluster) rebuildWorker() {
 // rebuild re-materializes every partition of job.node from surviving
 // duplicate copies, returning whether the node is fully recoverable and
 // the recovered row/byte volume. It runs on the worker goroutine and
-// takes c.mu only for the serving snapshot, not for the row scans.
+// takes c.mu only for the serving snapshot, not for the row scans. The
+// data is read from the source's last published epoch snapshot, never
+// the live write head: a crashed batch's torn partitions are invisible
+// here, so re-materialization always works from crash-consistent state.
 func (c *Cluster) rebuild(job rebuildJob) (ok bool, rows, bytes int64) {
 	c.mu.Lock()
 	serving := make([]bool, len(c.nodes))
@@ -102,14 +105,16 @@ func (c *Cluster) rebuild(job rebuildJob) (ok bool, rows, bytes int64) {
 	}
 	c.mu.Unlock()
 
-	for _, pt := range job.src.Tables {
+	snap := job.src.Snapshot()
+	for name, pt := range job.src.Tables {
 		if c.ctx.Err() != nil {
 			return false, 0, 0
 		}
-		if job.node >= len(pt.Parts) {
+		parts := snap.Parts(name)
+		if job.node >= len(parts) {
 			continue
 		}
-		part := pt.Parts[job.node]
+		part := parts[job.node]
 		if part.Len() == 0 {
 			continue
 		}
@@ -121,7 +126,7 @@ func (c *Cluster) rebuild(job rebuildJob) (ok bool, rows, bytes int64) {
 		// check the lost partition's manifest against it — the
 		// ahead-of-time analogue of recoverScan's survivor sweep.
 		idx := make(map[value.Key]bool)
-		for q, p := range pt.Parts {
+		for q, p := range parts {
 			if q < len(serving) && serving[q] {
 				for _, r := range p.Rows {
 					idx[value.MakeKey(r, allCols)] = true

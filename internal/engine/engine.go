@@ -81,6 +81,10 @@ type Result struct {
 	Schema plan.Schema
 	Rows   []value.Tuple
 	Stats  Stats
+	// Epoch is the data epoch the query was pinned to at admission:
+	// every row it read came from that published snapshot, regardless of
+	// concurrent write batches.
+	Epoch int64
 	// Trace is the per-operator, per-node execution trace, populated when
 	// ExecOptions.Trace (or PREF_TRACE) is set; nil otherwise. It renders
 	// as EXPLAIN ANALYZE via Trace.Render and exports as JSON.
@@ -165,6 +169,9 @@ type executor struct {
 	cl   *cluster.Cluster
 	view cluster.View
 	down []bool
+	// snap is the data snapshot pinned at admission; all scans read its
+	// published partitions, never the loader's live write head.
+	snap *table.DBSnapshot
 	// hedgeDelay is the speculative-duplicate delay priced at admission;
 	// hedgeOK gates the hedged fan-out path.
 	hedgeDelay time.Duration
@@ -178,6 +185,27 @@ type executor struct {
 	nodeRow []int64                       // per-node processed rows
 	survIdx map[string]map[value.Key]bool // surviving-copy index per table (recovery)
 	mu      sync.Mutex
+}
+
+// partsOf resolves the partitions a scan of tbl must read: the pinned
+// snapshot's published partitions when the query has one (the normal
+// path — admission pins a snapshot), else the live head (executors
+// driven without BeginQuery, e.g. direct unit-test construction).
+func (ex *executor) partsOf(pt *table.Partitioned, tbl string) []*table.Partition {
+	if ex.snap != nil {
+		if ps := ex.snap.Parts(tbl); ps != nil {
+			return ps
+		}
+	}
+	return pt.Parts
+}
+
+// epoch returns the query's pinned data epoch (0 without a snapshot).
+func (ex *executor) epoch() int64 {
+	if ex.snap != nil {
+		return ex.snap.Epoch
+	}
+	return 0
 }
 
 // Execute runs a rewritten plan against a partitioned database and gathers
@@ -232,7 +260,7 @@ func ExecuteCtx(ctx context.Context, rw *plan.Rewritten, pdb *table.PartitionedD
 	// down right now, run due half-open probes (which may enqueue
 	// background rebuilds), and resolve the degraded placement from the
 	// per-epoch cache instead of once per scan.
-	view, probes := cl.BeginQuery(pdb, inj.NodeDown, inj.ProbeOK)
+	view, snap, probes := cl.BeginQuery(pdb, inj.NodeDown, inj.ProbeOK)
 	down := effectiveDown(pdb.N, inj, view)
 	execDst, err := cl.Placement(downKey(down), func() ([]int, error) {
 		return buddyMap(pdb.N, down)
@@ -243,7 +271,7 @@ func ExecuteCtx(ctx context.Context, rw *plan.Rewritten, pdb *table.PartitionedD
 	ex := &executor{
 		rw: rw, pdb: pdb, n: pdb.N, opt: opt, inj: inj,
 		ctx: ctx, cancel: cancel, execDst: execDst,
-		cl: cl, view: view, down: down,
+		cl: cl, view: view, down: down, snap: snap,
 		nodeRow: make([]int64, pdb.N),
 	}
 	ex.stats.Probes = probes
@@ -288,7 +316,7 @@ func ExecuteCtx(ctx context.Context, rw *plan.Rewritten, pdb *table.PartitionedD
 			ex.stats.MaxNodeRows = ex.nodeRow[p]
 		}
 	}
-	res := &Result{Schema: sch, Rows: rows, Stats: ex.stats}
+	res := &Result{Schema: sch, Rows: rows, Stats: ex.stats, Epoch: ex.epoch()}
 	if ex.tb != nil {
 		ex.tb.SetTotals(trace.Totals{
 			BytesShipped:    ex.stats.BytesShipped,
@@ -655,6 +683,7 @@ func (ex *executor) evalScan(n *plan.ScanNode) ([][]value.Tuple, error) {
 		return nil, fmt.Errorf("engine: table %s not in partitioned database", n.Table)
 	}
 	sch := ex.rw.Schemas[n]
+	parts := ex.partsOf(pt, n.Table)
 	withIndexes := len(sch) == pt.Meta.NumCols()+2
 	var keep map[int]bool
 	if n.Prune != nil {
@@ -672,13 +701,13 @@ func (ex *executor) evalScan(n *plan.ScanNode) ([][]value.Tuple, error) {
 			// permanently failed, or routed around by an open circuit
 			// breaker: reconstruct its scan output from surviving
 			// duplicate copies.
-			rows, err := ex.recoverScan(top, pt, p, withIndexes, len(sch))
+			rows, err := ex.recoverScan(top, pt, parts, p, withIndexes, len(sch))
 			if err != nil {
 				return nil, 0, err
 			}
 			return rows, len(rows), nil
 		}
-		rows := scanRows(pt.Parts[p], withIndexes)
+		rows := scanRows(parts[p], withIndexes)
 		return rows, len(rows), nil
 	})
 }

@@ -34,9 +34,9 @@ import (
 //
 // lint:ship-boundary recovery path: rebuilt rows are shipped from surviving
 // partitions to the buddy node and metered against Stats and the trace.
-func (ex *executor) recoverScan(top *trace.Op, pt *table.Partitioned, p int, withIndexes bool, width int) ([]value.Tuple, error) {
-	surv := ex.survivorIndex(pt)
-	part := pt.Parts[p]
+func (ex *executor) recoverScan(top *trace.Op, pt *table.Partitioned, parts []*table.Partition, p int, withIndexes bool, width int) ([]value.Tuple, error) {
+	surv := ex.survivorIndex(pt, parts)
+	part := parts[p]
 	allCols := make([]int, pt.Meta.NumCols())
 	for i := range allCols {
 		allCols[i] = i
@@ -63,23 +63,25 @@ func (ex *executor) recoverScan(top *trace.Op, pt *table.Partitioned, p int, wit
 	return rows, nil
 }
 
-// survivorIndex returns the set of full-row contents of pt stored on
-// partitions whose nodes survive, cached per table (the down set is fixed
-// for the whole query). With a cluster attached the cache lives there
-// instead, keyed by table and effective down set and invalidated on
-// health-epoch change — degraded queries between two health transitions
-// share one survivor sweep instead of re-paying it per query per scan.
-// Called from concurrent scan units.
+// survivorIndex returns the set of full-row contents of pt (read at the
+// query's pinned snapshot) stored on partitions whose nodes survive,
+// cached per table (the down set and snapshot are fixed for the whole
+// query). With a cluster attached the cache lives there instead, keyed
+// by table, effective down set, and data epoch — invalidated on
+// health-epoch change and on data-epoch mismatch, so degraded queries
+// between two transitions share one survivor sweep while never reading
+// an index built over a different epoch's copies. Called from
+// concurrent scan units.
 //
 // lint:ship-boundary recovery path: scans every surviving partition to index
 // redundant copies; read-only, no rows move.
-func (ex *executor) survivorIndex(pt *table.Partitioned) map[value.Key]bool {
+func (ex *executor) survivorIndex(pt *table.Partitioned, parts []*table.Partition) map[value.Key]bool {
 	name := pt.Meta.Name
 	if ex.cl != nil {
 		// ex.down is immutable for the whole query, so building outside
 		// ex.mu is safe; the cluster cache does its own locking.
-		return ex.cl.SurvivorIndex(name, downKey(ex.down), func() map[value.Key]bool {
-			return buildSurvivorIndex(pt, ex.down)
+		return ex.cl.SurvivorIndex(name, downKey(ex.down), ex.epoch(), func() map[value.Key]bool {
+			return buildSurvivorIndex(pt, parts, ex.down)
 		})
 	}
 	ex.mu.Lock()
@@ -87,7 +89,7 @@ func (ex *executor) survivorIndex(pt *table.Partitioned) map[value.Key]bool {
 	if idx, ok := ex.survIdx[name]; ok {
 		return idx
 	}
-	idx := buildSurvivorIndex(pt, ex.down)
+	idx := buildSurvivorIndex(pt, parts, ex.down)
 	if ex.survIdx == nil {
 		ex.survIdx = make(map[string]map[value.Key]bool)
 	}
@@ -95,18 +97,18 @@ func (ex *executor) survivorIndex(pt *table.Partitioned) map[value.Key]bool {
 	return idx
 }
 
-// buildSurvivorIndex sweeps pt's partitions on surviving nodes and
-// indexes their full-row contents.
+// buildSurvivorIndex sweeps the snapshot partitions on surviving nodes
+// and indexes their full-row contents.
 //
 // lint:ship-boundary recovery path: reads every surviving partition's rows;
 // read-only, no rows move.
-func buildSurvivorIndex(pt *table.Partitioned, down []bool) map[value.Key]bool {
+func buildSurvivorIndex(pt *table.Partitioned, parts []*table.Partition, down []bool) map[value.Key]bool {
 	allCols := make([]int, pt.Meta.NumCols())
 	for i := range allCols {
 		allCols[i] = i
 	}
 	idx := make(map[value.Key]bool)
-	for q, part := range pt.Parts {
+	for q, part := range parts {
 		if q < len(down) && down[q] {
 			continue
 		}

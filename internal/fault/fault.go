@@ -28,6 +28,11 @@ var (
 	// duplicate copies cover it). Match with errors.Is; the concrete
 	// *PartitionLostError carries the table and partition.
 	ErrPartitionLost = errors.New("fault: partition lost")
+	// ErrWriteCrashed reports a write batch killed by an injected crash
+	// somewhere between logging its intent and publishing its epoch. The
+	// store head may be torn; the loader refuses further writes until its
+	// recovery routine has rolled back and replayed the pending intents.
+	ErrWriteCrashed = errors.New("fault: write crashed mid-batch")
 )
 
 // PartitionLostError is the well-typed recovery failure: partition
@@ -97,6 +102,18 @@ type Policy struct {
 	// wire and are additionally counted as wasted).
 	ShipFailProb float64
 
+	// WriteCrashProb is the probability that one write batch crashes at
+	// an injected point of its apply path: after the intent is logged,
+	// between fan-out steps, mid-append (a torn write: rows extended,
+	// bitmaps not), or after the last step but before the epoch publishes.
+	// The crashed loader surfaces ErrWriteCrashed and must run recovery.
+	WriteCrashProb float64
+	// WriteIndexRaceProb is the probability that a batch's cached §2.3
+	// partition indexes are invalidated underneath it just before apply —
+	// the simulation of an invalidation racing the write path. Outcomes
+	// must not change: the batch replans from base data.
+	WriteIndexRaceProb float64
+
 	// MaxAttempts caps attempts per work unit / shipment
 	// (default DefaultMaxAttempts).
 	MaxAttempts int
@@ -121,6 +138,8 @@ type Injector struct {
 	stragglerProb  float64
 	stragglerDelay time.Duration
 	shipFailProb   float64
+	writeCrashProb float64
+	writeRaceProb  float64
 	maxAttempts    int
 	backoffBase    time.Duration
 	backoffMax     time.Duration
@@ -137,6 +156,8 @@ func NewInjector(p Policy) *Injector {
 		stragglerProb:  p.StragglerProb,
 		stragglerDelay: p.StragglerDelay,
 		shipFailProb:   p.ShipFailProb,
+		writeCrashProb: p.WriteCrashProb,
+		writeRaceProb:  p.WriteIndexRaceProb,
 		maxAttempts:    p.MaxAttempts,
 		backoffBase:    p.BackoffBase,
 		backoffMax:     p.BackoffMax,
@@ -172,6 +193,10 @@ const (
 	kindStraggle
 	kindShip
 	kindBackoff
+	kindWriteCrash
+	kindWriteStage
+	kindWriteStep
+	kindWriteRace
 )
 
 // mix64 is the SplitMix64 finalizer: a bijective avalanche mix.
@@ -301,4 +326,85 @@ func (in *Injector) Timeout() time.Duration {
 		return 0
 	}
 	return in.timeout
+}
+
+// WriteStage identifies where in a write batch's apply path an injected
+// crash fires. The stages map to the recovery-relevant states of the
+// batch: intent durable but nothing applied, fan-out interrupted between
+// partitions, a torn append inside one partition, and fully applied but
+// unpublished.
+type WriteStage int
+
+const (
+	// WriteNoCrash: the batch completes normally.
+	WriteNoCrash WriteStage = iota
+	// CrashAfterIntent fires after the intent is logged, before any
+	// partition is touched. Recovery replays the intent from scratch.
+	CrashAfterIntent
+	// CrashMidApply fires between two fan-out steps: a prefix of the
+	// batch's partitions carries the write, the rest does not.
+	CrashMidApply
+	// CrashTornApply fires inside one step's append loop: rows are
+	// extended without their bitmap entries (the torn-page analogue),
+	// violating the Rows/Dup/HasRef length invariant until recovery.
+	CrashTornApply
+	// CrashBeforePublish fires after the last step, before the batch's
+	// epoch publishes: the head carries the full write, readers never
+	// see it, and recovery replays it to completion.
+	CrashBeforePublish
+)
+
+func (s WriteStage) String() string {
+	switch s {
+	case WriteNoCrash:
+		return "no-crash"
+	case CrashAfterIntent:
+		return "after-intent"
+	case CrashMidApply:
+		return "mid-apply"
+	case CrashTornApply:
+		return "torn-apply"
+	case CrashBeforePublish:
+		return "before-publish"
+	}
+	return fmt.Sprintf("stage(%d)", int(s))
+}
+
+// WriteCrash decides whether (and where) write batch seq crashes, given
+// its planned fan-out step count. The decision is a pure function of the
+// seed and the batch sequence number, so one seed reproduces the same
+// crash schedule for the same write stream regardless of timing.
+func (in *Injector) WriteCrash(seq, steps int) (WriteStage, int) {
+	if in == nil || in.writeCrashProb <= 0 {
+		return WriteNoCrash, 0
+	}
+	if in.draw(kindWriteCrash, seq, 0, 0) >= in.writeCrashProb {
+		return WriteNoCrash, 0
+	}
+	stage := CrashAfterIntent + WriteStage(in.draw(kindWriteStage, seq, 0, 0)*4)
+	if stage > CrashBeforePublish {
+		stage = CrashBeforePublish
+	}
+	if steps == 0 && (stage == CrashMidApply || stage == CrashTornApply) {
+		// A batch with no physical steps (e.g. a no-op delete) can only
+		// crash around the intent or the publish.
+		stage = CrashAfterIntent
+	}
+	step := 0
+	if steps > 0 {
+		step = int(in.draw(kindWriteStep, seq, 0, 0) * float64(steps))
+		if step >= steps {
+			step = steps - 1
+		}
+	}
+	return stage, step
+}
+
+// WriteIndexRace decides whether batch seq's cached partition indexes
+// are invalidated just before it applies (the invalidation race).
+func (in *Injector) WriteIndexRace(seq int) bool {
+	if in == nil || in.writeRaceProb <= 0 {
+		return false
+	}
+	return in.draw(kindWriteRace, seq, 0, 0) < in.writeRaceProb
 }

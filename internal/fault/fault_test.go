@@ -219,3 +219,78 @@ func TestPartitionLostError(t *testing.T) {
 		t.Fatal("empty error string")
 	}
 }
+
+func TestWriteCrashDeterministicAndDistributed(t *testing.T) {
+	in := NewInjector(Policy{Seed: 11, WriteCrashProb: 0.5})
+	seen := map[WriteStage]int{}
+	crashes := 0
+	for seq := 0; seq < 400; seq++ {
+		stage, step := in.WriteCrash(seq, 6)
+		s2, p2 := in.WriteCrash(seq, 6)
+		if stage != s2 || step != p2 {
+			t.Fatalf("seq %d: write-crash draw not deterministic", seq)
+		}
+		if stage == WriteNoCrash {
+			continue
+		}
+		crashes++
+		seen[stage]++
+		if step < 0 || step >= 6 {
+			t.Fatalf("seq %d: step %d out of range", seq, step)
+		}
+	}
+	if crashes < 100 || crashes > 300 {
+		t.Fatalf("crashes = %d of 400 at prob 0.5, schedule skewed", crashes)
+	}
+	for _, stage := range []WriteStage{CrashAfterIntent, CrashMidApply, CrashTornApply, CrashBeforePublish} {
+		if seen[stage] == 0 {
+			t.Fatalf("stage %v never drawn in 400 batches", stage)
+		}
+		if stage.String() == "" {
+			t.Fatalf("stage %v renders empty", stage)
+		}
+	}
+}
+
+func TestWriteCrashZeroStepsAvoidsApplyStages(t *testing.T) {
+	in := NewInjector(Policy{Seed: 5, WriteCrashProb: 1})
+	for seq := 0; seq < 64; seq++ {
+		stage, step := in.WriteCrash(seq, 0)
+		if stage == CrashMidApply || stage == CrashTornApply {
+			t.Fatalf("seq %d: apply-stage crash with zero steps", seq)
+		}
+		if step != 0 {
+			t.Fatalf("seq %d: step = %d with zero steps", seq, step)
+		}
+	}
+}
+
+func TestWriteHooksNilAndDisabled(t *testing.T) {
+	var nilIn *Injector
+	if s, _ := nilIn.WriteCrash(1, 4); s != WriteNoCrash {
+		t.Fatal("nil injector crashed a write")
+	}
+	if nilIn.WriteIndexRace(1) {
+		t.Fatal("nil injector raced an index")
+	}
+	in := NewInjector(Policy{Seed: 9})
+	if s, _ := in.WriteCrash(1, 4); s != WriteNoCrash {
+		t.Fatal("zero WriteCrashProb crashed a write")
+	}
+	if in.WriteIndexRace(1) {
+		t.Fatal("zero WriteIndexRaceProb raced an index")
+	}
+	raced := 0
+	inR := NewInjector(Policy{Seed: 9, WriteIndexRaceProb: 0.5})
+	for seq := 0; seq < 100; seq++ {
+		if inR.WriteIndexRace(seq) != inR.WriteIndexRace(seq) {
+			t.Fatal("index-race draw not deterministic")
+		}
+		if inR.WriteIndexRace(seq) {
+			raced++
+		}
+	}
+	if raced == 0 || raced == 100 {
+		t.Fatalf("raced = %d of 100 at prob 0.5", raced)
+	}
+}

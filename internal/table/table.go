@@ -5,6 +5,8 @@ package table
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"pref/internal/bitset"
 	"pref/internal/catalog"
@@ -72,10 +74,55 @@ func (p *Partition) Append(t value.Tuple, dup, hasRef bool) {
 // Len reports the number of stored tuple copies.
 func (p *Partition) Len() int { return len(p.Rows) }
 
+// Clone returns a copy-on-write clone: the row slice and bitmaps are
+// copied, the tuples themselves (immutable by convention) are shared.
+func (p *Partition) Clone() *Partition {
+	rows := make([]value.Tuple, len(p.Rows))
+	copy(rows, p.Rows)
+	return &Partition{Rows: rows, Dup: p.Dup.Clone(), HasRef: p.HasRef.Clone()}
+}
+
+// CheckInvariants is the cheap corruption guard of the write path: every
+// stored row must carry exactly one dup bit and one hasRef bit. A torn
+// write (rows extended, bitmaps not — or the reverse) breaks it.
+func (p *Partition) CheckInvariants() error {
+	if p.Dup == nil || p.HasRef == nil {
+		return fmt.Errorf("table: partition bitmaps not initialized")
+	}
+	if p.Dup.Len() != len(p.Rows) || p.HasRef.Len() != len(p.Rows) {
+		return fmt.Errorf("table: torn partition: %d rows, %d dup bits, %d hasRef bits",
+			len(p.Rows), p.Dup.Len(), p.HasRef.Len())
+	}
+	return nil
+}
+
+// Version is one immutable published epoch of a partitioned table.
+// Readers holding a Version see a frozen, torn-free view of the table no
+// matter what the write path does to the live head afterwards.
+type Version struct {
+	// Epoch is the per-table publication counter, starting at 0.
+	Epoch int64
+	// Parts is the frozen partition set. Neither the slice nor the
+	// partitions it points to are ever mutated after publication.
+	Parts []*Partition
+	// Rows is OriginalRows at publication time.
+	Rows int
+}
+
 // Partitioned is a horizontally partitioned table.
+//
+// It separates two views of the data: Parts is the live head owned by the
+// single writer (the bulk loader), and an atomically published Version is
+// what concurrent readers pin (Snapshot). Between commits the head and
+// the published version share the same *Partition objects; a writer must
+// call BeginWrite before mutating a partition so shared partitions are
+// cloned first (copy-on-write), keeping every published epoch immutable.
 type Partitioned struct {
 	Meta *catalog.Table
-	// Parts has one entry per logical node.
+	// Parts has one entry per logical node. It is the writer's head: code
+	// that mutates partitions in place (the single-threaded build and
+	// load paths) must either run before the first Snapshot or go through
+	// BeginWrite.
 	Parts []*Partition
 	// OriginalRows is the pre-partitioning cardinality |T|; the stored
 	// cardinality |T^P| may be larger due to PREF duplicates or replication.
@@ -83,6 +130,14 @@ type Partitioned struct {
 	// Replicated marks a fully replicated table (every partition holds
 	// every row).
 	Replicated bool
+
+	// pub is the latest published epoch; nil until first Snapshot/Publish.
+	pub atomic.Pointer[Version]
+	// pubMu serializes publications (Snapshot's lazy epoch 0, Publish).
+	pubMu sync.Mutex
+	// shared[p] marks head partitions referenced by the published version;
+	// BeginWrite clones them before the first post-publication mutation.
+	shared []bool
 }
 
 // NewPartitioned returns a partitioned table with n empty partitions.
@@ -96,6 +151,107 @@ func NewPartitioned(meta *catalog.Table, n int) *Partitioned {
 
 // NumPartitions reports the partition count.
 func (pt *Partitioned) NumPartitions() int { return len(pt.Parts) }
+
+// Snapshot returns the latest published version, publishing the current
+// head as epoch 0 on first use. Safe for concurrent readers; the lazy
+// first publication assumes the single-writer discipline (no concurrent
+// head mutation during the initial build, which ends before queries run).
+func (pt *Partitioned) Snapshot() *Version {
+	if v := pt.pub.Load(); v != nil {
+		return v
+	}
+	pt.pubMu.Lock()
+	defer pt.pubMu.Unlock()
+	if v := pt.pub.Load(); v != nil {
+		return v
+	}
+	pt.publishLocked(0)
+	return pt.pub.Load()
+}
+
+// BeginWrite returns head partition p ready for mutation, cloning it
+// first when the published version still references it (copy-on-write).
+// Single writer only.
+func (pt *Partitioned) BeginWrite(p int) *Partition {
+	if pt.pub.Load() == nil {
+		return pt.Parts[p] // never published: the head is private
+	}
+	if pt.shared == nil {
+		// Published without shared tracking (epoch 0 from Snapshot on a
+		// literal-constructed table): every head partition is shared.
+		pt.shared = make([]bool, len(pt.Parts))
+		for i := range pt.shared {
+			pt.shared[i] = true
+		}
+	}
+	if pt.shared[p] {
+		pt.Parts[p] = pt.Parts[p].Clone()
+		pt.shared[p] = false
+	}
+	return pt.Parts[p]
+}
+
+// Publish freezes the current head as the next epoch and returns it.
+// In-flight readers keep their pinned versions; new Snapshot calls see
+// the fresh epoch. Single writer only.
+func (pt *Partitioned) Publish() int64 {
+	pt.pubMu.Lock()
+	defer pt.pubMu.Unlock()
+	var epoch int64
+	if v := pt.pub.Load(); v != nil {
+		epoch = v.Epoch + 1
+	}
+	return pt.publishLocked(epoch)
+}
+
+// publishLocked installs the head as the given epoch. Callers hold pubMu.
+// The shared-partition bookkeeping must complete BEFORE the atomic store:
+// the store's release ordering is what makes it visible to a writer whose
+// only synchronization is the fast-path pub.Load in Snapshot/BeginWrite
+// (the lazy epoch-0 publication may run on a reader goroutine).
+func (pt *Partitioned) publishLocked(epoch int64) int64 {
+	parts := make([]*Partition, len(pt.Parts))
+	copy(parts, pt.Parts)
+	if len(pt.shared) != len(pt.Parts) {
+		pt.shared = make([]bool, len(pt.Parts))
+	}
+	for i := range pt.shared {
+		pt.shared[i] = true
+	}
+	pt.pub.Store(&Version{Epoch: epoch, Parts: parts, Rows: pt.OriginalRows})
+	return epoch
+}
+
+// ResetToPublished discards all head mutations since the last publication,
+// restoring every partition (and OriginalRows) from the published version.
+// This is the write path's rollback: a crash can leave the head torn —
+// partially applied fan-outs, rows without bitmap entries — but published
+// epochs are immutable, so restoring from them repairs every row-length
+// and bitmap invariant at once. Returns the number of head row copies
+// discarded. A table never published has nothing to roll back.
+func (pt *Partitioned) ResetToPublished() int {
+	v := pt.pub.Load()
+	if v == nil {
+		return 0
+	}
+	discarded := 0
+	for p := range pt.Parts {
+		if p < len(pt.shared) && pt.shared[p] {
+			continue // still the published object: untouched
+		}
+		discarded += pt.Parts[p].Len()
+	}
+	pt.pubMu.Lock()
+	defer pt.pubMu.Unlock()
+	pt.Parts = make([]*Partition, len(v.Parts))
+	copy(pt.Parts, v.Parts)
+	pt.OriginalRows = v.Rows
+	pt.shared = make([]bool, len(pt.Parts))
+	for i := range pt.shared {
+		pt.shared[i] = true
+	}
+	return discarded
+}
 
 // StoredRows reports |T^P|: total stored tuple copies across partitions.
 func (pt *Partitioned) StoredRows() int {
@@ -164,6 +320,68 @@ type PartitionedDatabase struct {
 	Schema *catalog.Schema
 	Tables map[string]*Partitioned
 	N      int // number of partitions / nodes
+
+	// mu orders snapshots against commits, so a DBSnapshot never observes
+	// a commit's tables half-published; epoch counts commits.
+	mu    sync.RWMutex
+	epoch int64
+}
+
+// DBSnapshot pins one consistent database epoch: every table's version as
+// of a single commit boundary. Queries resolve it once at admission and
+// read only through it, so a batch publishing mid-query is invisible.
+type DBSnapshot struct {
+	// Epoch is the database-wide commit counter at pin time.
+	Epoch int64
+	// Tables maps each table to its pinned version.
+	Tables map[string]*Version
+}
+
+// Parts returns the pinned partition set of a table, or nil when the
+// snapshot does not hold it.
+func (s *DBSnapshot) Parts(tbl string) []*Partition {
+	if s == nil {
+		return nil
+	}
+	if v, ok := s.Tables[tbl]; ok {
+		return v.Parts
+	}
+	return nil
+}
+
+// Snapshot pins the current epoch across all tables, atomically with
+// respect to Commit. First use freezes every table at epoch 0.
+func (pdb *PartitionedDatabase) Snapshot() *DBSnapshot {
+	pdb.mu.RLock()
+	defer pdb.mu.RUnlock()
+	s := &DBSnapshot{Epoch: pdb.epoch, Tables: make(map[string]*Version, len(pdb.Tables))}
+	for name, pt := range pdb.Tables {
+		s.Tables[name] = pt.Snapshot()
+	}
+	return s
+}
+
+// Epoch reports the database-wide commit counter.
+func (pdb *PartitionedDatabase) Epoch() int64 {
+	pdb.mu.RLock()
+	defer pdb.mu.RUnlock()
+	return pdb.epoch
+}
+
+// Commit publishes the heads of the named tables as fresh per-table
+// versions and bumps the database epoch — the single atomic step that
+// makes a write batch visible. Snapshots taken before Commit returns see
+// either none or all of the batch. Single writer only.
+func (pdb *PartitionedDatabase) Commit(tables ...string) int64 {
+	pdb.mu.Lock()
+	defer pdb.mu.Unlock()
+	for _, name := range tables {
+		if pt := pdb.Tables[name]; pt != nil {
+			pt.Publish()
+		}
+	}
+	pdb.epoch++
+	return pdb.epoch
 }
 
 // TotalStoredRows reports |D^P|.

@@ -400,6 +400,73 @@ func NewLoader(pdb *PartitionedDatabase, cfg *Config) *Loader {
 	return bulkload.NewLoader(pdb, cfg)
 }
 
+// ---- crash-consistent write path ----
+
+// Write-path types: the loader applies logical operation batches through
+// a write intent log and publishes each batch as a new immutable epoch;
+// concurrent queries keep reading their admission-time snapshot
+// (Result.Epoch reports which).
+type (
+	// Op is one logical write operation in a batch (Loader.Apply).
+	Op = bulkload.Op
+	// OpKind distinguishes insert, delete, and update operations.
+	OpKind = bulkload.OpKind
+	// Commit summarizes one applied batch: its published epoch and the
+	// stored/removed/rewritten copy counts.
+	Commit = bulkload.Commit
+	// RecoveryReport summarizes a Loader.Recover run: pending intents
+	// replayed and torn rows discarded.
+	RecoveryReport = bulkload.RecoveryReport
+	// WriteMetrics meters the write path (Loader.Metrics): batches,
+	// logical ops, stored copies, crashes, replays, write amplification.
+	WriteMetrics = trace.WriteMetrics
+	// Version is one immutable published epoch of a partitioned table.
+	Version = table.Version
+	// DBSnapshot is a database-wide pinned epoch across all tables.
+	DBSnapshot = table.DBSnapshot
+)
+
+// Operation kinds.
+const (
+	OpInsert = bulkload.OpInsert
+	OpDelete = bulkload.OpDelete
+	OpUpdate = bulkload.OpUpdate
+)
+
+// Write-path sentinel errors.
+var (
+	// ErrWriteCrashed marks a write batch killed mid-flight by fault
+	// injection; the store is torn until Loader.Recover runs.
+	ErrWriteCrashed = fault.ErrWriteCrashed
+	// ErrNeedRecovery gates writes on a torn loader: every Apply fails
+	// with it until Recover has rolled back and replayed the intent log.
+	ErrNeedRecovery = bulkload.ErrNeedRecovery
+)
+
+// InsertOp builds an insert operation for Loader.Apply.
+func InsertOp(tbl string, row Tuple) Op { return bulkload.Insert(tbl, row) }
+
+// DeleteOp builds a delete-by-column-values operation for Loader.Apply.
+func DeleteOp(tbl string, cols []string, vals Tuple) Op {
+	return bulkload.Delete(tbl, cols, vals)
+}
+
+// UpdateOp builds an update operation for Loader.Apply: rows matching
+// cols=vals get setCol overwritten with setVal.
+func UpdateOp(tbl string, cols []string, vals Tuple, setCol string, setVal int64) Op {
+	return bulkload.Update(tbl, cols, vals, setCol, setVal)
+}
+
+// VerifyStore checks every stored tuple copy against the partitioning
+// configuration: untorn partitions, dup/hasRef accounting, placement
+// justified by the scheme (partition indexes cover all stored partnered
+// keys), and logical row counters. The write path re-establishes these
+// invariants after every recovery; VerifyStore is the independent
+// witness that it did.
+func VerifyStore(pdb *PartitionedDatabase, cfg *Config) error {
+	return check.VerifyStore(pdb, cfg)
+}
+
 // ---- benchmark substrates ----
 
 // Benchmark substrate types.
