@@ -12,6 +12,7 @@
 //	prefbench -exp ops -q Q5     # per-operator breakdown of Q5 per variant
 //	prefbench -exp hedge         # straggler tail latency, hedging off vs on
 //	prefbench -exp soak          # cluster health-layer fault-schedule soak
+//	prefbench -exp mixed -rw 1,4,16 # mixed soak across read/write ratios
 //	prefbench -exp fig7 -crash 0.05 -down 2 # fig7 under injected faults
 //	prefbench -list              # available experiment ids
 package main
@@ -38,6 +39,7 @@ func main() {
 		seed   = flag.Int64("seed", 42, "generator seed")
 		expand = flag.Bool("expand", false, "fig12: sweep every node count 1..100 instead of a coarse grid")
 		query  = flag.String("q", "Q3", "ops: TPC-H query for the per-operator breakdown")
+		rw     = flag.String("rw", "", "mixed: comma-separated reader counts to sweep the read/write ratio (e.g. 1,4,16)")
 		list   = flag.Bool("list", false, "list experiment ids and exit")
 		jsonTo = flag.String("json", "", "directory to write BENCH_<experiment>.json artifacts into ('' = off)")
 
@@ -65,6 +67,19 @@ func main() {
 	p.Seed = *seed
 	p.Expand = *expand
 	p.Query = *query
+
+	readers, err := parseNodeList(*rw)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "prefbench: -rw: %v\n", err)
+		os.Exit(1)
+	}
+	for _, n := range readers {
+		if n < 1 {
+			fmt.Fprintf(os.Stderr, "prefbench: -rw: reader count %d < 1\n", n)
+			os.Exit(1)
+		}
+	}
+	p.MixedReaders = readers
 
 	downNodes, err := parseNodeList(*down)
 	if err != nil {
@@ -132,6 +147,8 @@ func writeJSON(dir string, r *bench.Report, elapsed time.Duration) error {
 	return nil
 }
 
+// parseNodeList parses a comma-separated int list (-down node ids, -rw
+// reader counts).
 func parseNodeList(s string) ([]int, error) {
 	if s == "" {
 		return nil, nil
@@ -140,7 +157,7 @@ func parseNodeList(s string) ([]int, error) {
 	for _, part := range strings.Split(s, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil {
-			return nil, fmt.Errorf("bad node id %q", part)
+			return nil, fmt.Errorf("bad value %q", part)
 		}
 		out = append(out, n)
 	}

@@ -3,7 +3,10 @@
 // companion to go vet: vet checks generic Go mistakes, preflint checks
 // this codebase's own invariants — panic policy, context threading,
 // Prop slice aliasing, partition-state ownership, atomic access
-// discipline, goroutine joining, and ship accounting.
+// discipline, goroutine joining, and ship accounting — plus the
+// CFG/typestate protocol analyzers built on internal/lint/cfg:
+// publish ordering, snapshot read discipline, the bulk-load intent
+// protocol, and guard-field happens-before.
 //
 // Usage:
 //
@@ -43,8 +46,14 @@ func main() {
 
 	analyzers := lint.Analyzers()
 	if *list {
+		width := 0
 		for _, a := range analyzers {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+			if len(a.Name) > width {
+				width = len(a.Name)
+			}
+		}
+		for _, a := range analyzers {
+			fmt.Printf("%-*s %s\n", width, a.Name, a.Doc)
 		}
 		return
 	}

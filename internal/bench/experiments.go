@@ -39,6 +39,10 @@ type Params struct {
 	// Query selects the TPC-H query for single-query experiments (the
 	// "ops" per-operator breakdown); empty means Q3.
 	Query string
+	// MixedReaders sweeps the "mixed" soak's read/write ratio: one row per
+	// regime × reader count, with the single writer held fixed so the
+	// reader count IS the ratio. Empty means the default {4}.
+	MixedReaders []int
 }
 
 // DefaultParams returns laptop-scale experiment parameters.

@@ -427,7 +427,11 @@ const mixedSchedulesPerRegime = 3
 // MixedWorkload is the crash-consistency experiment: seeded mixed
 // OLTP/OLAP schedules per crash regime, reporting how the write path
 // absorbed them — batches committed, crashes recovered, intent replays,
-// reader outcomes, write amplification, and throughput.
+// reader outcomes, write amplification, and throughput. Params.MixedReaders
+// sweeps the read/write ratio: one row per regime × reader count (the
+// write stream is a single fixed writer, so the reader count is the
+// ratio; q_per_s vs batch_per_s shows how reader pressure and epoch
+// pinning trade off).
 func MixedWorkload(p Params) (*Report, error) {
 	r := &Report{ID: "mixed",
 		Title: "Mixed OLTP/OLAP soak: crash-injected writes vs pinned-epoch readers",
@@ -437,44 +441,58 @@ func MixedWorkload(p Params) (*Report, error) {
 	if parts < 2 {
 		parts = 4
 	}
+	readerSweep := p.MixedReaders
+	if len(readerSweep) == 0 {
+		readerSweep = []int{4}
+	}
 	for _, reg := range mixedRegimes {
-		var batches, crashes int
-		var replays, races, queries, okQ, typed int64
-		var amp float64
-		var writerWall, overallWall time.Duration
-		for sch := 0; sch < mixedSchedulesPerRegime; sch++ {
-			out, err := runMixedSchedule(mixedParams{
-				Seed: p.Seed + int64(sch), Parts: parts, Batches: 60, Readers: 4,
-				CrashProb: reg.crash, RaceProb: reg.race, ReadFaults: reg.readFaults,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("mixed %s schedule %d: %w", reg.name, sch, err)
+		for _, readers := range readerSweep {
+			var batches, crashes int
+			var replays, races, queries, okQ, typed int64
+			var amp float64
+			var writerWall, overallWall time.Duration
+			for sch := 0; sch < mixedSchedulesPerRegime; sch++ {
+				out, err := runMixedSchedule(mixedParams{
+					Seed: p.Seed + int64(sch), Parts: parts, Batches: 60, Readers: readers,
+					CrashProb: reg.crash, RaceProb: reg.race, ReadFaults: reg.readFaults,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("mixed %s rw=%d schedule %d: %w", reg.name, readers, sch, err)
+				}
+				batches += out.Batches
+				crashes += out.Crashes
+				replays += out.Replays
+				races += out.IndexRaces
+				queries += out.Queries
+				okQ += out.OKQueries
+				typed += out.TypedFails
+				amp += out.WriteAmp
+				writerWall += out.WriterWall
+				overallWall += out.OverallWall
 			}
-			batches += out.Batches
-			crashes += out.Crashes
-			replays += out.Replays
-			races += out.IndexRaces
-			queries += out.Queries
-			okQ += out.OKQueries
-			typed += out.TypedFails
-			amp += out.WriteAmp
-			writerWall += out.WriterWall
-			overallWall += out.OverallWall
+			bps, qps := 0.0, 0.0
+			if writerWall > 0 {
+				bps = float64(batches) / writerWall.Seconds()
+			}
+			if overallWall > 0 {
+				qps = float64(queries) / overallWall.Seconds()
+			}
+			label := reg.name
+			if len(readerSweep) > 1 {
+				label = fmt.Sprintf("%s rw=%d", reg.name, readers)
+			}
+			r.Add(label, float64(batches), float64(crashes), float64(replays),
+				float64(races), float64(queries), float64(okQ), float64(typed),
+				amp/float64(mixedSchedulesPerRegime), bps, qps)
 		}
-		bps, qps := 0.0, 0.0
-		if writerWall > 0 {
-			bps = float64(batches) / writerWall.Seconds()
-		}
-		if overallWall > 0 {
-			qps = float64(queries) / overallWall.Seconds()
-		}
-		r.Add(reg.name, float64(batches), float64(crashes), float64(replays),
-			float64(races), float64(queries), float64(okQ), float64(typed),
-			amp/float64(mixedSchedulesPerRegime), bps, qps)
 	}
 	r.Notes = append(r.Notes,
 		"every reader result is oracle-equal at its pinned epoch (or a typed failure): crashes shift WHICH epoch a query reads, never WHAT an epoch contains",
 		"write_amp is stored copies per logical insert: the PREF duplication cost metered on the write path",
 		"after every schedule the store passes the full write-invariant check (check.VerifyStore)")
+	if len(readerSweep) > 1 {
+		r.Notes = append(r.Notes,
+			"rw=N sweeps concurrent readers against the single writer (-rw flag): the read/write ratio of the soak")
+	}
 	return r, nil
 }

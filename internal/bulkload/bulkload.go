@@ -176,6 +176,9 @@ func (l *Loader) Apply(ops ...Op) (*Commit, error) {
 // steps in sequence order and publishes them. After a successful
 // recovery the crashed batch is durable — its epoch exists exactly as if
 // the crash had never happened.
+//
+// lint:intent-boundary recovery replays intents that were already
+// recorded before the crash; its mutations are covered by those records.
 func (l *Loader) Recover() (*RecoveryReport, error) {
 	rep := &RecoveryReport{}
 	pend := l.log.Pending()
@@ -481,6 +484,9 @@ func (l *Loader) planUpdate(it *Intent, pt *table.Partitioned, op Op) error {
 // step stepIdx (earlier steps fully applied), CrashTornApply tears step
 // stepIdx — half its appends land fully, one more row lands without its
 // bitmap entries. Replay calls this with fault.WriteNoCrash.
+//
+// lint:intent-boundary the apply stage itself; every caller holds the
+// intent record that covers these writes.
 func (l *Loader) applySteps(it *Intent, stage fault.WriteStage, stepIdx int) error {
 	for j := range it.Steps {
 		st := &it.Steps[j]
@@ -534,6 +540,9 @@ func (l *Loader) applySteps(it *Intent, stage fault.WriteStage, stepIdx int) err
 // commit installs the intent's bookkeeping deltas, publishes a new
 // database epoch covering every touched table, and marks the intent
 // applied. Called only after every step executed crash-free.
+//
+// lint:intent-boundary the publish stage itself; callers (Apply, Recover)
+// only reach it with the covering intent open.
 func (l *Loader) commit(it *Intent) *Commit {
 	for t, d := range it.DeltaRows {
 		l.pdb.Tables[t].OriginalRows += d

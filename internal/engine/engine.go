@@ -191,6 +191,9 @@ type executor struct {
 // snapshot's published partitions when the query has one (the normal
 // path — admission pins a snapshot), else the live head (executors
 // driven without BeginQuery, e.g. direct unit-test construction).
+//
+// lint:snapshot-boundary the one sanctioned pin point: every scan resolves
+// partitions here, so the snapshot-or-head decision lives in one place.
 func (ex *executor) partsOf(pt *table.Partitioned, tbl string) []*table.Partition {
 	if ex.snap != nil {
 		if ps := ex.snap.Parts(tbl); ps != nil {

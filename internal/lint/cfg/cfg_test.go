@@ -1,0 +1,216 @@
+package cfg
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// loadFixtures parses and type-checks testdata/funcs.go (import-free by
+// design, so a bare types.Config suffices).
+func loadFixtures(t *testing.T) (*token.FileSet, *ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, filepath.Join("testdata", "funcs.go"), nil, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse fixtures: %v", err)
+	}
+	info := &types.Info{
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+		Types: map[ast.Expr]types.TypeAndValue{},
+	}
+	conf := types.Config{}
+	if _, err := conf.Check("fixtures", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck fixtures: %v", err)
+	}
+	return fset, file, info
+}
+
+// TestGolden builds the CFG, dominator tree, and reaching-definitions
+// solution for every fixture function and compares the combined dump
+// against testdata/golden.txt. Run with -update to rewrite.
+func TestGolden(t *testing.T) {
+	fset, file, info := loadFixtures(t)
+	var sb strings.Builder
+	for _, d := range file.Decls {
+		fn, ok := d.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		g := New(fn.Name.Name, fn)
+		sb.WriteString(g.Dump(fset))
+		sb.WriteString(g.Dominators().String())
+		sb.WriteString(g.ReachingDefs(info, fn).String(fset))
+		sb.WriteString("\n")
+	}
+	got := sb.String()
+
+	goldenPath := filepath.Join("testdata", "golden.txt")
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatalf("write golden: %v", err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("golden mismatch (re-run with -update after verifying):\n%s", diffLines(string(want), got))
+	}
+}
+
+func diffLines(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	var sb strings.Builder
+	n := len(wl)
+	if len(gl) > n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			fmt.Fprintf(&sb, "line %d:\n  want: %q\n  got:  %q\n", i+1, w, g)
+		}
+	}
+	return sb.String()
+}
+
+// graphOf builds the CFG for a named fixture function.
+func graphOf(t *testing.T, file *ast.File, name string) (*ast.FuncDecl, *Graph) {
+	t.Helper()
+	for _, d := range file.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Name.Name == name {
+			return fn, New(name, fn)
+		}
+	}
+	t.Fatalf("fixture %s not found", name)
+	return nil, nil
+}
+
+// TestDominance spot-checks structural dominance facts the analyzers rely
+// on, independent of golden formatting.
+func TestDominance(t *testing.T) {
+	_, file, _ := loadFixtures(t)
+
+	// In cond: entry dominates everything; neither arm dominates the join.
+	_, g := graphOf(t, file, "cond")
+	dom := g.Dominators()
+	var then, els, done *Block
+	for _, b := range g.Reachable() {
+		switch b.Kind {
+		case "if.then":
+			then = b
+		case "if.else":
+			els = b
+		case "if.done":
+			done = b
+		}
+	}
+	if then == nil || els == nil || done == nil {
+		t.Fatalf("cond blocks missing: then=%v else=%v done=%v", then, els, done)
+	}
+	if !dom.Dominates(g.Entry, done) {
+		t.Errorf("entry should dominate if.done")
+	}
+	if dom.Dominates(then, done) || dom.Dominates(els, done) {
+		t.Errorf("neither branch arm may dominate the join")
+	}
+
+	// In loops: the loop head dominates the body; the body does not
+	// dominate the exit (break skips it... actually the head does).
+	_, g = graphOf(t, file, "loops")
+	dom = g.Dominators()
+	var head, body *Block
+	for _, b := range g.Reachable() {
+		switch b.Kind {
+		case "for.cond":
+			head = b
+		case "for.body":
+			body = b
+		}
+	}
+	if head == nil || body == nil {
+		t.Fatalf("loop blocks missing")
+	}
+	if !dom.Dominates(head, body) {
+		t.Errorf("loop head should dominate loop body")
+	}
+	if dom.Dominates(body, g.Exit) {
+		t.Errorf("loop body must not dominate exit (the loop may not run)")
+	}
+	if !dom.Dominates(g.Entry, g.Exit) {
+		t.Errorf("entry should dominate exit")
+	}
+}
+
+// TestShortCircuitBranches verifies && / || decomposition: in
+// shortCircuit, `b` and `n > 0` must sit in separate blocks only reachable
+// through `a`'s true edge.
+func TestShortCircuitBranches(t *testing.T) {
+	_, file, _ := loadFixtures(t)
+	_, g := graphOf(t, file, "shortCircuit")
+	var and, or *Block
+	for _, b := range g.Reachable() {
+		switch b.Kind {
+		case "cond.and":
+			and = b
+		case "cond.or":
+			or = b
+		}
+	}
+	if and == nil || or == nil {
+		t.Fatalf("short-circuit blocks missing: and=%v or=%v", and, or)
+	}
+	dom := g.Dominators()
+	if !dom.Dominates(and, or) {
+		t.Errorf("`b || n > 0` leaves should be dominated by the && midpoint")
+	}
+	// Each leaf block must end with exactly two successors (true/false).
+	for _, b := range []*Block{and, or} {
+		if len(b.Succs) != 2 {
+			t.Errorf("cond leaf b%d has %d succs, want 2", b.Index, len(b.Succs))
+		}
+	}
+}
+
+// TestReachingDefsUse verifies ForEachUse sees the right defs: in loops,
+// the use of sum in `return sum` is reached by both the initialization and
+// the `sum += i` update.
+func TestReachingDefsUse(t *testing.T) {
+	fset, file, info := loadFixtures(t)
+	fn, g := graphOf(t, file, "loops")
+	r := g.ReachingDefs(info, fn)
+	var gotLines []int
+	r.ForEachUse(func(id *ast.Ident, v *types.Var, defs []*Def) {
+		if v.Name() != "sum" {
+			return
+		}
+		// The use inside `return sum`.
+		if len(defs) >= 2 {
+			for _, d := range defs {
+				gotLines = append(gotLines, fset.Position(d.Node.Pos()).Line)
+			}
+		}
+	})
+	if len(gotLines) < 2 {
+		t.Fatalf("expected a sum use reached by >=2 defs, got %v", gotLines)
+	}
+}

@@ -1,0 +1,112 @@
+package cfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DomTree is the dominator tree of a Graph, computed over the blocks
+// reachable from Entry with the iterative Cooper–Harvey–Kennedy algorithm
+// (graphs here are function-sized, so simplicity beats asymptotics).
+type DomTree struct {
+	g    *Graph
+	idom map[*Block]*Block // immediate dominator; Entry maps to nil
+	rpo  map[*Block]int    // reverse-postorder number of reachable blocks
+}
+
+// Dominators computes the dominator tree.
+func (g *Graph) Dominators() *DomTree {
+	// Postorder over the reachable subgraph.
+	var post []*Block
+	seen := make([]bool, len(g.Blocks))
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+		post = append(post, b)
+	}
+	walk(g.Entry)
+
+	d := &DomTree{g: g, idom: map[*Block]*Block{}, rpo: map[*Block]int{}}
+	for i := range post {
+		d.rpo[post[len(post)-1-i]] = i
+	}
+	d.idom[g.Entry] = g.Entry
+	changed := true
+	for changed {
+		changed = false
+		// Reverse postorder, skipping Entry.
+		for i := len(post) - 2; i >= 0; i-- {
+			b := post[i]
+			var newIdom *Block
+			for _, p := range b.Preds {
+				if _, ok := d.rpo[p]; !ok {
+					continue // unreachable predecessor
+				}
+				if d.idom[p] == nil {
+					continue // not yet processed this round
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = d.intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && d.idom[b] != newIdom {
+				d.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	d.idom[g.Entry] = nil
+	return d
+}
+
+func (d *DomTree) intersect(a, b *Block) *Block {
+	for a != b {
+		for d.rpo[a] > d.rpo[b] {
+			a = d.idom[a]
+		}
+		for d.rpo[b] > d.rpo[a] {
+			b = d.idom[b]
+		}
+	}
+	return a
+}
+
+// Idom returns the immediate dominator of b (nil for Entry and for blocks
+// unreachable from Entry).
+func (d *DomTree) Idom(b *Block) *Block { return d.idom[b] }
+
+// Dominates reports whether a dominates b (reflexively). Unreachable
+// blocks are dominated by nothing and dominate nothing but themselves.
+func (d *DomTree) Dominates(a, b *Block) bool {
+	for x := b; x != nil; x = d.idom[x] {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders "bN <- idom" lines in block-index order for goldens.
+func (d *DomTree) String() string {
+	var blocks []*Block
+	for b := range d.idom {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].Index < blocks[j].Index })
+	var sb strings.Builder
+	for _, b := range blocks {
+		if id := d.idom[b]; id != nil {
+			fmt.Fprintf(&sb, "  idom b%d <- b%d\n", b.Index, id.Index)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,102 @@
+// Package fixtures holds the functions the cfg golden tests build graphs
+// for. Keep it import-free so the test can type-check it with a bare
+// types.Config. Shapes covered: straight-line code, branching, loops with
+// break/continue, range loops, short-circuit conditions, defer with a
+// named result, labeled loops with goto, and switch with fallthrough.
+package fixtures
+
+func straight(a, b int) int {
+	c := a + b
+	c *= 2
+	return c
+}
+
+func cond(a int) int {
+	if a > 0 {
+		a = a * 2
+	} else {
+		a = -a
+	}
+	return a
+}
+
+func loops(n int) int {
+	sum := 0
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			continue
+		}
+		if i == 7 {
+			break
+		}
+		sum += i
+	}
+	return sum
+}
+
+func rangeLoop(xs []int) int {
+	total := 0
+	for i, x := range xs {
+		if x < 0 {
+			return i
+		}
+		total += x
+	}
+	return total
+}
+
+func shortCircuit(a, b bool, n int) int {
+	if a && (b || n > 0) {
+		n = 1
+	}
+	return n
+}
+
+func deferred(n int) (out int) {
+	defer func() {
+		out++
+	}()
+	if n < 0 {
+		return 0
+	}
+	out = n
+	return out
+}
+
+func labels(grid [][]int) int {
+	found := -1
+loop:
+	for i := range grid {
+		for j := range grid[i] {
+			if grid[i][j] == 0 {
+				continue loop
+			}
+			if grid[i][j] < 0 {
+				break loop
+			}
+			if grid[i][j] == 42 {
+				found = i
+				goto done
+			}
+			_ = j
+		}
+	}
+done:
+	return found
+}
+
+func swtch(n int) string {
+	s := ""
+	switch n {
+	case 0:
+		s = "zero"
+	case 1:
+		s = "one"
+		fallthrough
+	case 2:
+		s += "+"
+	default:
+		s = "many"
+	}
+	return s
+}

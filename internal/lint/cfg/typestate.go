@@ -1,0 +1,153 @@
+package cfg
+
+import (
+	"go/ast"
+	"math/bits"
+)
+
+// StateSet is a set of machine states (bitmask; machines are small by
+// construction, at most 64 states).
+type StateSet uint64
+
+// Has reports membership.
+func (s StateSet) Has(state int) bool { return s&(1<<uint(state)) != 0 }
+
+// Add returns the set with state added.
+func (s StateSet) Add(state int) StateSet { return s | 1<<uint(state) }
+
+// Empty reports whether the set has no states.
+func (s StateSet) Empty() bool { return s == 0 }
+
+// States enumerates the members in ascending order.
+func (s StateSet) States() []int {
+	var out []int
+	for s != 0 {
+		st := bits.TrailingZeros64(uint64(s))
+		out = append(out, st)
+		s &^= 1 << uint(st)
+	}
+	return out
+}
+
+// Machine is one protocol finite-state machine evaluated over a Graph by
+// forward dataflow. States reaching a join merge as a set (may-analysis):
+// a node's incoming StateSet holds every state some path can arrive in,
+// so "set contains bad state" means "some path violates" and "set is only
+// good states" means "every path complies" — both the may- and the
+// must-question are answerable from the same fixpoint.
+type Machine struct {
+	// Init is the state on function entry.
+	Init int
+	// Classify maps a node to an event id, or ok=false for non-events.
+	// It is called for every node of every block in execution order
+	// (VisitExprs order within a node).
+	Classify func(n ast.Node) (event int, ok bool)
+	// Step maps (state, event) to the successor state.
+	Step func(state, event int) int
+}
+
+// MachineResult is the fixpoint of one Machine over one Graph.
+type MachineResult struct {
+	// Events holds, for every node Classify recognized, the set of states
+	// the machine can be in immediately before the event fires.
+	Events map[ast.Node]StateSet
+	// Returns holds the state set at each return statement, after the
+	// return's own expressions (and any events in them) are evaluated.
+	Returns map[*ast.ReturnStmt]StateSet
+	// Falloff is the merged state set at implicit function exits — blocks
+	// that flow into Exit without a return or panic.
+	Falloff StateSet
+}
+
+// Run evaluates the machine to fixpoint.
+func (m *Machine) Run(g *Graph) *MachineResult {
+	res := &MachineResult{
+		Events:  map[ast.Node]StateSet{},
+		Returns: map[*ast.ReturnStmt]StateSet{},
+	}
+	reachable := g.Reachable()
+	in := map[*Block]StateSet{g.Entry: 1 << uint(m.Init)}
+	out := map[*Block]StateSet{}
+
+	transfer := func(b *Block, s StateSet) StateSet {
+		for _, n := range b.Nodes {
+			ret, isRet := n.(*ast.ReturnStmt)
+			VisitExprs(n, func(sub ast.Node) bool {
+				if isRet && sub == ast.Node(ret) {
+					return true // record Returns after the subtree
+				}
+				switch sub.(type) {
+				case *ast.DeferStmt, *ast.GoStmt:
+					// A deferred call runs at function exit and a go
+					// statement on another goroutine — neither fires its
+					// events at the registration point. (A protocol closed
+					// only by a defer is therefore reported at the return;
+					// the write-path protocols close theirs inline.)
+					return false
+				}
+				ev, ok := m.Classify(sub)
+				if !ok {
+					return true
+				}
+				res.Events[sub] |= s
+				var next StateSet
+				for _, st := range s.States() {
+					next = next.Add(m.Step(st, ev))
+				}
+				s = next
+				return true
+			})
+			if isRet {
+				res.Returns[ret] |= s
+			}
+		}
+		return s
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range reachable {
+			s := in[b]
+			for _, p := range b.Preds {
+				s |= out[p]
+			}
+			if b != g.Entry {
+				in[b] = s
+			}
+			o := transfer(b, in[b])
+			if o != out[b] {
+				out[b] = o
+				changed = true
+			}
+		}
+	}
+	// Re-run the transfer once with final in-sets so Events/Returns hold
+	// the fixpoint (monotonic |= during iteration already accumulates the
+	// final sets, but a last pass keeps them exact if Step ever shrinks).
+	for _, b := range reachable {
+		transfer(b, in[b])
+	}
+
+	for _, p := range g.Exit.Preds {
+		if _, ok := in[p]; !ok && p != g.Entry {
+			continue // unreachable
+		}
+		last := lastNode(p)
+		if _, isRet := last.(*ast.ReturnStmt); isRet {
+			continue
+		}
+		if es, ok := last.(*ast.ExprStmt); ok && isPanic(es.X) {
+			continue
+		}
+		res.Falloff |= out[p]
+	}
+	return res
+}
+
+func lastNode(b *Block) ast.Node {
+	if len(b.Nodes) == 0 {
+		return nil
+	}
+	return b.Nodes[len(b.Nodes)-1]
+}

@@ -1,0 +1,208 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// lockMachine is a 2-state acquire/release protocol over calls spelled
+// `acquire()` and `release()`: state 0 = free, 1 = held.
+const (
+	evAcquire = iota
+	evRelease
+)
+
+func lockMachine() *Machine {
+	return &Machine{
+		Init: 0,
+		Classify: func(n ast.Node) (int, bool) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return 0, false
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				return 0, false
+			}
+			switch id.Name {
+			case "acquire":
+				return evAcquire, true
+			case "release":
+				return evRelease, true
+			}
+			return 0, false
+		},
+		Step: func(state, event int) int {
+			switch event {
+			case evAcquire:
+				return 1
+			case evRelease:
+				return 0
+			}
+			return state
+		},
+	}
+}
+
+func parseFunc(t *testing.T, src string) *ast.FuncDecl {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "m.go", "package m\nfunc acquire(){}\nfunc release(){}\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Name.Name == "f" {
+			return fn
+		}
+	}
+	t.Fatalf("func f not found")
+	return nil
+}
+
+func TestMachineBalanced(t *testing.T) {
+	fn := parseFunc(t, `
+func f(ok bool) {
+	acquire()
+	if ok {
+		release()
+		return
+	}
+	release()
+}`)
+	res := lockMachine().Run(New("f", fn))
+	if res.Falloff.Has(1) {
+		t.Errorf("balanced protocol must not fall off held: %v", res.Falloff.States())
+	}
+	for ret, s := range res.Returns {
+		if s.Has(1) {
+			t.Errorf("return at %v still held: %v", ret.Pos(), s.States())
+		}
+	}
+}
+
+func TestMachineStrandedReturn(t *testing.T) {
+	fn := parseFunc(t, `
+func f(ok bool) error {
+	acquire()
+	if ok {
+		return nil // strands the held state
+	}
+	release()
+	return nil
+}`)
+	res := lockMachine().Run(New("f", fn))
+	held := 0
+	for _, s := range res.Returns {
+		if s.Has(1) {
+			held++
+		}
+	}
+	if held != 1 {
+		t.Errorf("want exactly one stranded return, got %d", held)
+	}
+}
+
+func TestMachineLoopMerge(t *testing.T) {
+	// Around a loop, the events re-fire each iteration: the acquire inside
+	// the body can be reached both free (first iteration) and free again
+	// (after the release), never held.
+	fn := parseFunc(t, `
+func f(n int) {
+	for i := 0; i < n; i++ {
+		acquire()
+		release()
+	}
+}`)
+	res := lockMachine().Run(New("f", fn))
+	if res.Falloff.Has(1) {
+		t.Errorf("loop body balances; falloff must be free-only: %v", res.Falloff.States())
+	}
+	for n, s := range res.Events {
+		call := n.(*ast.CallExpr)
+		name := call.Fun.(*ast.Ident).Name
+		if name == "acquire" && s.Has(1) {
+			t.Errorf("acquire reached while held")
+		}
+		if name == "release" && s.Has(0) {
+			t.Errorf("release reached while free")
+		}
+	}
+}
+
+func TestMachineUnbalancedLoop(t *testing.T) {
+	// Missing release: second iteration's acquire sees held state.
+	fn := parseFunc(t, `
+func f(n int) {
+	for i := 0; i < n; i++ {
+		acquire()
+	}
+}`)
+	res := lockMachine().Run(New("f", fn))
+	sawDoubleAcquire := false
+	for n, s := range res.Events {
+		if id, ok := n.(*ast.CallExpr).Fun.(*ast.Ident); ok && id.Name == "acquire" && s.Has(1) {
+			sawDoubleAcquire = true
+		}
+	}
+	if !sawDoubleAcquire {
+		t.Errorf("re-entrant acquire across loop backedge not detected")
+	}
+	if !res.Falloff.Has(1) {
+		t.Errorf("falloff should include held state")
+	}
+}
+
+func TestMachineEventsInReturnExpr(t *testing.T) {
+	// Events inside the return expression fire before Returns is recorded:
+	// `return release()`-style shapes must close the protocol.
+	fn := parseFunc(t, `
+func f() bool {
+	acquire()
+	return relTrue()
+}
+func relTrue() bool { release(); return true }`)
+	// relTrue's body is a separate function; the release is NOT visible in
+	// f. So f's return strands. This pins the intraprocedural contract.
+	res := lockMachine().Run(New("f", fn))
+	stranded := false
+	for _, s := range res.Returns {
+		if s.Has(1) {
+			stranded = true
+		}
+	}
+	if !stranded {
+		t.Errorf("interprocedural release must not satisfy the machine")
+	}
+
+	// Direct call in the return expression does satisfy it.
+	fn2 := parseFunc(t, `
+func f() int {
+	acquire()
+	return use(release())
+}
+func use(x interface{ }) int { return 0 }`)
+	res2 := lockMachine().Run(New("f", fn2))
+	for _, s := range res2.Returns {
+		if s.Has(1) {
+			t.Errorf("release inside return expr should close before Returns is recorded: %v", s.States())
+		}
+	}
+}
+
+func TestStateSetOps(t *testing.T) {
+	var s StateSet
+	if !s.Empty() {
+		t.Errorf("zero set not empty")
+	}
+	s = s.Add(0).Add(3)
+	if !s.Has(0) || !s.Has(3) || s.Has(1) {
+		t.Errorf("membership wrong: %v", s.States())
+	}
+	got := s.States()
+	if len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Errorf("States() = %v, want [0 3]", got)
+	}
+}

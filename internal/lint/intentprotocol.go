@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+
+	"pref/internal/lint/cfg"
+)
+
+// IntentProtocol verifies the plan→intend→apply→publish typestate of the
+// bulk-load write path: a batch's mutations (applySteps, BeginWrite) must
+// be dominated by the intent-log record that makes them recoverable, the
+// commit that publishes them must close an open intent, and no path may
+// return while an intent is still open but unaccounted — an early return
+// between intend and commit strands work that recovery will then replay
+// or, worse, half-replay. Marking the loader crashed (`crashed = true`)
+// is the sanctioned abort: it hands the open intent to Recover. The
+// machinery below the protocol (the steps themselves, commit, recovery)
+// declares "// lint:intent-boundary <reason>".
+var IntentProtocol = &Analyzer{
+	Name: "intentprotocol",
+	Doc:  "bulk-load mutations must be dominated by an intent record, and every path must commit or abort the intent it opened",
+	Run:  runIntentProtocol,
+}
+
+// Typestate: 0 = no open intent, 1 = intent recorded but not yet closed.
+const (
+	ipEvIntend = iota
+	ipEvApply
+	ipEvPublish
+	ipEvAbort
+)
+
+func runIntentProtocol(p *Pass) error {
+	if p.PkgName() != "bulkload" {
+		return nil
+	}
+	eachFuncDecl(p, func(fn *ast.FuncDecl) {
+		if hasFuncMarker(fn, intentBoundaryMarker) {
+			return
+		}
+		checkIntentProtocol(p, fn)
+	})
+	return nil
+}
+
+func checkIntentProtocol(p *Pass, fn *ast.FuncDecl) {
+	g := funcGraph(fn)
+	classify := func(n ast.Node) (int, bool) {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			recv, name := methodCall(n)
+			if recv == nil {
+				return 0, false
+			}
+			switch name {
+			case "append":
+				// The intent record: IntentLog.append (the builtin append is
+				// a plain-ident call and never reaches here).
+				if isNamedType(exprType(p, recv), "", "IntentLog") {
+					return ipEvIntend, true
+				}
+			case "applySteps", "BeginWrite":
+				return ipEvApply, true
+			case "commit", "Commit", "Publish":
+				return ipEvPublish, true
+			}
+		case *ast.AssignStmt:
+			// The sanctioned abort: flagging the loader crashed hands the
+			// open intent to Recover.
+			for _, lhs := range n.Lhs {
+				if sel, ok := lhs.(*ast.SelectorExpr); ok && sel.Sel.Name == "crashed" {
+					if f := fieldObj(p, sel); f != nil {
+						return ipEvAbort, true
+					}
+				}
+			}
+		}
+		return 0, false
+	}
+	m := &cfg.Machine{
+		Init:     0,
+		Classify: classify,
+		Step: func(state, event int) int {
+			switch event {
+			case ipEvIntend:
+				return 1
+			case ipEvPublish, ipEvAbort:
+				return 0
+			}
+			return state
+		},
+	}
+	res := m.Run(g)
+
+	// Any path reaching an event in the wrong state is a violation; the
+	// machine merges states across joins, so Has(0) at an apply means some
+	// path got there without recording an intent first.
+	anyIntent := false
+	for n := range res.Events {
+		if ev, _ := classify(n); ev == ipEvIntend {
+			anyIntent = true
+		}
+	}
+	for n, states := range res.Events {
+		ev, _ := classify(n)
+		switch ev {
+		case ipEvApply:
+			if states.Has(0) && anyIntent {
+				p.Report(n, "mutation not dominated by an intent record; a crash here would be unrecoverable — append the intent before applying")
+			}
+			if !anyIntent {
+				p.Report(n, "bulk-load mutation in a function that never records an intent; route writes through the intent log or declare a lint:intent-boundary")
+			}
+		case ipEvPublish:
+			if states.Has(0) {
+				p.Report(n, "publish reachable without an open intent; commit must close the intent record that covers these steps")
+			}
+		case ipEvIntend:
+			if states.Has(1) {
+				p.Report(n, "intent recorded while a previous intent is still open; commit or abort the first before intending again")
+			}
+		}
+	}
+	for ret, states := range res.Returns {
+		if states.Has(1) {
+			p.Report(ret, "return strands an uncommitted intent; commit it, or mark the loader crashed so recovery replays it")
+		}
+	}
+	if res.Falloff.Has(1) {
+		p.Report(fn.Name, "%s can fall off the end with an uncommitted intent; commit it, or mark the loader crashed so recovery replays it", fn.Name.Name)
+	}
+}

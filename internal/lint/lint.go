@@ -31,6 +31,25 @@
 //     in both engine.Stats and the execution trace, and is declared a
 //     ship boundary.
 //
+// The protocol analyzers (publishorder, snapshotdiscipline,
+// intentprotocol, happensbefore) go beyond per-statement checks: they run
+// on the intraprocedural CFG/dataflow substrate in internal/lint/cfg
+// (basic blocks, dominance, reaching definitions, typestate machines) and
+// verify the write-path ordering protocols PR 6 introduced:
+//
+//   - publishorder: no mutation of version-visible state on any path after
+//     the atomic epoch store — the publish is a release point, so all
+//     bookkeeping must precede it.
+//   - snapshotdiscipline: engine/cluster read-side code reaches table
+//     state only through a pinned DBSnapshot, never the live COW head
+//     (aliases of the head are traced to their uses via reaching defs).
+//   - intentprotocol: plan→intend→apply→publish typestate over the
+//     bulk-load path; mutations must be dominated by an intent record and
+//     no path may strand an open intent.
+//   - happensbefore: a plain access to a field annotated
+//     "lint:guarded-by <g>" must be dominated by the guard's atomic load
+//     or lock acquisition on every path.
+//
 // Suppressions: a "//lint:ignore <analyzer> <reason>" comment on the
 // diagnostic's line or the line above silences that analyzer there. A
 // reason is mandatory; a malformed directive is itself a diagnostic.
@@ -99,6 +118,7 @@ func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		InvariantPanic, CtxThread, PropAlias,
 		PartOwnership, AtomicDiscipline, GoroutineScope, ShipAccounting,
+		PublishOrder, SnapshotDiscipline, IntentProtocol, HappensBefore,
 	}
 }
 

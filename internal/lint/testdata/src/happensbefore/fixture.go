@@ -1,0 +1,82 @@
+// Fixture for the happensbefore analyzer: a field annotated
+// lint:guarded-by may only be accessed on paths where one of its guards
+// was acquired first — the atomic load matching the publisher's store, or
+// the publication mutex. This is the table.Partitioned epoch-guard idiom.
+package table
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type Version struct {
+	Epoch int64
+}
+
+type head struct {
+	pub atomic.Pointer[Version]
+	mu  sync.Mutex
+	// shared is meaningful only relative to the published epoch.
+	// lint:guarded-by pub mu
+	shared []bool
+}
+
+// goodLoad reads shared after the atomic load on every path.
+func (h *head) goodLoad(p int) bool {
+	if h.pub.Load() == nil {
+		return false
+	}
+	return h.shared[p]
+}
+
+// goodLocked reads shared under the publication mutex.
+func (h *head) goodLocked(p int) bool {
+	h.mu.Lock()
+	v := h.shared[p]
+	h.mu.Unlock()
+	return v
+}
+
+// raced reads shared before any acquire: the epoch can move underneath.
+func (h *head) raced(p int) bool {
+	return h.shared[p] // want "access to shared is not dominated by an acquire"
+}
+
+// onePath acquires on one branch only; the bare branch still races.
+func (h *head) onePath(p int, fast bool) bool {
+	if !fast {
+		if h.pub.Load() == nil {
+			return false
+		}
+	}
+	return h.shared[p] // want "access to shared is not dominated by an acquire"
+}
+
+// released reads shared after dropping the mutex: the acquire no longer
+// covers the access.
+func (h *head) released(p int) bool {
+	h.mu.Lock()
+	h.mu.Unlock()
+	return h.shared[p] // want "access to shared is not dominated by an acquire"
+}
+
+// deferredUnlock keeps the mutex held to the end: a deferred release runs
+// at exit, not at its registration line.
+func (h *head) deferredUnlock(p int) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.shared[p]
+}
+
+// holds declares that every caller acquires the mutex first.
+//
+// lint:holds mu
+func (h *head) holds(p int) bool {
+	return h.shared[p]
+}
+
+// suppressed demonstrates the line-level escape hatch.
+func (h *head) suppressed(p int) bool {
+	//lint:ignore happensbefore fixture demonstrates suppression
+	return h.shared[p]
+}

@@ -1,0 +1,134 @@
+// Fixture for the intentprotocol analyzer: bulk-load mutations must be
+// dominated by an intent record, commits must close an open intent, and
+// no path may return with an intent still open (the sanctioned abort is
+// marking the loader crashed, which hands the intent to recovery).
+package bulkload
+
+import "errors"
+
+type Intent struct {
+	Seq   int
+	State int
+}
+
+type IntentLog struct {
+	entries []*Intent
+}
+
+func (g *IntentLog) append(it *Intent) { g.entries = append(g.entries, it) }
+
+type Loader struct {
+	log     IntentLog
+	crashed bool
+}
+
+func (l *Loader) plan(n int) (*Intent, error) {
+	if n < 0 {
+		return nil, errors.New("bad batch")
+	}
+	return &Intent{Seq: n}, nil
+}
+
+// lint:intent-boundary fixture: the apply stage itself.
+func (l *Loader) applySteps(it *Intent) error {
+	if it.Seq < 0 {
+		return errors.New("torn")
+	}
+	return nil
+}
+
+// lint:intent-boundary fixture: the publish stage itself.
+func (l *Loader) commit(it *Intent) int {
+	it.State = 1
+	return it.Seq
+}
+
+// goodApply is the protocol in full: plan, intend, apply (aborting into
+// recovery on error), publish.
+func (l *Loader) goodApply(n int) (int, error) {
+	it, err := l.plan(n)
+	if err != nil {
+		return 0, err
+	}
+	l.log.append(it)
+	if err := l.applySteps(it); err != nil {
+		l.crashed = true
+		return 0, err
+	}
+	return l.commit(it), nil
+}
+
+// unintended applies steps no intent record covers: a crash mid-apply
+// would be unrecoverable.
+func (l *Loader) unintended(it *Intent) error {
+	return l.applySteps(it) // want "mutation in a function that never records an intent"
+}
+
+// raced only skips the intent on one path.
+func (l *Loader) raced(n int, fast bool) error {
+	it, err := l.plan(n)
+	if err != nil {
+		return err
+	}
+	if !fast {
+		l.log.append(it)
+	}
+	if err := l.applySteps(it); err != nil { // want "mutation not dominated by an intent record"
+		l.crashed = true
+		return err
+	}
+	l.commit(it) // want "publish reachable without an open intent"
+	return nil
+}
+
+// stranded returns early with the intent still open and the loader not
+// marked crashed: recovery will never replay it.
+func (l *Loader) stranded(n int, abort bool) error {
+	it, err := l.plan(n)
+	if err != nil {
+		return err
+	}
+	l.log.append(it)
+	if abort {
+		return errors.New("aborted") // want "return strands an uncommitted intent"
+	}
+	l.commit(it)
+	return nil
+}
+
+// batchLoop intends and commits per iteration: each commit closes its
+// intent, so the next append starts clean.
+func (l *Loader) batchLoop(ns []int) error {
+	for _, n := range ns {
+		it, err := l.plan(n)
+		if err != nil {
+			return err
+		}
+		l.log.append(it)
+		if err := l.applySteps(it); err != nil {
+			l.crashed = true
+			return err
+		}
+		l.commit(it)
+	}
+	return nil
+}
+
+// reintended opens a second intent while the first is still pending.
+func (l *Loader) reintended(a, b *Intent) {
+	l.log.append(a)
+	l.log.append(b) // want "intent recorded while a previous intent is still open"
+	l.commit(a)
+	l.commit(b) // want "publish reachable without an open intent"
+}
+
+// bareCommit publishes without any covering intent.
+func (l *Loader) bareCommit(it *Intent) int {
+	return l.commit(it) // want "publish reachable without an open intent"
+}
+
+// suppressed demonstrates the line-level escape hatch.
+func (l *Loader) suppressed(it *Intent) error {
+	//lint:ignore intentprotocol fixture demonstrates suppression
+	return l.applySteps(it)
+}

@@ -1,0 +1,91 @@
+// Fixture for the snapshotdiscipline analyzer: read-side code in
+// engine/cluster reaches table state only through a pinned DBSnapshot,
+// never the live Partitioned head, and never through the write-path
+// methods. Aliases of the live head are reported at their uses.
+package engine
+
+type Partition struct {
+	Rows []int
+}
+
+type Version struct {
+	Epoch int64
+	Parts []*Partition
+}
+
+type Partitioned struct {
+	Parts []*Partition
+}
+
+// lint:snapshot-boundary fixture: the write path itself owns the head.
+func (pt *Partitioned) BeginWrite(p int) *Partition { return pt.Parts[p] }
+func (pt *Partitioned) Publish() int64              { return 0 }
+func (pt *Partitioned) ResetToPublished() int       { return 0 }
+func (pt *Partitioned) Snapshot() *Version          { return nil }
+
+type DBSnapshot struct {
+	versions map[string]*Version
+}
+
+// Parts is the snapshot accessor: a method, not the live field.
+func (s *DBSnapshot) Parts(tbl string) []*Partition {
+	if v := s.versions[tbl]; v != nil {
+		return v.Parts
+	}
+	return nil
+}
+
+// goodScan reads through the pinned snapshot.
+func goodScan(s *DBSnapshot, tbl string) int {
+	n := 0
+	for _, p := range s.Parts(tbl) {
+		n += len(p.Rows)
+	}
+	return n
+}
+
+// goodVersion reads the immutable published version: also fine.
+func goodVersion(v *Version) int {
+	return len(v.Parts)
+}
+
+// liveScan reads the live COW head directly.
+func liveScan(pt *Partitioned) int {
+	n := 0
+	for _, p := range pt.Parts { // want "access to the live COW head pt.Parts"
+		n += len(p.Rows)
+	}
+	return n
+}
+
+// aliased launders the head through a local; the diagnostic lands on the
+// use, citing the aliasing definition.
+func aliased(pt *Partitioned) int {
+	ps := pt.Parts
+	return len(ps) // want "use of ps, aliased from the live COW head pt.Parts"
+}
+
+// writePath calls mutation entry points from the read side.
+func writePath(pt *Partitioned) {
+	pt.BeginWrite(0)      // want "read-side call to write-path method BeginWrite"
+	pt.Publish()          // want "read-side call to write-path method Publish"
+	pt.ResetToPublished() // want "read-side call to write-path method ResetToPublished"
+	_ = pt.Snapshot()     // pinning a snapshot is the sanctioned read API
+}
+
+// lint:snapshot-boundary fixture: the one pin point that may fall back to
+// the live head when no snapshot is pinned.
+func partsOf(s *DBSnapshot, pt *Partitioned, tbl string) []*Partition {
+	if s != nil {
+		if ps := s.Parts(tbl); ps != nil {
+			return ps
+		}
+	}
+	return pt.Parts
+}
+
+// suppressed demonstrates the line-level escape hatch.
+func suppressed(pt *Partitioned) int {
+	//lint:ignore snapshotdiscipline fixture demonstrates suppression
+	return len(pt.Parts)
+}

@@ -137,6 +137,9 @@ type Partitioned struct {
 	pubMu sync.Mutex
 	// shared[p] marks head partitions referenced by the published version;
 	// BeginWrite clones them before the first post-publication mutation.
+	// Meaningful only relative to the published epoch, so access it after
+	// the atomic load (or under the publication mutex) — enforced by the
+	// happensbefore analyzer. lint:guarded-by pub pubMu
 	shared []bool
 }
 
@@ -209,6 +212,8 @@ func (pt *Partitioned) Publish() int64 {
 // the store's release ordering is what makes it visible to a writer whose
 // only synchronization is the fast-path pub.Load in Snapshot/BeginWrite
 // (the lazy epoch-0 publication may run on a reader goroutine).
+//
+// lint:holds pubMu
 func (pt *Partitioned) publishLocked(epoch int64) int64 {
 	parts := make([]*Partition, len(pt.Parts))
 	copy(parts, pt.Parts)
