@@ -502,11 +502,12 @@ var Experiments = map[string]func(Params) (*Report, error){
 	"hedge":  HedgeSweep,
 	"soak":   ResilienceSoak,
 	"mixed":  MixedWorkload,
+	"vec":    VecThroughput,
 }
 
 // ExperimentOrder lists experiment ids in presentation order.
 var ExperimentOrder = []string{
 	"table1", "fig7", "fig8", "fig9", "fig10",
 	"fig11a", "fig11b", "fig12a", "fig12b", "fig13", "fault", "ops",
-	"hedge", "soak", "mixed",
+	"hedge", "soak", "mixed", "vec",
 }

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"testing"
+
+	"pref/internal/design"
+	"pref/internal/engine"
+	"pref/internal/plan"
+	"pref/internal/tpch"
+	"pref/internal/value"
+)
+
+// TestVecRowOracleTPCH is the end-to-end differential oracle for the
+// vectorized engine: all 22 TPC-H queries under every Section 5.1 design
+// variant execute on both the columnar path and the row-at-a-time
+// reference path, and the results must be byte-equal — same schema, same
+// rows (after SortRows order normalisation, since aggregate output is
+// map-ordered), same values bit for bit (float aggregation accumulates in
+// the same row order on both paths), and the same execution telemetry.
+func TestVecRowOracleTPCH(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oracle runs 22 queries x 7 variants x 2 engines; skipped in -short")
+	}
+	d := tpch.Generate(0.002, 7)
+	vs, err := TPCHVariants(d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := []string{"AllReplicated", "AllHashed", "CP", "SD", "SD-noRed", "SD-paper", "WD"}
+	mats := map[string]*Materialized{}
+	for _, name := range order {
+		v, ok := vs[name]
+		if !ok {
+			t.Fatalf("variant %s missing from TPCHVariants", name)
+		}
+		m, err := Materialize(v, d.DB)
+		if err != nil {
+			t.Fatalf("materialize %s: %v", name, err)
+		}
+		mats[name] = m
+	}
+
+	run := func(t *testing.T, name, query string, rowEngine bool) *engine.Result {
+		t.Helper()
+		v, m := vs[name], mats[name]
+		gi := v.RouteFor(query)
+		rw, err := plan.Rewrite(d.Query(query), d.DB.Schema, v.Groups[gi].Config,
+			plan.Options{Sizes: design.SizesOf(d.DB)})
+		if err != nil {
+			t.Fatalf("%s/%s: rewrite: %v", name, query, err)
+		}
+		res, err := engine.ExecuteOpts(rw, m.PDBs[gi], engine.ExecOptions{RowEngine: rowEngine})
+		if err != nil {
+			t.Fatalf("%s/%s: execute: %v", name, query, err)
+		}
+		res.SortRows()
+		return res
+	}
+
+	sameRows := func(a, b []value.Tuple) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if len(a[i]) != len(b[i]) {
+				return false
+			}
+			for j := range a[i] {
+				if a[i][j] != b[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	for _, query := range tpch.QueryNames {
+		query := query
+		t.Run(query, func(t *testing.T) {
+			for _, name := range order {
+				vec := run(t, name, query, false)
+				row := run(t, name, query, true)
+				if !sameRows(vec.Rows, row.Rows) {
+					t.Errorf("%s/%s: vectorized result diverges from row engine: %d vs %d rows",
+						name, query, len(vec.Rows), len(row.Rows))
+				}
+				if vec.Stats != row.Stats {
+					t.Errorf("%s/%s: stats diverge:\nvec %+v\nrow %+v", name, query, vec.Stats, row.Stats)
+				}
+			}
+		})
+	}
+}

@@ -518,7 +518,7 @@ func (l *Loader) applySteps(it *Intent, stage fault.WriteStage, stepIdx int) err
 				}
 				np.Append(r, part.Dup.Get(i), part.HasRef.Get(i))
 			}
-			*part = *np
+			part.ReplaceContents(np)
 		}
 		if stage == fault.CrashTornApply && j == stepIdx {
 			k := len(st.Appends) / 2

@@ -181,7 +181,7 @@ func (ex *executor) evalAggregate(n *plan.AggregateNode) ([][]value.Tuple, error
 	// and break trace row conservation).
 	childProp := ex.rw.Props[n.Child]
 	gathered := childProp != nil && childProp.Gathered
-	return ex.forEachPart(top, func(p int) ([]value.Tuple, int, error) {
+	return forEachPart(ex, top, func(p int) ([]value.Tuple, int, error) {
 		info, err := bindAggs(n.GroupBy, n.Aggs, sch)
 		if err != nil {
 			return nil, 0, err
@@ -214,7 +214,7 @@ func (ex *executor) evalPartialAgg(n *plan.PartialAggNode) ([][]value.Tuple, err
 	}
 	ex.addInputs(top, in)
 	sch := ex.rw.Schemas[n.Child]
-	return ex.forEachPart(top, func(p int) ([]value.Tuple, int, error) {
+	return forEachPart(ex, top, func(p int) ([]value.Tuple, int, error) {
 		info, err := bindAggs(n.GroupBy, n.Aggs, sch)
 		if err != nil {
 			return nil, 0, err
@@ -266,7 +266,7 @@ func (ex *executor) evalFinalAgg(n *plan.FinalAggNode) ([][]value.Tuple, error) 
 	op := ex.nextOp()
 	en := ex.execDst[0]
 	start := time.Now()
-	rows, work, err := ex.runUnit(ex.ctx, top, op, 0, en, func(int) ([]value.Tuple, int, error) {
+	rows, work, err := runUnit(ex, ex.ctx, top, op, 0, en, func(int) ([]value.Tuple, int, error) {
 		rs, err := mergePartials(n, sch, in[0])
 		if err != nil {
 			return nil, 0, err

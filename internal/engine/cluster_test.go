@@ -268,7 +268,7 @@ func TestHedgeRaceLoserMetered(t *testing.T) {
 		return []value.Tuple{{int64(p)}}, 7, nil
 	}
 	won := int32(1) // the sibling already claimed the race
-	rows, err := ex.runAttempt(context.Background(), nil, 0, 1, 2, true, &won, unit)
+	rows, err := runAttempt(ex, context.Background(), nil, 0, 1, 2, true, &won, unit)
 	if !errors.Is(err, errHedgeLost) || rows != nil {
 		t.Fatalf("loser returned (%v, %v), want (nil, errHedgeLost)", rows, err)
 	}
@@ -283,7 +283,7 @@ func TestHedgeRaceLoserMetered(t *testing.T) {
 		t.Fatal("a loser must not count as a hedge win")
 	}
 	won = 0 // fresh race: this racer claims it
-	rows, err = ex.runAttempt(context.Background(), nil, 0, 1, 2, true, &won, unit)
+	rows, err = runAttempt(ex, context.Background(), nil, 0, 1, 2, true, &won, unit)
 	if err != nil || len(rows) != 1 {
 		t.Fatalf("winner returned (%v, %v)", rows, err)
 	}

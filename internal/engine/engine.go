@@ -132,6 +132,14 @@ type ExecOptions struct {
 	// statically proven plan properties (check.VerifyTrace): rows shipped
 	// through an operator the verifier proved local fail the query.
 	Trace bool
+	// RowEngine forces the row-at-a-time reference engine instead of the
+	// vectorized columnar path (vec.go). The two produce byte-identical
+	// results, traces, and Stats — the differential oracle in
+	// internal/bench holds them to it — so this is a debugging and
+	// benchmarking switch, not a semantics switch. Setting the
+	// PREF_ROW_ENGINE environment variable to any non-empty value forces
+	// the row engine process-wide.
+	RowEngine bool
 	// Cluster attaches the query to a long-lived cluster health layer:
 	// admission control, circuit-breaker routing (nodes tripped by earlier
 	// queries are routed around without burning retries), half-open
@@ -146,10 +154,6 @@ var verifyEnv = sync.OnceValue(func() bool { return os.Getenv("PREF_VERIFY") != 
 
 // traceEnv caches the PREF_TRACE environment toggle.
 var traceEnv = sync.OnceValue(func() bool { return os.Getenv("PREF_TRACE") != "" })
-
-// partUnit computes one partition's slice of an operator: its output rows
-// plus the operator work (a row count) to charge to the executing node.
-type partUnit func(p int) (rows []value.Tuple, work int, err error)
 
 // executor walks the physical plan once per query.
 type executor struct {
@@ -176,6 +180,10 @@ type executor struct {
 	// hedgeOK gates the hedged fan-out path.
 	hedgeDelay time.Duration
 	hedgeOK    bool
+	// useVec selects the vectorized columnar path for vectorizable
+	// subtrees (see eval); off under ExecOptions.RowEngine or
+	// PREF_ROW_ENGINE.
+	useVec bool
 	// tb is the trace sink; nil when tracing is off. Its ops' mutators
 	// are nil-safe, so recording sites need no enabled-checks. Note the
 	// fault-schedule anchor opSeq is NOT shared with trace op ids:
@@ -279,6 +287,7 @@ func ExecuteCtx(ctx context.Context, rw *plan.Rewritten, pdb *table.PartitionedD
 	}
 	ex.stats.Probes = probes
 	ex.hedgeDelay, ex.hedgeOK = cl.HedgeDelay()
+	ex.useVec = !opt.RowEngine && !rowEnv()
 	if opt.Trace || traceEnv() {
 		ex.tb = trace.NewBuilder(pdb.N)
 	}
@@ -422,41 +431,6 @@ func (ex *executor) nextOp() int {
 	return op
 }
 
-// forEachPart runs one unit of work per partition concurrently under the
-// fault model and returns the per-partition outputs. The first node error
-// cancels the query context so no further work launches — here for the
-// remaining partitions, and in every downstream operator. Successful
-// units record their output, work, and wall time into top's per-node
-// cells (nil top: tracing off).
-func (ex *executor) forEachPart(top *trace.Op, fn partUnit) ([][]value.Tuple, error) {
-	op := ex.nextOp()
-	out := make([][]value.Tuple, ex.n)
-	errs := make([]error, ex.n)
-	var wg sync.WaitGroup
-	for p := 0; p < ex.n; p++ {
-		if err := ex.ctx.Err(); err != nil {
-			errs[p] = err // short-circuit: stop launching work
-			break
-		}
-		wg.Add(1)
-		go func(p int) {
-			defer wg.Done()
-			rows, err := ex.runPart(ex.ctx, top, op, p, fn)
-			if err != nil {
-				errs[p] = err
-				ex.cancel()
-				return
-			}
-			out[p] = rows
-		}(p)
-	}
-	wg.Wait()
-	if err := firstErr(errs); err != nil {
-		return nil, err
-	}
-	return out, nil
-}
-
 // addInputs charges each partition's consumed input rows to the node the
 // consuming unit executes on.
 //
@@ -509,67 +483,6 @@ func (ex *executor) stragglerDelay(op, node int) time.Duration {
 		return 0
 	}
 	return ex.inj.StragglerDelay(op, node)
-}
-
-// runUnit executes one work unit of partition p on node en under the
-// fault model: straggler delay, crash injection with jittered capped
-// exponential backoff, panic recovery, and cancellation checks between
-// attempts. Fault draws are keyed by the executing node, so work failed
-// over (or hedged) to another node inherits that node's fault behaviour.
-// Every attempt outcome is reported to the cluster health layer, and a
-// breaker that trips mid-query fails the unit fast instead of burning
-// the remaining retry budget against a node already judged down.
-func (ex *executor) runUnit(ctx context.Context, top *trace.Op, op, p, en int, fn partUnit) ([]value.Tuple, int, error) {
-	max := ex.inj.MaxAttempts()
-	for attempt := 0; ; attempt++ {
-		if err := ctx.Err(); err != nil {
-			return nil, 0, err
-		}
-		if d := ex.stragglerDelay(op, en); d > 0 {
-			if err := sleepCtx(ctx, d); err != nil {
-				return nil, 0, err
-			}
-		}
-		rows, work, err := callUnit(fn, p)
-		if err != nil {
-			return nil, 0, err // genuine operator error: retrying cannot help
-		}
-		if !ex.crashAttempt(op, en, attempt) {
-			ex.cl.ReportSuccess(en)
-			return rows, work, nil
-		}
-		ex.cl.ReportFailure(en)
-		// The attempt crashed after doing its work: the output is
-		// discarded, but the CPU it burned still occupied the node.
-		ex.mu.Lock()
-		ex.stats.Retries++
-		ex.stats.WastedRows += int64(work)
-		ex.work(en, work)
-		ex.mu.Unlock()
-		top.AddRetry(en, work)
-		top.AddWork(en, work)
-		if attempt+1 >= max {
-			return nil, 0, fmt.Errorf("engine: partition %d on node %d: %d crashed attempts: %w",
-				p, en, max, fault.ErrNodeFailed)
-		}
-		if !ex.cl.Allow(en) {
-			return nil, 0, fmt.Errorf("engine: partition %d on node %d: %w", p, en, cluster.ErrNodeTripped)
-		}
-		if err := sleepCtx(ctx, ex.inj.Backoff(op, en, attempt)); err != nil {
-			return nil, 0, err
-		}
-	}
-}
-
-// callUnit invokes fn, converting a goroutine panic into an error so one
-// bad partition fails the query instead of crashing the process.
-func callUnit(fn partUnit, p int) (rows []value.Tuple, work int, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("engine: partition %d: recovered panic: %v", p, r)
-		}
-	}()
-	return fn(p)
 }
 
 // sleepCtx sleeps d unless the context ends first.
@@ -625,6 +538,16 @@ func (ex *executor) shipBatch(top *trace.Op, op, src, rows, width int) error {
 }
 
 func (ex *executor) eval(n plan.Node) ([][]value.Tuple, error) {
+	// Vectorizable subtrees run on the columnar path and materialize rows
+	// exactly once, here — at the Result boundary or at the input of the
+	// first row-only operator (aggregation, top-k, distinct-by-value).
+	if ex.useVec && vectorizable(n) {
+		bs, err := ex.evalVec(n)
+		if err != nil {
+			return nil, err
+		}
+		return materializeParts(bs), nil
+	}
 	switch n := n.(type) {
 	case *plan.ScanNode:
 		return ex.evalScan(n)
@@ -695,7 +618,7 @@ func (ex *executor) evalScan(n *plan.ScanNode) ([][]value.Tuple, error) {
 			keep[p] = true
 		}
 	}
-	return ex.forEachPart(top, func(p int) ([]value.Tuple, int, error) {
+	return forEachPart(ex, top, func(p int) ([]value.Tuple, int, error) {
 		if keep != nil && !keep[p] {
 			return nil, 0, nil // pruned: the partition cannot contain matches
 		}
@@ -723,7 +646,7 @@ func (ex *executor) evalFilter(n *plan.FilterNode) ([][]value.Tuple, error) {
 	}
 	ex.addInputs(top, in)
 	sch := ex.rw.Schemas[n.Child]
-	return ex.forEachPart(top, func(p int) ([]value.Tuple, int, error) {
+	return forEachPart(ex, top, func(p int) ([]value.Tuple, int, error) {
 		pred, err := n.Pred.Bind(sch)
 		if err != nil {
 			return nil, 0, err
@@ -746,7 +669,7 @@ func (ex *executor) evalProject(n *plan.ProjectNode) ([][]value.Tuple, error) {
 	}
 	ex.addInputs(top, in)
 	sch := ex.rw.Schemas[n.Child]
-	return ex.forEachPart(top, func(p int) ([]value.Tuple, int, error) {
+	return forEachPart(ex, top, func(p int) ([]value.Tuple, int, error) {
 		fns := make([]func(value.Tuple) int64, len(n.Exprs))
 		for i, e := range n.Exprs {
 			f, err := e.Bind(sch)
@@ -807,7 +730,7 @@ func (ex *executor) evalDistinctPref(n *plan.DistinctPrefNode) ([][]value.Tuple,
 	}
 	ex.addInputs(top, in)
 	sch := ex.rw.Schemas[n.Child]
-	out, err := ex.forEachPart(top, func(p int) ([]value.Tuple, int, error) {
+	out, err := forEachPart(ex, top, func(p int) ([]value.Tuple, int, error) {
 		rows, err := dedupRows(in[p], sch, n.DupCols)
 		if err != nil {
 			return nil, 0, err
@@ -860,7 +783,7 @@ func (ex *executor) evalDistinctByValue(n *plan.DistinctByValueNode) ([][]value.
 			return nil, err
 		}
 	}
-	out, err := ex.forEachPart(top, func(p int) ([]value.Tuple, int, error) {
+	out, err := forEachPart(ex, top, func(p int) ([]value.Tuple, int, error) {
 		seen := make(map[value.Key]bool, len(shuffled[p]))
 		var rows []value.Tuple
 		for _, r := range shuffled[p] {
@@ -968,6 +891,10 @@ func (ex *executor) evalBroadcast(n *plan.BroadcastNode) ([][]value.Tuple, error
 	if n.OneCopy {
 		top.SetReadOne()
 	}
+	// Every partition shares one row slice; clamp its capacity so a
+	// downstream append through any one partition reallocates instead of
+	// scribbling over its siblings' (and the trailing hidden) elements.
+	all = all[:len(all):len(all)]
 	out := make([][]value.Tuple, ex.n)
 	for p := 0; p < ex.n; p++ {
 		out[p] = all
@@ -995,7 +922,9 @@ func (ex *executor) evalGather(n *plan.GatherNode) ([][]value.Tuple, error) {
 	if n.OneCopy {
 		top.SetReadOne()
 		top.AddIn(ex.execDst[0], len(in[0]))
-		out[0] = in[0]
+		// The child's partition 0 slice passes through; clamp so an append
+		// downstream cannot overwrite the child's backing array in place.
+		out[0] = in[0][:len(in[0]):len(in[0])]
 		ex.work(ex.execDst[0], len(in[0]))
 		top.AddWork(ex.execDst[0], len(in[0]))
 		top.AddOut(ex.execDst[0], len(in[0]))

@@ -403,7 +403,7 @@ func TestForEachPartShortCircuits(t *testing.T) {
 	defer ex.cancel()
 	boom := errors.New("boom")
 	var ran int32
-	_, err := ex.forEachPart(nil, func(p int) ([]value.Tuple, int, error) {
+	_, err := forEachPart(ex, nil, func(p int) ([]value.Tuple, int, error) {
 		atomic.AddInt32(&ran, 1)
 		if p == 1 {
 			return nil, 0, boom
@@ -414,7 +414,7 @@ func TestForEachPartShortCircuits(t *testing.T) {
 		t.Fatalf("err = %v, want the unit error (not context noise)", err)
 	}
 	var ranAfter int32
-	_, err = ex.forEachPart(nil, func(p int) ([]value.Tuple, int, error) {
+	_, err = forEachPart(ex, nil, func(p int) ([]value.Tuple, int, error) {
 		atomic.AddInt32(&ranAfter, 1)
 		return nil, 0, nil
 	})
@@ -431,7 +431,7 @@ func TestForEachPartShortCircuits(t *testing.T) {
 func TestPanicRecoveredToError(t *testing.T) {
 	ex := newTestExecutor(2)
 	defer ex.cancel()
-	_, err := ex.forEachPart(nil, func(p int) ([]value.Tuple, int, error) {
+	_, err := forEachPart(ex, nil, func(p int) ([]value.Tuple, int, error) {
 		if p == 1 {
 			panic("operator bug")
 		}

@@ -1,48 +1,26 @@
 package engine
 
-import (
-	"context"
-	"errors"
-	"sync"
-	"sync/atomic"
-	"time"
-
-	"pref/internal/trace"
-	"pref/internal/value"
-)
+import "errors"
 
 // Hedged execution for straggling partition units.
 //
 // A single slow node dominates a parallel operator's latency: every
 // partition must finish before the next operator starts, so the fan-out
 // runs at the speed of its slowest unit. When a cluster health layer is
-// attached and its hedge policy enabled, runPart races a speculative
-// duplicate against any unit that has run longer than the cluster's
-// quantile-priced delay: the duplicate runs the same partition's work on
-// the next surviving node (partUnit closures are pure functions of the
-// partition id, so either copy produces identical rows), the first
-// result wins, the loser is cancelled and its discarded output metered
-// as wasted hedge work in Stats and the trace.
+// attached and its hedge policy enabled, runPart (unit.go) races a
+// speculative duplicate against any unit that has run longer than the
+// cluster's quantile-priced delay: the duplicate runs the same partition's
+// work on the next surviving node (unit closures are pure functions of the
+// partition id, so either copy produces identical rows — in either the row
+// or the columnar representation), the first result wins, the loser is
+// cancelled and its discarded output metered as wasted hedge work in Stats
+// and the trace. The race machinery itself (runHedged, runAttempt) lives
+// in unit.go, generic over the unit payload.
 
 // errHedgeLost is the sentinel a hedge-race loser returns after the
 // winner's result was already taken. It never escapes runHedged: a loser
 // exists only when a winner has already returned the partition's rows.
 var errHedgeLost = errors.New("engine: lost hedge race")
-
-// runPart executes one partition's unit, hedging a speculative duplicate
-// onto a surviving peer when the cluster's hedge policy is on and a
-// candidate node exists.
-func (ex *executor) runPart(ctx context.Context, top *trace.Op, op, p int, fn partUnit) ([]value.Tuple, error) {
-	en := ex.execDst[p]
-	if !ex.hedgeOK {
-		return ex.runAttempt(ctx, top, op, p, en, false, nil, fn)
-	}
-	hn := ex.hedgeFor(en)
-	if hn < 0 {
-		return ex.runAttempt(ctx, top, op, p, en, false, nil, fn)
-	}
-	return ex.runHedged(ctx, top, op, p, en, hn, fn)
-}
 
 // hedgeFor picks the node a speculative duplicate of a unit on en runs
 // on: the next surviving node in ring order, or -1 when en is the only
@@ -54,110 +32,4 @@ func (ex *executor) hedgeFor(en int) int {
 		}
 	}
 	return -1
-}
-
-// runHedged races partition p's unit on its primary node en against a
-// speculative duplicate on hn, launched only if the primary is still
-// running after the cluster-priced hedge delay. First success wins and
-// cancels the sibling; the fan-out always joins before returning
-// (structured concurrency — losers unwind promptly because straggler
-// sleeps and backoffs are context-aware).
-func (ex *executor) runHedged(ctx context.Context, top *trace.Op, op, p, en, hn int, fn partUnit) ([]value.Tuple, error) {
-	hctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	type unitResult struct {
-		rows []value.Tuple
-		err  error
-	}
-	// Capacity 2: both racers can deliver without a reader, so the loser
-	// never blocks on send after the winner returned.
-	resc := make(chan unitResult, 2)
-	var won int32
-	var wg sync.WaitGroup
-	launch := func(node int, hedge bool) {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			rows, err := ex.runAttempt(hctx, top, op, p, node, hedge, &won, fn)
-			resc <- unitResult{rows, err}
-		}()
-	}
-	launch(en, false)
-	timer := time.NewTimer(ex.hedgeDelay)
-	defer timer.Stop()
-	outstanding, hedged := 1, false
-	var errs []error
-	var rows []value.Tuple
-	var rerr error
-race:
-	for {
-		select {
-		case <-timer.C:
-			if !hedged && atomic.LoadInt32(&won) == 0 && hctx.Err() == nil {
-				hedged = true
-				ex.mu.Lock()
-				ex.stats.Hedges++
-				ex.mu.Unlock()
-				top.AddHedge(hn)
-				launch(hn, true)
-				outstanding++
-			}
-		case r := <-resc:
-			outstanding--
-			if r.err == nil {
-				cancel() // first result wins: unwind the sibling
-				rows = r.rows
-				break race
-			}
-			errs = append(errs, r.err)
-			if outstanding == 0 {
-				rerr = firstErr(errs)
-				break race
-			}
-		}
-	}
-	wg.Wait()
-	return rows, rerr
-}
-
-// runAttempt runs one unit attempt-chain of partition p on node en and
-// meters its outcome. won is the hedge-race flag (nil outside a race):
-// exactly one racer claims it and meters output; a racer that succeeds
-// after the claim is the loser — its rows are discarded but the CPU they
-// cost is charged to the node and metered as wasted hedge work.
-func (ex *executor) runAttempt(ctx context.Context, top *trace.Op, op, p, en int, hedge bool, won *int32, fn partUnit) ([]value.Tuple, error) {
-	start := time.Now()
-	rows, work, err := ex.runUnit(ctx, top, op, p, en, fn)
-	elapsed := time.Since(start)
-	top.AddWall(en, elapsed)
-	if err != nil {
-		return nil, err
-	}
-	if won != nil && !atomic.CompareAndSwapInt32(won, 0, 1) {
-		ex.mu.Lock()
-		ex.stats.HedgeWastedRows += int64(work)
-		ex.work(en, work)
-		ex.mu.Unlock()
-		top.AddHedgeWaste(en, work)
-		top.AddWork(en, work)
-		return nil, errHedgeLost
-	}
-	ex.cl.ObserveUnit(elapsed)
-	top.AddOut(en, len(rows))
-	top.AddWork(en, work)
-	ex.mu.Lock()
-	switch {
-	case hedge:
-		ex.stats.HedgeWins++
-	case en != p:
-		ex.stats.Failovers++
-	}
-	ex.work(en, work)
-	ex.mu.Unlock()
-	if hedge {
-		top.AddHedgeWin(en)
-	} else if en != p {
-		top.AddFailover(en)
-	}
-	return rows, nil
 }

@@ -34,7 +34,7 @@ func (ex *executor) evalJoin(n *plan.JoinNode) ([][]value.Tuple, error) {
 		return nil, err
 	}
 
-	return ex.forEachPart(top, func(p int) ([]value.Tuple, int, error) {
+	return forEachPart(ex, top, func(p int) ([]value.Tuple, int, error) {
 		var residual func(value.Tuple) bool
 		if n.Residual != nil {
 			f, err := n.Residual.Bind(both)

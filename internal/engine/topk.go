@@ -70,7 +70,7 @@ func (ex *executor) evalTopK(n *plan.TopKNode) ([][]value.Tuple, error) {
 		return false
 	}
 
-	return ex.forEachPart(top, func(p int) ([]value.Tuple, int, error) {
+	return forEachPart(ex, top, func(p int) ([]value.Tuple, int, error) {
 		rows := append([]value.Tuple(nil), in[p]...)
 		sort.Slice(rows, func(i, j int) bool { return less(rows[i], rows[j]) })
 		if n.Limit > 0 && len(rows) > n.Limit {

@@ -1,0 +1,709 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"pref/internal/batch"
+	"pref/internal/plan"
+	"pref/internal/trace"
+	"pref/internal/value"
+)
+
+// Vectorized execution.
+//
+// evalVec mirrors eval over columnar batches: scans hand out zero-copy
+// views of the table's cached per-column projection, and filter, project,
+// join and the exchange operators process ~1k-row batches with selection
+// vectors instead of materializing []value.Tuple per operator. The mirror
+// is exact where it matters for reproducibility:
+//
+//   - Operator ids: every vectorized operator consumes nextOp() in the
+//     same order as its row twin, so injected fault schedules (keyed on
+//     operator id, node, attempt) are identical under either engine.
+//   - Metering: every AddIn/AddOut/AddWork/AddShip/AddDedup charge and
+//     every Stats field carries the same row counts, so traces verify
+//     against the same conservation laws and benchmarks stay comparable.
+//   - Row order: batches preserve storage order, exchanges append in
+//     (source, row) order like the row engine, so order-sensitive float
+//     accumulation downstream sees identical input sequences and results
+//     are byte-equal.
+//
+// Operators without a columnar win (aggregation's hash groups, top-k's
+// sort, distinct-by-value's shuffle dedup) stay row-based: eval's
+// dispatcher materializes the vectorized subtree below them exactly once
+// (the row shim), and the row operator proceeds unchanged. A fully
+// vectorizable plan materializes only at the Result boundary.
+//
+// Batch ownership follows the batch package's rule: operators never write
+// through a batch they received — filters narrow with fresh selection
+// vectors, projections and exchanges write into fresh batches — so scans
+// can safely share storage-backed vectors across concurrent queries and
+// broadcast can share one batch list across all partitions.
+
+// rowEnv caches the PREF_ROW_ENGINE toggle: set non-empty to force the
+// row-at-a-time reference engine process-wide.
+var rowEnv = sync.OnceValue(func() bool { return os.Getenv("PREF_ROW_ENGINE") != "" })
+
+// vparts is the vectorized analogue of [][]value.Tuple: per partition, an
+// ordered list of batches.
+type vparts = [][]*batch.Batch
+
+// vectorizable reports whether the whole subtree under n executes on the
+// columnar path. One non-vectorizable operator anywhere forces its subtree
+// to materialize at that operator's input instead.
+func vectorizable(n plan.Node) bool {
+	switch n := n.(type) {
+	case *plan.ScanNode:
+		return true
+	case *plan.FilterNode:
+		return vectorizable(n.Child)
+	case *plan.ProjectNode:
+		return vectorizable(n.Child)
+	case *plan.JoinNode:
+		return vectorizable(n.Left) && vectorizable(n.Right)
+	case *plan.RepartitionNode:
+		return vectorizable(n.Child)
+	case *plan.BroadcastNode:
+		return vectorizable(n.Child)
+	case *plan.GatherNode:
+		return vectorizable(n.Child)
+	case *plan.DistinctPrefNode:
+		return vectorizable(n.Child)
+	default:
+		return false
+	}
+}
+
+// materializeParts is the row shim: it converts per-partition batch lists
+// to the row representation at the vectorized/row frontier (and at the
+// Result boundary) — partition p's batches become partition p's rows, so
+// no rows move and nothing is metered; the row engine has no equivalent
+// step.
+func materializeParts(in vparts) [][]value.Tuple {
+	out := make([][]value.Tuple, 0, len(in))
+	for _, bs := range in {
+		out = append(out, batch.AppendRows(nil, bs))
+	}
+	// The batches are dead past this point — recycle pooled columns into
+	// the arena. Release only after every partition is converted: broadcast
+	// and one-copy gather share *Batch pointers across partitions, and
+	// Release is idempotent per header (each pooled column has exactly one
+	// pooled owner), so the sweep is safe on shared lists. View batches
+	// over table storage are a no-op.
+	for _, bs := range in {
+		batch.ReleaseAll(bs)
+	}
+	return out
+}
+
+// releaseParts recycles the pooled batches of a consumed input after the
+// operator's partition barrier. Only operators whose output is entirely
+// fresh writer batches (join, project, repartition) may call it: their
+// outputs never alias input columns, the plan is a tree so each node's
+// output has exactly one consumer, and forEachPart joins every goroutine
+// (including hedge losers) before returning, so no concurrent reader
+// remains. Broadcast and one-copy gather share *Batch pointers across
+// partitions; Release is idempotent per header, so the sweep is still
+// single-shot on shared lists. View batches over storage are a no-op.
+func releaseParts(in vparts) {
+	for _, bs := range in {
+		batch.ReleaseAll(bs)
+	}
+}
+
+// addInputsVec charges each partition's consumed input rows to the node
+// the consuming unit executes on, like addInputs for the row path.
+//
+// lint:ship-boundary trace metering sweep: charges each partition's input
+// rows to the node executing it, on the query goroutine.
+func (ex *executor) addInputsVec(top *trace.Op, in vparts) {
+	if top == nil {
+		return
+	}
+	for p, bs := range in {
+		top.AddIn(ex.execDst[p], batch.Rows(bs))
+	}
+}
+
+func (ex *executor) evalVec(n plan.Node) (vparts, error) {
+	switch n := n.(type) {
+	case *plan.ScanNode:
+		return ex.evalScanVec(n)
+	case *plan.FilterNode:
+		return ex.evalFilterVec(n)
+	case *plan.ProjectNode:
+		return ex.evalProjectVec(n)
+	case *plan.JoinNode:
+		return ex.evalJoinVec(n)
+	case *plan.RepartitionNode:
+		return ex.evalRepartitionVec(n)
+	case *plan.BroadcastNode:
+		return ex.evalBroadcastVec(n)
+	case *plan.GatherNode:
+		return ex.evalGatherVec(n)
+	case *plan.DistinctPrefNode:
+		return ex.evalDistinctPrefVec(n)
+	default:
+		return nil, fmt.Errorf("engine: node %T is not vectorizable", n)
+	}
+}
+
+func (ex *executor) evalScanVec(n *plan.ScanNode) (vparts, error) {
+	top := ex.tb.Begin(n, trace.KindScan)
+	pt, ok := ex.pdb.Tables[n.Table]
+	if !ok {
+		return nil, fmt.Errorf("engine: table %s not in partitioned database", n.Table)
+	}
+	sch := ex.rw.Schemas[n]
+	parts := ex.partsOf(pt, n.Table)
+	width := pt.Meta.NumCols()
+	withIndexes := len(sch) == width+2
+	var keep map[int]bool
+	if n.Prune != nil {
+		keep = make(map[int]bool, len(n.Prune))
+		for _, p := range n.Prune {
+			keep[p] = true
+		}
+	}
+	return forEachPart(ex, top, func(p int) ([]*batch.Batch, int, error) {
+		if keep != nil && !keep[p] {
+			return nil, 0, nil // pruned: the partition cannot contain matches
+		}
+		if ex.down[p] {
+			// Rare path: reconstruct the lost partition's scan output via
+			// the row-based recovery machinery (identical metering), then
+			// lift the rows into batches.
+			rows, err := ex.recoverScan(top, pt, parts, p, withIndexes, len(sch))
+			if err != nil {
+				return nil, 0, err
+			}
+			return batch.FromRows(rows, len(sch)), len(rows), nil
+		}
+		// Zero-copy: chunked views over the partition's cached columnar
+		// projection (built once per published epoch, shared by queries).
+		proj := parts[p].Columns(width)
+		cols := proj.Cols
+		if !withIndexes {
+			cols = cols[:width]
+		}
+		return batch.Chunks(cols), proj.NRows, nil
+	})
+}
+
+func (ex *executor) evalFilterVec(n *plan.FilterNode) (vparts, error) {
+	top := ex.tb.Begin(n, trace.KindFilter)
+	in, err := ex.evalVec(n.Child)
+	if err != nil {
+		return nil, err
+	}
+	ex.addInputsVec(top, in)
+	vp, err := plan.CompilePred(n.Pred, ex.rw.Schemas[n.Child])
+	if err != nil {
+		return nil, err
+	}
+	return forEachPart(ex, top, func(p int) ([]*batch.Batch, int, error) {
+		var out []*batch.Batch
+		kept := 0
+		for _, b := range in[p] {
+			fb := batch.Filter(b, vp)
+			if fb.Len() > 0 {
+				out = append(out, fb)
+				kept += fb.Len()
+			}
+		}
+		return out, kept, nil
+	})
+}
+
+func (ex *executor) evalProjectVec(n *plan.ProjectNode) (vparts, error) {
+	top := ex.tb.Begin(n, trace.KindProject)
+	in, err := ex.evalVec(n.Child)
+	if err != nil {
+		return nil, err
+	}
+	ex.addInputsVec(top, in)
+	sch := ex.rw.Schemas[n.Child]
+	exprs := make([]*plan.VExpr, len(n.Exprs))
+	for i, e := range n.Exprs {
+		ve, err := plan.CompileExpr(e, sch)
+		if err != nil {
+			return nil, err
+		}
+		exprs[i] = ve
+	}
+	out, err := forEachPart(ex, top, func(p int) ([]*batch.Batch, int, error) {
+		out := make([]*batch.Batch, 0, len(in[p]))
+		rows := 0
+		for _, b := range in[p] {
+			pb := batch.Project(b, exprs)
+			out = append(out, pb)
+			rows += pb.Len()
+		}
+		return out, rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	releaseParts(in) // projection output is fresh: input batches are dead
+	return out, nil
+}
+
+func (ex *executor) evalJoinVec(n *plan.JoinNode) (vparts, error) {
+	top := ex.tb.Begin(n, trace.KindJoin)
+	left, err := ex.evalVec(n.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := ex.evalVec(n.Right)
+	if err != nil {
+		return nil, err
+	}
+	ex.addInputsVec(top, left)
+	ex.addInputsVec(top, right)
+	ls := ex.rw.Schemas[n.Left]
+	rs := ex.rw.Schemas[n.Right]
+
+	lIdx, err := ls.Indexes(n.LeftCols)
+	if err != nil {
+		return nil, err
+	}
+	rIdx, err := rs.Indexes(n.RightCols)
+	if err != nil {
+		return nil, err
+	}
+	var residual *plan.VPred
+	if n.Residual != nil {
+		residual, err = plan.CompilePred(n.Residual, ls.Concat(rs))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Single-column equi-joins (the PREF-chain shape: custkey, orderkey)
+	// build an int64-keyed chain table — no per-row key strings at all.
+	singleKey := len(rIdx) == 1 && len(lIdx) == 1
+
+	out, err := forEachPart(ex, top, func(p int) ([]*batch.Batch, int, error) {
+		nl, nr := batch.Rows(left[p]), batch.Rows(right[p])
+		// Compact the build side once so candidate lists are single int32
+		// row ids instead of (batch, row) pairs.
+		rflat := batch.Flatten(right[p], len(rs))
+
+		// Build side. The chain table links equal-key right rows in row
+		// order (forward walks visit rows ascending — the candidate order
+		// the row engine's append-built lists give).
+		var tab *batch.Int64Table
+		var build map[value.Key][]int32
+		var kb *batch.KeyBuf
+		if len(n.RightCols) > 0 {
+			if singleKey {
+				tab = batch.BuildInt64Table(rflat.Cols[rIdx[0]])
+			} else {
+				kb = batch.NewKeyBuf(len(rIdx))
+				build = make(map[value.Key][]int32, nr)
+				for i := 0; i < nr; i++ {
+					kb.Encode(rflat, i, rIdx)
+					if ids, ok := kb.Probe(build); ok {
+						build[kb.Key()] = append(ids, int32(i))
+					} else {
+						build[kb.Key()] = []int32{int32(i)}
+					}
+				}
+			}
+		}
+		var all []int32
+		if len(n.RightCols) == 0 {
+			all = make([]int32, nr)
+			for i := range all {
+				all[i] = int32(i)
+			}
+		}
+
+		outWidth := len(ls) + len(rs)
+		if n.Type == plan.Semi || n.Type == plan.Anti {
+			outWidth = len(ls)
+		}
+		w := batch.NewWriter(outWidth)
+		pair := make([]int64, len(ls)+len(rs))
+		var scratch []int64
+		if residual != nil {
+			if sn := residual.MaxFuncArgs(); sn > 0 {
+				scratch = make([]int64, sn)
+			}
+		}
+		// Per-batch pair buffers: physical left/right row ids of every
+		// emitted row, gathered column-wise in one pass at batch end.
+		var liBuf, riBuf, cand []int32
+		for _, lb := range left[p] {
+			bn := lb.Len()
+			liBuf, riBuf = liBuf[:0], riBuf[:0]
+			var lkey []int64
+			if singleKey {
+				lkey = lb.Cols[lIdx[0]]
+			}
+			if singleKey && residual == nil && n.Type == plan.Inner {
+				// Fused probe+emit for the dominant shape: walk the chain
+				// straight into the pair buffers, no candidate staging.
+				if lb.Sel == nil {
+					for i := 0; i < bn; i++ {
+						for ri, ok := tab.Head(lkey[i]); ok; ri, ok = tab.Next(ri) {
+							liBuf = append(liBuf, int32(i))
+							riBuf = append(riBuf, ri)
+						}
+					}
+				} else {
+					for _, lphys := range lb.Sel {
+						for ri, ok := tab.Head(lkey[lphys]); ok; ri, ok = tab.Next(ri) {
+							liBuf = append(liBuf, lphys)
+							riBuf = append(riBuf, ri)
+						}
+					}
+				}
+				w.AppendPairs(lb, liBuf, rflat, riBuf, plan.Null)
+				continue
+			}
+			for i := 0; i < bn; i++ {
+				lphys := i
+				if lb.Sel != nil {
+					lphys = int(lb.Sel[i])
+				}
+				// cand collects the probe's residual-surviving matches.
+				cand = cand[:0]
+				if singleKey {
+					ri, ok := tab.Head(lkey[lphys])
+					for ; ok; ri, ok = tab.Next(ri) {
+						cand = append(cand, ri)
+					}
+				} else if len(n.RightCols) > 0 {
+					kb.Encode(lb, i, lIdx)
+					ids, _ := kb.Probe(build)
+					cand = append(cand, ids...)
+				} else {
+					cand = append(cand, all...) // cross/theta join
+				}
+				if residual != nil && len(cand) > 0 {
+					lb.Row(i, pair[:len(ls)])
+					kept := cand[:0]
+					for _, ri := range cand {
+						for c := range rs {
+							pair[len(ls)+c] = rflat.Cols[c][ri]
+						}
+						if residual.EvalRow(pair, scratch) {
+							kept = append(kept, ri)
+						}
+					}
+					cand = kept
+				}
+				switch n.Type {
+				case plan.Inner:
+					for _, ri := range cand {
+						liBuf = append(liBuf, int32(lphys))
+						riBuf = append(riBuf, ri)
+					}
+				case plan.LeftOuter:
+					if len(cand) == 0 {
+						liBuf = append(liBuf, int32(lphys))
+						riBuf = append(riBuf, -1)
+					} else {
+						for _, ri := range cand {
+							liBuf = append(liBuf, int32(lphys))
+							riBuf = append(riBuf, ri)
+						}
+					}
+				case plan.Semi:
+					if len(cand) > 0 {
+						liBuf = append(liBuf, int32(lphys))
+					}
+				case plan.Anti:
+					if len(cand) == 0 {
+						liBuf = append(liBuf, int32(lphys))
+					}
+				}
+			}
+			if n.Type == plan.Semi || n.Type == plan.Anti {
+				w.AppendGather(lb, liBuf)
+			} else {
+				w.AppendPairs(lb, liBuf, rflat, riBuf, plan.Null)
+			}
+		}
+		out := w.Finish()
+		// Join work: building the hash table, probing it, and emitting
+		// output rows — the row engine's formula over the same counts.
+		work := nr + nl + batch.Rows(out)
+		if ex.opt.CacheRows > 0 && nr > ex.opt.CacheRows {
+			work += int(float64(nl) * (ex.opt.MissFactor - 1))
+		}
+		return out, work, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	releaseParts(left) // join emit is fresh: both inputs are dead
+	releaseParts(right)
+	return out, nil
+}
+
+// dedupVec applies the disjunctive dup=0 filter (see dedupRows) over a
+// batch list, returning the surviving batches and row count. Null dup
+// flags (outer-join null extension) are kept, exactly like the row path.
+func dedupVec(bs []*batch.Batch, dupIdx []int) ([]*batch.Batch, int) {
+	if len(dupIdx) == 0 {
+		return bs, batch.Rows(bs)
+	}
+	out := make([]*batch.Batch, 0, len(bs))
+	kept := 0
+	for _, b := range bs {
+		bn := b.Len()
+		sel := make([]int32, 0, bn)
+		for i := 0; i < bn; i++ {
+			phys := i
+			if b.Sel != nil {
+				phys = int(b.Sel[i])
+			}
+			for _, j := range dupIdx {
+				if v := b.Cols[j][phys]; v == 0 || v == plan.Null {
+					sel = append(sel, int32(phys))
+					break
+				}
+			}
+		}
+		if len(sel) > 0 {
+			out = append(out, b.WithSel(sel))
+			kept += len(sel)
+		}
+	}
+	return out, kept
+}
+
+// evalDistinctPrefVec drops PREF-duplicate rows partition-locally on the
+// columnar path.
+//
+// lint:ship-boundary exchange operator: sweeps per-partition outputs on the
+// query goroutine to charge dedup hits; no rows move, nothing is metered.
+func (ex *executor) evalDistinctPrefVec(n *plan.DistinctPrefNode) (vparts, error) {
+	top := ex.tb.Begin(n, trace.KindDistinctPref)
+	in, err := ex.evalVec(n.Child)
+	if err != nil {
+		return nil, err
+	}
+	ex.addInputsVec(top, in)
+	sch := ex.rw.Schemas[n.Child]
+	var dupIdx []int
+	if len(n.DupCols) > 0 {
+		dupIdx, err = sch.Indexes(n.DupCols)
+		if err != nil {
+			return nil, err
+		}
+	}
+	out, err := forEachPart(ex, top, func(p int) ([]*batch.Batch, int, error) {
+		bs, kept := dedupVec(in[p], dupIdx)
+		return bs, kept, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Dedup hits are derived after the fan-out so crash-retried attempts
+	// cannot double-count them.
+	for p := range out {
+		top.AddDedup(ex.execDst[p], batch.Rows(in[p])-batch.Rows(out[p]))
+	}
+	return out, nil
+}
+
+// evalRepartitionVec hash-partitions batch rows onto their owner
+// partitions, mirroring evalRepartition charge for charge.
+//
+// lint:ship-boundary exchange operator: scatters rows across partitions and
+// meters every boundary crossing via shipBatch.
+func (ex *executor) evalRepartitionVec(n *plan.RepartitionNode) (vparts, error) {
+	top := ex.tb.Begin(n, trace.KindRepartition)
+	in, err := ex.evalVec(n.Child)
+	if err != nil {
+		return nil, err
+	}
+	sch := ex.rw.Schemas[n.Child]
+	idx, err := sch.Indexes(n.Cols)
+	if err != nil {
+		return nil, err
+	}
+	var dupIdx []int
+	if len(n.DupCols) > 0 {
+		dupIdx, err = sch.Indexes(n.DupCols)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ex.stats.Repartitions++
+	op := ex.nextOp()
+	start := time.Now()
+	writers := make([]*batch.Writer, ex.n)
+	for dst := range writers {
+		writers[dst] = batch.NewWriter(len(sch))
+	}
+	for src := 0; src < ex.n; src++ {
+		if n.OneCopy && src != 0 {
+			continue
+		}
+		top.AddIn(ex.execDst[src], batch.Rows(in[src]))
+		bs, kept := dedupVec(in[src], dupIdx)
+		top.AddDedup(ex.execDst[src], batch.Rows(in[src])-kept)
+		cross := 0
+		for _, b := range bs {
+			bn := b.Len()
+			for i := 0; i < bn; i++ {
+				dst := int(batch.HashRow(b, i, idx) % uint64(ex.n))
+				if dst != src {
+					cross++
+				}
+				writers[dst].AppendFrom(b, i)
+			}
+		}
+		if err := ex.shipBatch(top, op, src, cross, len(sch)); err != nil {
+			return nil, err
+		}
+	}
+	if n.OneCopy {
+		top.SetReadOne()
+	}
+	out := make(vparts, ex.n)
+	for dst := 0; dst < ex.n; dst++ {
+		out[dst] = writers[dst].Finish()
+		rows := batch.Rows(out[dst])
+		ex.work(ex.execDst[dst], rows)
+		top.AddWork(ex.execDst[dst], rows)
+		top.AddOut(ex.execDst[dst], rows)
+	}
+	top.AddWall(ex.execDst[0], time.Since(start))
+	releaseParts(in) // scatter output is fresh: input batches are dead
+	return out, nil
+}
+
+// evalBroadcastVec replicates the full input to every partition. The
+// batch lists are shared across partitions zero-copy — batches are
+// immutable once handed off, so sharing is safe where the row engine had
+// to guard its shared slice.
+//
+// lint:ship-boundary exchange operator: copies rows to all partitions and
+// meters the n-1 remote copies via shipBatch.
+func (ex *executor) evalBroadcastVec(n *plan.BroadcastNode) (vparts, error) {
+	top := ex.tb.Begin(n, trace.KindBroadcast)
+	in, err := ex.evalVec(n.Child)
+	if err != nil {
+		return nil, err
+	}
+	sch := ex.rw.Schemas[n.Child]
+	var dupIdx []int
+	if len(n.DupCols) > 0 {
+		dupIdx, err = sch.Indexes(n.DupCols)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ex.stats.Broadcasts++
+	op := ex.nextOp()
+	start := time.Now()
+	var all []*batch.Batch
+	for src := 0; src < ex.n; src++ {
+		if n.OneCopy && src != 0 {
+			continue
+		}
+		top.AddIn(ex.execDst[src], batch.Rows(in[src]))
+		bs, kept := dedupVec(in[src], dupIdx)
+		top.AddDedup(ex.execDst[src], batch.Rows(in[src])-kept)
+		// Each row is shipped to every other node.
+		if err := ex.shipBatch(top, op, src, kept*(ex.n-1), len(sch)); err != nil {
+			return nil, err
+		}
+		all = append(all, bs...)
+	}
+	if n.OneCopy {
+		top.SetReadOne()
+	}
+	total := batch.Rows(all)
+	// Same hazard as the row engine's shared broadcast slice: clamp the
+	// shared batch list so a downstream append through one partition's
+	// slot cannot overwrite its siblings'.
+	all = all[:len(all):len(all)]
+	out := make(vparts, ex.n)
+	for p := 0; p < ex.n; p++ {
+		out[p] = all
+		ex.work(ex.execDst[p], total)
+		top.AddWork(ex.execDst[p], total)
+		top.AddOut(ex.execDst[p], total)
+	}
+	top.AddWall(ex.execDst[0], time.Since(start))
+	return out, nil
+}
+
+// evalGatherVec concentrates all partitions' batches on the coordinator.
+//
+// lint:ship-boundary exchange operator: drains every partition to slot 0 and
+// meters the remote partitions' rows via shipBatch.
+func (ex *executor) evalGatherVec(n *plan.GatherNode) (vparts, error) {
+	top := ex.tb.Begin(n, trace.KindGather)
+	in, err := ex.evalVec(n.Child)
+	if err != nil {
+		return nil, err
+	}
+	sch := ex.rw.Schemas[n.Child]
+	start := time.Now()
+	out := make(vparts, ex.n)
+	if n.OneCopy {
+		top.SetReadOne()
+		rows := batch.Rows(in[0])
+		top.AddIn(ex.execDst[0], rows)
+		out[0] = in[0][:len(in[0]):len(in[0])]
+		ex.work(ex.execDst[0], rows)
+		top.AddWork(ex.execDst[0], rows)
+		top.AddOut(ex.execDst[0], rows)
+		top.AddWall(ex.execDst[0], time.Since(start))
+		return out, nil
+	}
+	op := ex.nextOp()
+	var bs []*batch.Batch
+	total, nbatch, sparse := 0, 0, false
+	for p := 0; p < ex.n; p++ {
+		rows := batch.Rows(in[p])
+		top.AddIn(ex.execDst[p], rows)
+		if p != 0 {
+			if err := ex.shipBatch(top, op, p, rows, len(sch)); err != nil {
+				return nil, err
+			}
+		}
+		for _, b := range in[p] {
+			if b.Sel != nil {
+				sparse = true
+			}
+		}
+		nbatch += len(in[p])
+		total += rows
+	}
+	// Shipped rows arrive materialized: compact when the inputs are
+	// selection-vector views or badly fragmented, so downstream work (and
+	// the row shim at the Result boundary) sees a few dense batches
+	// instead of hundreds of mostly-empty windows. Dense well-packed
+	// inputs concatenate zero-copy.
+	if sparse || nbatch > 2*(total/batch.Size+1) {
+		w := batch.NewWriter(len(sch))
+		for p := 0; p < ex.n; p++ {
+			for _, b := range in[p] {
+				w.AppendBatch(b)
+			}
+		}
+		out[0] = w.Finish()
+		releaseParts(in) // compaction is fresh: input batches are dead
+	} else {
+		for p := 0; p < ex.n; p++ {
+			bs = append(bs, in[p]...)
+		}
+		out[0] = bs
+	}
+	ex.work(ex.execDst[0], total)
+	top.AddWork(ex.execDst[0], total)
+	top.AddOut(ex.execDst[0], total)
+	top.AddWall(ex.execDst[0], time.Since(start))
+	return out, nil
+}

@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// BatchOwnership statically pins the columnar engine's batch-ownership
+// rule (see package batch): a batch's columns and selection vector may be
+// shared zero-copy with table storage and with every downstream operator,
+// so the only code allowed to write through a Batch is the batch package
+// itself (its Writer, kernels, and pool own the backing arrays they hand
+// out). Everywhere else, a filter narrows by allocating a fresh selection
+// vector and a projection writes into a new batch — any assignment through
+// batch-reachable state (b.Sel = …, b.Cols[c] = …, b.Cols[c][i] = …)
+// outside the batch package is a latent aliasing bug: it would rewrite
+// rows under a concurrent query sharing the same storage view, or under a
+// retried/hedged attempt replaying the same input.
+var BatchOwnership = &Analyzer{
+	Name: "batchownership",
+	Doc:  "only the batch package may write through a Batch; operators narrow with fresh selection vectors or write into new batches",
+	Run:  runBatchOwnership,
+}
+
+// batchPkgSuffix identifies the owning package by import path, so the rule
+// exempts it (and applies to every other package in the module).
+const batchPkgSuffix = "internal/batch"
+
+func runBatchOwnership(p *Pass) error {
+	if strings.HasSuffix(p.Pkg.Path(), batchPkgSuffix) {
+		return nil // the batch package owns its internals
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					checkBatchWrite(p, n, lhs)
+				}
+			case *ast.IncDecStmt:
+				checkBatchWrite(p, n, n.X)
+			case *ast.UnaryExpr:
+				// &b.Cols[c] escapes a mutable reference to shared state;
+				// treat taking the address of batch internals as a write.
+				if n.Op.String() == "&" {
+					checkBatchWrite(p, n, n.X)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBatchWrite reports when the written expression reaches its target
+// through a Batch: the LHS chain (selectors, indexes, derefs) contains a
+// strict sub-expression of type batch.Batch or *batch.Batch. Rebinding a
+// batch variable itself (b = …) is fine — that writes the variable, not
+// the shared arrays behind it.
+func checkBatchWrite(p *Pass, at ast.Node, lhs ast.Expr) {
+	for {
+		var x ast.Expr
+		switch e := lhs.(type) {
+		case *ast.SelectorExpr:
+			x = e.X
+		case *ast.IndexExpr:
+			x = e.X
+		case *ast.StarExpr:
+			x = e.X
+		case *ast.ParenExpr:
+			lhs = e.X
+			continue
+		default:
+			return
+		}
+		if isBatchType(exprType(p, x)) {
+			p.Report(at, "write through batch %s violates batch ownership; narrow with a fresh selection vector or write into a new batch (see package batch)",
+				batchExprString(x))
+			return
+		}
+		lhs = x
+	}
+}
+
+// batchExprString renders the batch-typed expression for diagnostics,
+// including simple index chains (bs[0], w.cur).
+func batchExprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return batchExprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return batchExprString(e.X)
+	case *ast.StarExpr:
+		return batchExprString(e.X)
+	case *ast.IndexExpr:
+		if idx, ok := e.Index.(*ast.BasicLit); ok {
+			return batchExprString(e.X) + "[" + idx.Value + "]"
+		}
+		if idx, ok := e.Index.(*ast.Ident); ok {
+			return batchExprString(e.X) + "[" + idx.Name + "]"
+		}
+		return batchExprString(e.X) + "[...]"
+	}
+	return "it"
+}
+
+// isBatchType reports whether t is batch.Batch or a pointer to it.
+func isBatchType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Batch" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), batchPkgSuffix)
+}

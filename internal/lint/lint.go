@@ -23,6 +23,9 @@
 //   - partownership: per-partition state may only be indexed by the
 //     owning partition's id; cross-partition access lives only in
 //     functions declared "// lint:ship-boundary".
+//   - batchownership: columnar batches are immutable outside the batch
+//     package; operators narrow with fresh selection vectors or write
+//     into new batches, never through a batch they received.
 //   - atomicdiscipline: a struct field accessed through sync/atomic
 //     anywhere must be accessed atomically everywhere.
 //   - goroutinescope: every goroutine in the execution packages joins a
@@ -117,7 +120,7 @@ type Analyzer struct {
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		InvariantPanic, CtxThread, PropAlias,
-		PartOwnership, AtomicDiscipline, GoroutineScope, ShipAccounting,
+		PartOwnership, BatchOwnership, AtomicDiscipline, GoroutineScope, ShipAccounting,
 		PublishOrder, SnapshotDiscipline, IntentProtocol, HappensBefore,
 	}
 }

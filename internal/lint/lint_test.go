@@ -108,6 +108,7 @@ func TestPartOwnershipFixtures(t *testing.T)    { runWantDir(t, PartOwnership) }
 func TestAtomicDisciplineFixtures(t *testing.T) { runWantDir(t, AtomicDiscipline) }
 func TestGoroutineScopeFixtures(t *testing.T)   { runWantDir(t, GoroutineScope) }
 func TestShipAccountingFixtures(t *testing.T)   { runWantDir(t, ShipAccounting) }
+func TestBatchOwnershipFixtures(t *testing.T)   { runWantDir(t, BatchOwnership) }
 
 func TestInvariantPanicFixtures(t *testing.T) {
 	const src = `package engine

@@ -1,0 +1,122 @@
+package plan
+
+import (
+	"math/rand"
+	"testing"
+
+	"pref/internal/value"
+)
+
+// randTuple fills a tuple with values drawn from a small domain that makes
+// comparisons and IN hits likely, with occasional NULLs.
+func randTuple(rng *rand.Rand, width int) value.Tuple {
+	t := make(value.Tuple, width)
+	for i := range t {
+		switch rng.Intn(10) {
+		case 0:
+			t[i] = Null
+		default:
+			t[i] = int64(rng.Intn(7) - 3)
+		}
+	}
+	return t
+}
+
+// TestCompiledPredMatchesBind drives random predicates over random tuples
+// and asserts the compiled IR agrees with the Bind closure row for row.
+func TestCompiledPredMatchesBind(t *testing.T) {
+	sch := Schema{{Name: "a", Kind: value.Int}, {Name: "b", Kind: value.Int}, {Name: "c", Kind: value.Money}}
+	rng := rand.New(rand.NewSource(7))
+
+	var genPred func(depth int) BoolExpr
+	genExpr := func() ValExpr {
+		switch rng.Intn(3) {
+		case 0:
+			return Col([]string{"a", "b", "c"}[rng.Intn(3)])
+		case 1:
+			return Lit(int64(rng.Intn(7) - 3))
+		default:
+			return F("ab", value.Int, []string{"a", "b"}, func(v []int64) int64 { return v[0] + v[1] })
+		}
+	}
+	genPred = func(depth int) BoolExpr {
+		if depth <= 0 {
+			return Cmp(genExpr(), CmpOp(rng.Intn(6)), genExpr())
+		}
+		switch rng.Intn(5) {
+		case 0:
+			return And(genPred(depth-1), genPred(depth-1))
+		case 1:
+			return Or(genPred(depth-1), genPred(depth-1))
+		case 2:
+			return Not(genPred(depth - 1))
+		case 3:
+			return In("b", int64(rng.Intn(3)-1), int64(rng.Intn(3)-1))
+		default:
+			return Cmp(genExpr(), CmpOp(rng.Intn(6)), genExpr())
+		}
+	}
+
+	for trial := 0; trial < 200; trial++ {
+		p := genPred(3)
+		bound, err := p.Bind(sch)
+		if err != nil {
+			t.Fatalf("bind %s: %v", p, err)
+		}
+		vp, err := CompilePred(p, sch)
+		if err != nil {
+			t.Fatalf("compile %s: %v", p, err)
+		}
+		scratch := make([]int64, 8)
+		for i := 0; i < 50; i++ {
+			row := randTuple(rng, len(sch))
+			if got, want := vp.EvalRow(row, scratch), bound(row); got != want {
+				t.Fatalf("pred %s on %v: compiled=%v bound=%v", p, row, got, want)
+			}
+		}
+	}
+}
+
+// TestCompiledExprMatchesBind checks scalar compilation parity, including
+// the VFunc scratch-buffer path.
+func TestCompiledExprMatchesBind(t *testing.T) {
+	sch := Schema{{Name: "x", Kind: value.Int}, {Name: "y", Kind: value.Int}}
+	exprs := []ValExpr{
+		Col("x"),
+		Col("y"),
+		Lit(42),
+		F("sum", value.Int, []string{"x", "y"}, func(v []int64) int64 { return v[0] + v[1] }),
+		F("neg", value.Int, []string{"y"}, func(v []int64) int64 { return -v[0] }),
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, e := range exprs {
+		bound, err := e.Bind(sch)
+		if err != nil {
+			t.Fatalf("bind %s: %v", e, err)
+		}
+		ve, err := CompileExpr(e, sch)
+		if err != nil {
+			t.Fatalf("compile %s: %v", e, err)
+		}
+		for i := 0; i < 100; i++ {
+			row := randTuple(rng, len(sch))
+			if got, want := ve.EvalRow(row, nil), bound(row); got != want {
+				t.Fatalf("expr %s on %v: compiled=%v bound=%v", e, row, got, want)
+			}
+		}
+	}
+}
+
+// TestCompileUnknownColumn surfaces binding errors instead of panicking.
+func TestCompileUnknownColumn(t *testing.T) {
+	sch := Schema{{Name: "a", Kind: value.Int}}
+	if _, err := CompileExpr(Col("zzz"), sch); err == nil {
+		t.Fatal("CompileExpr accepted an unknown column")
+	}
+	if _, err := CompilePred(Eq(Col("zzz"), Lit(1)), sch); err == nil {
+		t.Fatal("CompilePred accepted an unknown column")
+	}
+	if _, err := CompilePred(In("zzz", 1), sch); err == nil {
+		t.Fatal("CompilePred accepted an unknown IN column")
+	}
+}

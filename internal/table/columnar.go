@@ -1,0 +1,63 @@
+package table
+
+// Columnar is the cached column-major projection of one partition: one
+// int64 vector per table column, followed by the dup and hasRef bitmap
+// indexes decoded to 0/1 vectors. The vectorized scan hands these vectors
+// to the engine as zero-copy batch views, so building the projection once
+// per published partition amortizes the row→column transpose across every
+// query that reads the epoch.
+type Columnar struct {
+	// Cols holds width+2 vectors of equal length: the table columns in
+	// schema order, then dup, then hasRef. Immutable after construction.
+	Cols [][]int64
+	// NRows is the partition row count the projection was built from.
+	NRows int
+}
+
+// ReplaceContents overwrites p's rows and bitmap indexes with np's and
+// drops any cached columnar projection. The write path uses it instead of
+// copying the struct, which would copy the projection cache (and its
+// atomics) onto content it was not built from.
+func (p *Partition) ReplaceContents(np *Partition) {
+	p.Rows = np.Rows
+	p.Dup = np.Dup
+	p.HasRef = np.HasRef
+	p.cols.Store(nil)
+}
+
+// Columns returns the partition's columnar projection for a table of the
+// given width, building and caching it on first use.
+//
+// Safe for concurrent readers on frozen partitions — the only partitions a
+// query can reach through a DBSnapshot, since the write path clones shared
+// partitions (BeginWrite) before mutating and Clone starts with an empty
+// cache. Concurrent first calls may build duplicate projections; the last
+// store wins and both are valid, so no mutex is needed. As defense in
+// depth, a cached projection whose shape no longer matches the partition
+// is rebuilt rather than returned.
+func (p *Partition) Columns(width int) *Columnar {
+	if c := p.cols.Load(); c != nil && c.NRows == len(p.Rows) && len(c.Cols) == width+2 {
+		return c
+	}
+	n := len(p.Rows)
+	c := &Columnar{NRows: n, Cols: make([][]int64, width+2)}
+	// One backing array for the whole projection keeps it contiguous and
+	// halves allocator metadata for wide tables.
+	flat := make([]int64, n*(width+2))
+	for j := range c.Cols {
+		c.Cols[j] = flat[j*n : (j+1)*n : (j+1)*n]
+	}
+	for i, r := range p.Rows {
+		for j := 0; j < width && j < len(r); j++ {
+			c.Cols[j][i] = r[j]
+		}
+		if p.Dup.Get(i) {
+			c.Cols[width][i] = 1
+		}
+		if p.HasRef.Get(i) {
+			c.Cols[width+1][i] = 1
+		}
+	}
+	p.cols.Store(c)
+	return c
+}

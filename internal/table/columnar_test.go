@@ -1,0 +1,86 @@
+package table
+
+import (
+	"sync"
+	"testing"
+
+	"pref/internal/value"
+)
+
+// TestColumnsProjection pins the columnar layout: table columns in schema
+// order, then dup and hasRef decoded to 0/1.
+func TestColumnsProjection(t *testing.T) {
+	p := NewPartition()
+	p.Append(value.Tuple{1, 10}, false, true)
+	p.Append(value.Tuple{2, 20}, true, false)
+	p.Append(value.Tuple{3, 30}, true, true)
+
+	c := p.Columns(2)
+	if c.NRows != 3 || len(c.Cols) != 4 {
+		t.Fatalf("shape: NRows=%d cols=%d", c.NRows, len(c.Cols))
+	}
+	wantCols := [][]int64{{1, 2, 3}, {10, 20, 30}, {0, 1, 1}, {1, 0, 1}}
+	for j, want := range wantCols {
+		for i, v := range want {
+			if c.Cols[j][i] != v {
+				t.Fatalf("col %d row %d: got %d want %d", j, i, c.Cols[j][i], v)
+			}
+		}
+	}
+}
+
+// TestColumnsCacheInvalidation checks the cache is reused while the
+// partition is stable, rebuilt after an append, and not shared by clones.
+func TestColumnsCacheInvalidation(t *testing.T) {
+	p := NewPartition()
+	p.Append(value.Tuple{1}, false, false)
+	c1 := p.Columns(1)
+	if p.Columns(1) != c1 {
+		t.Fatal("stable partition rebuilt its projection")
+	}
+
+	clone := p.Clone()
+	clone.Append(value.Tuple{2}, false, false)
+	cc := clone.Columns(1)
+	if cc == c1 || cc.NRows != 2 {
+		t.Fatalf("clone projection wrong: same=%v NRows=%d", cc == c1, cc.NRows)
+	}
+	if got := p.Columns(1); got != c1 || got.NRows != 1 {
+		t.Fatal("original projection disturbed by clone append")
+	}
+
+	p.Append(value.Tuple{3}, true, false)
+	c2 := p.Columns(1)
+	if c2 == c1 || c2.NRows != 2 || c2.Cols[0][1] != 3 || c2.Cols[1][1] != 1 {
+		t.Fatal("append did not invalidate the projection")
+	}
+
+	// Width change also rebuilds (defense in depth for schema drift).
+	if w := p.Columns(2); len(w.Cols) != 4 {
+		t.Fatalf("width rebuild: %d cols", len(w.Cols))
+	}
+}
+
+// TestColumnsConcurrent hammers first-build from many goroutines; -race
+// validates the atomic publication.
+func TestColumnsConcurrent(t *testing.T) {
+	p := NewPartition()
+	for i := 0; i < 5000; i++ {
+		p.Append(value.Tuple{int64(i), int64(i * 2)}, i%3 == 0, i%2 == 0)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := p.Columns(2)
+			for i := 0; i < 5000; i++ {
+				if c.Cols[0][i] != int64(i) {
+					t.Errorf("row %d corrupted", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -57,6 +57,10 @@ type Partition struct {
 	Rows   []value.Tuple
 	Dup    *bitset.Bitset
 	HasRef *bitset.Bitset
+
+	// cols caches the columnar projection (see Columns). A Clone starts
+	// with an empty cache, and Append invalidates by length mismatch.
+	cols atomic.Pointer[Columnar]
 }
 
 // NewPartition returns an empty partition with empty bitmap indexes.
