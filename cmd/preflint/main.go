@@ -6,7 +6,8 @@
 // discipline, goroutine joining, and ship accounting — plus the
 // CFG/typestate protocol analyzers built on internal/lint/cfg:
 // publish ordering, snapshot read discipline, the bulk-load intent
-// protocol, and guard-field happens-before.
+// protocol, guard-field happens-before, batch immutability, and the
+// interprocedural batch ownership/lifetime typestate.
 //
 // Usage:
 //
@@ -15,15 +16,19 @@
 //
 // Flags:
 //
-//	-json                  emit findings as a JSON report on stdout
+//	-json                  emit findings as a JSON report on stdout, with
+//	                       per-analyzer wall time under "timings_ms"
 //	-sarif                 emit findings as SARIF 2.1.0 on stdout
+//	-only NAMES            run only these analyzers (comma-separated)
+//	-skip NAMES            run all but these analyzers (comma-separated)
 //	-baseline FILE         suppress findings recorded in FILE
 //	-write-baseline FILE   snapshot current findings into FILE and exit 0
 //	-strict                fail (exit 1) if the baseline itself is non-empty,
 //	                       or if any baseline entry is stale
 //
 // Exit status: 0 clean, 1 findings (or a -strict violation), 2 operational
-// error (unparseable package, bad flag, unreadable baseline).
+// error (unparseable package, bad flag, unknown analyzer name, unreadable
+// baseline).
 package main
 
 import (
@@ -39,12 +44,17 @@ func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	jsonOut := flag.Bool("json", false, "emit findings as JSON")
 	sarifOut := flag.Bool("sarif", false, "emit findings as SARIF 2.1.0")
+	only := flag.String("only", "", "comma-separated analyzers to run (default: all)")
+	skip := flag.String("skip", "", "comma-separated analyzers to leave out")
 	baselinePath := flag.String("baseline", "", "baseline file of grandfathered findings")
 	writeBaseline := flag.String("write-baseline", "", "write current findings to this baseline file and exit")
 	strict := flag.Bool("strict", false, "fail if the baseline is non-empty or has stale entries")
 	flag.Parse()
 
-	analyzers := lint.Analyzers()
+	analyzers, err := lint.SelectAnalyzers(lint.Analyzers(), *only, *skip)
+	if err != nil {
+		fatal(err)
+	}
 	if *list {
 		width := 0
 		for _, a := range analyzers {
@@ -67,6 +77,7 @@ func main() {
 		roots = []string{"."}
 	}
 	var diags []lint.Diagnostic
+	timings := lint.Timings{}
 	for _, root := range roots {
 		// Accept the conventional "./..." spelling so CI can invoke
 		// preflint like any go tool.
@@ -79,7 +90,7 @@ func main() {
 			fatal(err)
 		}
 		for _, dir := range dirs {
-			ds, err := lint.RunDir(dir, analyzers)
+			ds, err := lint.RunDirTimed(dir, analyzers, timings)
 			if err != nil {
 				fatal(fmt.Errorf("%s: %w", dir, err))
 			}
@@ -103,7 +114,7 @@ func main() {
 
 	switch {
 	case *jsonOut:
-		if err := lint.WriteJSON(os.Stdout, fresh); err != nil {
+		if err := lint.WriteJSON(os.Stdout, fresh, timings); err != nil {
 			fatal(err)
 		}
 	case *sarifOut:

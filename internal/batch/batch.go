@@ -38,8 +38,11 @@ type Batch struct {
 	// ascending order. nil selects all rows.
 	Sel []int32
 	// pooled marks batches whose column backing came from the pool (safe
-	// to recycle via Release).
-	pooled bool
+	// to recycle via Release). It is 1 or 0 and flipped with an atomic
+	// compare-and-swap: broadcast and one-copy gather share *Batch
+	// pointers across partition slots, so two sweeps may race to release
+	// the same header — exactly one wins and recycles the columns.
+	pooled uint32
 }
 
 // Len reports the number of live (selected) rows.

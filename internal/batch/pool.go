@@ -1,6 +1,9 @@
 package batch
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // colPool recycles Size-capacity column vectors. Pooling is per-column, not
 // per-batch, so batches of any width draw from the same arena.
@@ -11,7 +14,7 @@ var colPool = sync.Pool{
 // get returns a dense batch with width empty pooled columns, each with
 // capacity Size.
 func get(width int) *Batch {
-	b := &Batch{Cols: make([][]int64, width), pooled: true}
+	b := &Batch{Cols: make([][]int64, width), pooled: 1}
 	for c := range b.Cols {
 		b.Cols[c] = colPool.Get().([]int64)[:0]
 	}
@@ -19,10 +22,14 @@ func get(width int) *Batch {
 }
 
 // Release returns a pooled batch's columns to the arena. Only call on
-// batches whose columns this caller exclusively owns and will not touch
-// again; view batches (zero-copy over storage) are a no-op.
+// batches whose columns no caller will read again; view batches (zero-copy
+// over storage) are a no-op. Release is idempotent and safe to race with
+// itself: the pooled flag is claimed with a compare-and-swap, so when
+// shared batch lists (broadcast, one-copy gather) are swept from more than
+// one place, exactly one sweep recycles the columns and the rest are
+// no-ops that never touch Cols.
 func (b *Batch) Release() {
-	if b == nil || !b.pooled {
+	if b == nil || !atomic.CompareAndSwapUint32(&b.pooled, 1, 0) {
 		return
 	}
 	for c := range b.Cols {
@@ -31,7 +38,6 @@ func (b *Batch) Release() {
 		}
 		b.Cols[c] = nil
 	}
-	b.pooled = false
 	b.Sel = nil
 }
 

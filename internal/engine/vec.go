@@ -100,8 +100,10 @@ func materializeParts(in vparts) [][]value.Tuple {
 }
 
 // releaseParts recycles the pooled batches of a consumed input after the
-// operator's partition barrier. Only operators whose output is entirely
-// fresh writer batches (join, project, repartition) may call it: their
+// operator's partition barrier, or on an error path once every batch list
+// derived from the input has been discarded with the error. On success only
+// operators whose output is entirely fresh writer batches (join, project,
+// repartition) may call it: their
 // outputs never alias input columns, the plan is a tree so each node's
 // output has exactly one consumer, and forEachPart joins every goroutine
 // (including hedge losers) before returning, so no concurrent reader
@@ -128,6 +130,11 @@ func (ex *executor) addInputsVec(top *trace.Op, in vparts) {
 	}
 }
 
+// evalVec dispatches a vectorizable node to its columnar operator.
+//
+// lint:batch-owner callers own the returned partition batch lists and must
+// release or hand them off (materializeParts, releaseParts, or the caller's
+// own output).
 func (ex *executor) evalVec(n plan.Node) (vparts, error) {
 	switch n := n.(type) {
 	case *plan.ScanNode:
@@ -151,6 +158,10 @@ func (ex *executor) evalVec(n plan.Node) (vparts, error) {
 	}
 }
 
+// evalScanVec hands out chunked zero-copy views over the partition's cached
+// columnar projection (or lifts recovered rows into fresh batches).
+//
+// lint:batch-owner the returned batch lists transfer to the caller
 func (ex *executor) evalScanVec(n *plan.ScanNode) (vparts, error) {
 	top := ex.tb.Begin(n, trace.KindScan)
 	pt, ok := ex.pdb.Tables[n.Table]
@@ -193,6 +204,11 @@ func (ex *executor) evalScanVec(n *plan.ScanNode) (vparts, error) {
 	})
 }
 
+// evalFilterVec narrows each input batch with a fresh selection vector; its
+// output borrows the input's storage, so the input is never released here —
+// it dies with the output downstream.
+//
+// lint:batch-owner the returned batch lists transfer to the caller
 func (ex *executor) evalFilterVec(n *plan.FilterNode) (vparts, error) {
 	top := ex.tb.Begin(n, trace.KindFilter)
 	in, err := ex.evalVec(n.Child)
@@ -202,6 +218,7 @@ func (ex *executor) evalFilterVec(n *plan.FilterNode) (vparts, error) {
 	ex.addInputsVec(top, in)
 	vp, err := plan.CompilePred(n.Pred, ex.rw.Schemas[n.Child])
 	if err != nil {
+		releaseParts(in) // compile failed: the consumed input is dead
 		return nil, err
 	}
 	return forEachPart(ex, top, func(p int) ([]*batch.Batch, int, error) {
@@ -218,6 +235,10 @@ func (ex *executor) evalFilterVec(n *plan.FilterNode) (vparts, error) {
 	})
 }
 
+// evalProjectVec evaluates each projection expression column-wise into
+// fresh batches.
+//
+// lint:batch-owner the returned batch lists transfer to the caller
 func (ex *executor) evalProjectVec(n *plan.ProjectNode) (vparts, error) {
 	top := ex.tb.Begin(n, trace.KindProject)
 	in, err := ex.evalVec(n.Child)
@@ -230,6 +251,7 @@ func (ex *executor) evalProjectVec(n *plan.ProjectNode) (vparts, error) {
 	for i, e := range n.Exprs {
 		ve, err := plan.CompileExpr(e, sch)
 		if err != nil {
+			releaseParts(in) // compile failed: the consumed input is dead
 			return nil, err
 		}
 		exprs[i] = ve
@@ -245,12 +267,17 @@ func (ex *executor) evalProjectVec(n *plan.ProjectNode) (vparts, error) {
 		return out, rows, nil
 	})
 	if err != nil {
+		releaseParts(in) // fan-out failed: partial outputs were dropped
 		return nil, err
 	}
 	releaseParts(in) // projection output is fresh: input batches are dead
 	return out, nil
 }
 
+// evalJoinVec hash-joins the build (right) side against the probe (left)
+// side per partition, emitting fresh writer batches.
+//
+// lint:batch-owner the returned batch lists transfer to the caller
 func (ex *executor) evalJoinVec(n *plan.JoinNode) (vparts, error) {
 	top := ex.tb.Begin(n, trace.KindJoin)
 	left, err := ex.evalVec(n.Left)
@@ -259,6 +286,7 @@ func (ex *executor) evalJoinVec(n *plan.JoinNode) (vparts, error) {
 	}
 	right, err := ex.evalVec(n.Right)
 	if err != nil {
+		releaseParts(left) // right subtree failed: left input is dead
 		return nil, err
 	}
 	ex.addInputsVec(top, left)
@@ -268,16 +296,22 @@ func (ex *executor) evalJoinVec(n *plan.JoinNode) (vparts, error) {
 
 	lIdx, err := ls.Indexes(n.LeftCols)
 	if err != nil {
+		releaseParts(left)
+		releaseParts(right)
 		return nil, err
 	}
 	rIdx, err := rs.Indexes(n.RightCols)
 	if err != nil {
+		releaseParts(left)
+		releaseParts(right)
 		return nil, err
 	}
 	var residual *plan.VPred
 	if n.Residual != nil {
 		residual, err = plan.CompilePred(n.Residual, ls.Concat(rs))
 		if err != nil {
+			releaseParts(left)
+			releaseParts(right)
 			return nil, err
 		}
 	}
@@ -439,6 +473,8 @@ func (ex *executor) evalJoinVec(n *plan.JoinNode) (vparts, error) {
 		return out, work, nil
 	})
 	if err != nil {
+		releaseParts(left) // fan-out failed: partial outputs were dropped
+		releaseParts(right)
 		return nil, err
 	}
 	releaseParts(left) // join emit is fresh: both inputs are dead
@@ -483,6 +519,8 @@ func dedupVec(bs []*batch.Batch, dupIdx []int) ([]*batch.Batch, int) {
 //
 // lint:ship-boundary exchange operator: sweeps per-partition outputs on the
 // query goroutine to charge dedup hits; no rows move, nothing is metered.
+//
+// lint:batch-owner the returned batch lists transfer to the caller
 func (ex *executor) evalDistinctPrefVec(n *plan.DistinctPrefNode) (vparts, error) {
 	top := ex.tb.Begin(n, trace.KindDistinctPref)
 	in, err := ex.evalVec(n.Child)
@@ -495,6 +533,7 @@ func (ex *executor) evalDistinctPrefVec(n *plan.DistinctPrefNode) (vparts, error
 	if len(n.DupCols) > 0 {
 		dupIdx, err = sch.Indexes(n.DupCols)
 		if err != nil {
+			releaseParts(in)
 			return nil, err
 		}
 	}
@@ -503,6 +542,7 @@ func (ex *executor) evalDistinctPrefVec(n *plan.DistinctPrefNode) (vparts, error
 		return bs, kept, nil
 	})
 	if err != nil {
+		releaseParts(in) // fan-out failed: the survivor views were dropped
 		return nil, err
 	}
 	// Dedup hits are derived after the fan-out so crash-retried attempts
@@ -518,6 +558,8 @@ func (ex *executor) evalDistinctPrefVec(n *plan.DistinctPrefNode) (vparts, error
 //
 // lint:ship-boundary exchange operator: scatters rows across partitions and
 // meters every boundary crossing via shipBatch.
+//
+// lint:batch-owner the returned batch lists transfer to the caller
 func (ex *executor) evalRepartitionVec(n *plan.RepartitionNode) (vparts, error) {
 	top := ex.tb.Begin(n, trace.KindRepartition)
 	in, err := ex.evalVec(n.Child)
@@ -527,12 +569,14 @@ func (ex *executor) evalRepartitionVec(n *plan.RepartitionNode) (vparts, error) 
 	sch := ex.rw.Schemas[n.Child]
 	idx, err := sch.Indexes(n.Cols)
 	if err != nil {
+		releaseParts(in)
 		return nil, err
 	}
 	var dupIdx []int
 	if len(n.DupCols) > 0 {
 		dupIdx, err = sch.Indexes(n.DupCols)
 		if err != nil {
+			releaseParts(in)
 			return nil, err
 		}
 	}
@@ -562,6 +606,12 @@ func (ex *executor) evalRepartitionVec(n *plan.RepartitionNode) (vparts, error) 
 			}
 		}
 		if err := ex.shipBatch(top, op, src, cross, len(sch)); err != nil {
+			// Ship fault mid-scatter: drain the partially filled writers
+			// back into the pool along with the consumed input.
+			for _, w := range writers {
+				batch.ReleaseAll(w.Finish())
+			}
+			releaseParts(in)
 			return nil, err
 		}
 	}
@@ -588,6 +638,8 @@ func (ex *executor) evalRepartitionVec(n *plan.RepartitionNode) (vparts, error) 
 //
 // lint:ship-boundary exchange operator: copies rows to all partitions and
 // meters the n-1 remote copies via shipBatch.
+//
+// lint:batch-owner the returned batch lists transfer to the caller
 func (ex *executor) evalBroadcastVec(n *plan.BroadcastNode) (vparts, error) {
 	top := ex.tb.Begin(n, trace.KindBroadcast)
 	in, err := ex.evalVec(n.Child)
@@ -599,6 +651,7 @@ func (ex *executor) evalBroadcastVec(n *plan.BroadcastNode) (vparts, error) {
 	if len(n.DupCols) > 0 {
 		dupIdx, err = sch.Indexes(n.DupCols)
 		if err != nil {
+			releaseParts(in)
 			return nil, err
 		}
 	}
@@ -615,6 +668,9 @@ func (ex *executor) evalBroadcastVec(n *plan.BroadcastNode) (vparts, error) {
 		top.AddDedup(ex.execDst[src], batch.Rows(in[src])-kept)
 		// Each row is shipped to every other node.
 		if err := ex.shipBatch(top, op, src, kept*(ex.n-1), len(sch)); err != nil {
+			// The shared output list is discarded with the error, so the
+			// sweep over the input cannot strand a surviving view.
+			releaseParts(in)
 			return nil, err
 		}
 		all = append(all, bs...)
@@ -642,6 +698,8 @@ func (ex *executor) evalBroadcastVec(n *plan.BroadcastNode) (vparts, error) {
 //
 // lint:ship-boundary exchange operator: drains every partition to slot 0 and
 // meters the remote partitions' rows via shipBatch.
+//
+// lint:batch-owner the returned batch lists transfer to the caller
 func (ex *executor) evalGatherVec(n *plan.GatherNode) (vparts, error) {
 	top := ex.tb.Begin(n, trace.KindGather)
 	in, err := ex.evalVec(n.Child)
@@ -670,6 +728,7 @@ func (ex *executor) evalGatherVec(n *plan.GatherNode) (vparts, error) {
 		top.AddIn(ex.execDst[p], rows)
 		if p != 0 {
 			if err := ex.shipBatch(top, op, p, rows, len(sch)); err != nil {
+				releaseParts(in) // ship fault: nothing downstream holds a view yet
 				return nil, err
 			}
 		}

@@ -1,0 +1,212 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file adds the interprocedural half of the substrate: a package-local
+// call graph over *ast.FuncDecl bodies plus a bottom-up (callee-first) SCC
+// order, so analyses can compute per-function summaries with a fixpoint
+// over each recursive component. Like the rest of the package it is
+// deliberately static and syntactic: only calls whose callee resolves to a
+// *types.Func through go/types are edges. Dynamic calls (function values,
+// interface methods) resolve to nil and stay visible as CallSites so a
+// client can treat them conservatively.
+
+// CallSite is one call expression inside a function, with its statically
+// resolved callee (nil when the callee is a function value, an interface
+// method, a built-in, or a type conversion).
+type CallSite struct {
+	Call   *ast.CallExpr
+	Callee *types.Func
+}
+
+// FuncNode is one declared function of the package under analysis.
+type FuncNode struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	// Sites lists every call in the declaration (including calls inside
+	// nested FuncLits — a literal's body belongs to this node for summary
+	// purposes, since the summary of the enclosing function must account
+	// for what its closures can do) in source order.
+	Sites []CallSite
+}
+
+// CallGraph is the static call graph of one package's declared functions.
+type CallGraph struct {
+	Nodes []*FuncNode // declaration order across files
+	byObj map[*types.Func]*FuncNode
+}
+
+// NewCallGraph builds the call graph over the declared functions of the
+// given files (one type-checked package).
+func NewCallGraph(files []*ast.File, info *types.Info) *CallGraph {
+	cg := &CallGraph{byObj: map[*types.Func]*FuncNode{}}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, ok := info.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			node := &FuncNode{Fn: obj, Decl: fn}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+					return true // conversion, not a call
+				}
+				node.Sites = append(node.Sites, CallSite{Call: call, Callee: StaticCallee(info, call)})
+				return true
+			})
+			cg.Nodes = append(cg.Nodes, node)
+			cg.byObj[obj] = node
+		}
+	}
+	return cg
+}
+
+// StaticCallee resolves a call expression to the *types.Func it statically
+// invokes, or nil for dynamic calls, built-ins, and conversions. Generic
+// instantiations resolve to their origin function, so summaries are
+// per-declaration, not per-instantiation.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	// Unwrap explicit instantiation: f[T](...), f[T1, T2](...).
+	switch e := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(e.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(e.X)
+	}
+	var obj types.Object
+	switch e := fun.(type) {
+	case *ast.Ident:
+		obj = info.Uses[e]
+	case *ast.SelectorExpr:
+		// Method value/call or qualified function: the selection's object.
+		if sel, ok := info.Selections[e]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[e.Sel]
+		}
+	default:
+		return nil
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	if orig := fn.Origin(); orig != nil {
+		fn = orig
+	}
+	return fn
+}
+
+// Node returns the graph node declaring fn (nil for functions outside the
+// package, or never declared with a body).
+func (cg *CallGraph) Node(fn *types.Func) *FuncNode {
+	if fn == nil {
+		return nil
+	}
+	return cg.byObj[fn]
+}
+
+// BottomUp partitions the graph into strongly connected components and
+// returns them callee-first: every call from a function in component i to a
+// function in component j≠i has j < i, so a bottom-up summary computation
+// can process components in slice order and always finds its (non-SCC)
+// callees already solved. Within a component the order is deterministic
+// (declaration order). Tarjan's algorithm emits components in exactly this
+// order; the iteration below is the standard recursive formulation.
+func (cg *CallGraph) BottomUp() [][]*FuncNode {
+	index := map[*FuncNode]int{}
+	low := map[*FuncNode]int{}
+	onStack := map[*FuncNode]bool{}
+	var stack []*FuncNode
+	var sccs [][]*FuncNode
+	next := 0
+
+	var strongconnect func(v *FuncNode)
+	strongconnect = func(v *FuncNode) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, site := range v.Sites {
+			w := cg.Node(site.Callee)
+			if w == nil {
+				continue
+			}
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []*FuncNode
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			// Restore declaration order inside the component for
+			// deterministic fixpoint iteration and dumps.
+			for i, j := 0, len(comp)-1; i < j; i, j = i+1, j-1 {
+				comp[i], comp[j] = comp[j], comp[i]
+			}
+			sccs = append(sccs, comp)
+		}
+	}
+	for _, n := range cg.Nodes {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+	return sccs
+}
+
+// Solve computes a summary for every function bottom-up. compute derives
+// one function's summary; it reads callee summaries through get, which
+// returns nil for functions not yet solved (recursion, first fixpoint
+// round) or outside the graph — compute must treat nil as its conservative
+// default. Within a recursive component Solve iterates compute to a
+// fixpoint (summaries compare with Equal), so compute must be monotone in
+// its callee summaries and deterministic.
+func (cg *CallGraph) Solve(compute func(n *FuncNode, get func(*types.Func) *Summary) *Summary) map[*types.Func]*Summary {
+	solved := map[*types.Func]*Summary{}
+	get := func(fn *types.Func) *Summary {
+		if fn == nil {
+			return nil
+		}
+		return solved[fn]
+	}
+	for _, comp := range cg.BottomUp() {
+		for changed := true; changed; {
+			changed = false
+			for _, n := range comp {
+				s := compute(n, get)
+				if !s.Equal(solved[n.Fn]) {
+					solved[n.Fn] = s
+					changed = true
+				}
+			}
+		}
+	}
+	return solved
+}

@@ -53,6 +53,17 @@
 //     "lint:guarded-by <g>" must be dominated by the guard's atomic load
 //     or lock acquisition on every path.
 //
+// batchlifetime goes one step further: it is interprocedural. Every
+// function gets an ownership contract over its batch-typed parameters and
+// results (consume / borrow / escape / returns-alias, fresh / alias),
+// solved bottom-up over the package call graph with an SCC fixpoint for
+// recursion (internal/lint/cfg's CallGraph + Summary), and each body is
+// then checked flow-sensitively against its callees' contracts: pooled
+// batches must be released exactly once on every path, never used after
+// release, never escape while owned, and never be written through
+// zero-copy views. lint:batch-owner / lint:batch-borrow markers declare
+// contracts at trust boundaries.
+//
 // Suppressions: a "//lint:ignore <analyzer> <reason>" comment on the
 // diagnostic's line or the line above silences that analyzer there. A
 // reason is mandatory; a malformed directive is itself a diagnostic.
@@ -71,6 +82,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Diagnostic is one finding of an analyzer.
@@ -122,6 +134,7 @@ func Analyzers() []*Analyzer {
 		InvariantPanic, CtxThread, PropAlias,
 		PartOwnership, BatchOwnership, AtomicDiscipline, GoroutineScope, ShipAccounting,
 		PublishOrder, SnapshotDiscipline, IntentProtocol, HappensBefore,
+		BatchLifetime,
 	}
 }
 
@@ -135,6 +148,13 @@ var defaultLoader = sync.OnceValues(func() (*Loader, error) {
 // runs the analyzers over it. Diagnostics come back position-sorted, with
 // lint:ignore suppressions already applied.
 func RunDir(dir string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunDirTimed(dir, analyzers, nil)
+}
+
+// RunDirTimed is RunDir with a per-analyzer wall-time sink: each analyzer's
+// run time over the package is added to timings under its name. A nil sink
+// records nothing.
+func RunDirTimed(dir string, analyzers []*Analyzer, timings Timings) ([]Diagnostic, error) {
 	l, err := defaultLoader()
 	if err != nil {
 		return nil, err
@@ -146,7 +166,7 @@ func RunDir(dir string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	if pkg == nil {
 		return nil, nil
 	}
-	return RunPackage(pkg, analyzers)
+	return runPackage(pkg, analyzers, timings)
 }
 
 // RunSource analyzes a single in-memory file (test fixtures). The fixture
@@ -165,6 +185,10 @@ func RunSource(filename, src string, analyzers []*Analyzer) ([]Diagnostic, error
 
 // RunPackage runs the analyzers over one loaded package.
 func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return runPackage(pkg, analyzers, nil)
+}
+
+func runPackage(pkg *Package, analyzers []*Analyzer, timings Timings) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	pass := &Pass{
 		Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Pkg,
@@ -172,7 +196,10 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	}
 	for _, a := range analyzers {
 		pass.current = a.Name
-		if err := a.Run(pass); err != nil {
+		start := time.Now()
+		err := a.Run(pass)
+		timings.add(a.Name, time.Since(start))
+		if err != nil {
 			return nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
 	}

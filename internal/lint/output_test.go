@@ -5,6 +5,7 @@ import (
 	"go/token"
 	"strings"
 	"testing"
+	"time"
 )
 
 func sampleDiags() []Diagnostic {
@@ -24,7 +25,7 @@ func sampleDiags() []Diagnostic {
 
 func TestWriteJSONGolden(t *testing.T) {
 	var sb strings.Builder
-	if err := WriteJSON(&sb, sampleDiags()); err != nil {
+	if err := WriteJSON(&sb, sampleDiags(), nil); err != nil {
 		t.Fatal(err)
 	}
 	const want = `{
@@ -53,12 +54,34 @@ func TestWriteJSONGolden(t *testing.T) {
 
 func TestWriteJSONEmpty(t *testing.T) {
 	var sb strings.Builder
-	if err := WriteJSON(&sb, nil); err != nil {
+	if err := WriteJSON(&sb, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	const want = "{\n  \"findings\": []\n}\n"
 	if sb.String() != want {
 		t.Errorf("empty JSON report must keep the findings array:\ngot %q want %q", sb.String(), want)
+	}
+}
+
+func TestWriteJSONTimings(t *testing.T) {
+	var sb strings.Builder
+	timings := Timings{
+		"batchlifetime":  1512600 * time.Nanosecond, // 1.5126ms: rounds to 1.513
+		"invariantpanic": 40 * time.Microsecond,
+	}
+	if err := WriteJSON(&sb, nil, timings); err != nil {
+		t.Fatal(err)
+	}
+	const want = `{
+  "findings": [],
+  "timings_ms": {
+    "batchlifetime": 1.513,
+    "invariantpanic": 0.04
+  }
+}
+`
+	if sb.String() != want {
+		t.Errorf("JSON timings mismatch:\ngot:\n%s\nwant:\n%s", sb.String(), want)
 	}
 }
 

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Timings accumulates per-analyzer wall time, summed across every package
+// a run visits. Keys are analyzer names. A nil map is a valid sink that
+// records nothing, so callers without a timing consumer pass nil.
+type Timings map[string]time.Duration
+
+func (t Timings) add(name string, d time.Duration) {
+	if t != nil {
+		t[name] += d
+	}
+}
+
+// SelectAnalyzers filters the full roster down to the -only / -skip flag
+// values: comma-separated analyzer names, empty meaning "no constraint".
+// The only filter applies first, then skip. Unknown names are an error —
+// a typo must not silently run a gate with an analyzer disabled.
+func SelectAnalyzers(all []*Analyzer, only, skip string) ([]*Analyzer, error) {
+	byName := map[string]bool{}
+	for _, a := range all {
+		byName[a.Name] = true
+	}
+	parse := func(flagName, csv string) (map[string]bool, error) {
+		if csv == "" {
+			return nil, nil
+		}
+		set := map[string]bool{}
+		for _, name := range strings.Split(csv, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if !byName[name] {
+				known := make([]string, 0, len(byName))
+				for n := range byName {
+					known = append(known, n)
+				}
+				sort.Strings(known)
+				return nil, fmt.Errorf("%s: unknown analyzer %q (known: %s)", flagName, name, strings.Join(known, ", "))
+			}
+			set[name] = true
+		}
+		return set, nil
+	}
+	onlySet, err := parse("-only", only)
+	if err != nil {
+		return nil, err
+	}
+	skipSet, err := parse("-skip", skip)
+	if err != nil {
+		return nil, err
+	}
+	out := []*Analyzer{}
+	for _, a := range all {
+		if onlySet != nil && !onlySet[a.Name] {
+			continue
+		}
+		if skipSet[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,53 @@
+package engine
+
+import "pref/internal/batch"
+
+func writeThroughColsView(b *batch.Batch) {
+	cols := b.Cols
+	cols[0][0] = 7 // want "mutates pooled batch storage"
+}
+
+func writeThroughSelView(b *batch.Batch) {
+	sel := b.Sel
+	sel[0] = 3 // want "mutates pooled batch storage"
+}
+
+func writeThroughChainedView(b *batch.Batch) {
+	cols := b.Cols
+	c0 := cols[0]
+	c0[1] = 9 // want "mutates pooled batch storage"
+}
+
+func appendThroughView(b *batch.Batch) []int64 {
+	c0 := b.Cols[0]
+	c0 = append(c0, 1) // want "mutates pooled batch storage"
+	return c0
+}
+
+func incrementThroughView(b *batch.Batch) {
+	c0 := b.Cols[0]
+	c0[0]++ // want "mutates pooled batch storage"
+}
+
+func freshColumnIsWritable() []int64 {
+	c := make([]int64, 4)
+	c[0] = 1
+	return c
+}
+
+func copiedColumnIsWritable(b *batch.Batch) []int64 {
+	c := append([]int64(nil), b.Cols[0]...)
+	c[0] = 1
+	return c
+}
+
+func readingViewsIsFine(b *batch.Batch) int64 {
+	cols := b.Cols
+	s := int64(0)
+	for _, col := range cols {
+		for _, v := range col {
+			s += v
+		}
+	}
+	return s
+}

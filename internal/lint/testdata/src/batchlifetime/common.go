@@ -1,0 +1,43 @@
+// Fixture package for the batchlifetime analyzer: interprocedural
+// ownership typestate over pooled batches. Each file exercises one defect
+// class (use-after-release, double release, leak, escape, alias write)
+// with its sanctioned counterparts; common.go holds the shared sources of
+// owned batches.
+package engine
+
+import (
+	"errors"
+
+	"pref/internal/batch"
+)
+
+var errBoom = errors.New("boom")
+
+// acquire returns one caller-owned pooled batch.
+// lint:batch-owner fixture source of pooled batches
+func acquire() *batch.Batch {
+	w := batch.NewWriter(2)
+	w.AppendTuple([]int64{1, 2})
+	return w.Finish()[0]
+}
+
+// acquireParts returns caller-owned per-partition batch lists.
+// lint:batch-owner fixture source of owned partitioned batches
+func acquireParts() ([][]*batch.Batch, error) {
+	w := batch.NewWriter(2)
+	w.AppendTuple([]int64{3, 4})
+	return [][]*batch.Batch{w.Finish()}, nil
+}
+
+// releaseParts returns every batch of every partition to the pool.
+func releaseParts(parts [][]*batch.Batch) {
+	for _, bs := range parts {
+		batch.ReleaseAll(bs)
+	}
+}
+
+// consumeBatch forwards its argument to a releasing callee; the computed
+// summary must mark the parameter consumed without any marker.
+func consumeBatch(b *batch.Batch) {
+	b.Release()
+}

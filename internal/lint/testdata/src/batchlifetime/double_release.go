@@ -1,0 +1,41 @@
+package engine
+
+import "pref/internal/batch"
+
+func doubleRelease() {
+	b := acquire()
+	b.Release()
+	b.Release() // want "double release"
+}
+
+func doubleReleaseInterproc() {
+	b := acquire()
+	consumeBatch(b)
+	b.Release() // want "double release"
+}
+
+func releaseOnBothArms(cond bool) {
+	b := acquire()
+	if cond {
+		b.Release()
+	} else {
+		b.Release()
+	}
+	// joined state is released-on-every-path, but there is no further
+	// release or use, so nothing is reported
+}
+
+func branchReleaseThenJoinIsNotFlagged(cond bool) {
+	b := acquire()
+	if cond {
+		b.Release()
+		return
+	}
+	b.Release() // the may-analysis join never reaches here released
+}
+
+func releaseAllThenRelease() {
+	bs := []*batch.Batch{acquire()}
+	batch.ReleaseAll(bs)
+	batch.ReleaseAll(bs) // want "double release"
+}

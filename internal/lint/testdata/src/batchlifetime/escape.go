@@ -1,0 +1,46 @@
+package engine
+
+import "pref/internal/batch"
+
+type cache struct {
+	held *batch.Batch
+	ch   chan *batch.Batch
+}
+
+func escapeIntoField(c *cache) {
+	b := acquire()
+	c.held = b // want "escapes into long-lived state"
+}
+
+func escapeIntoChannel(c *cache) {
+	b := acquire()
+	c.ch <- b // want "escapes into long-lived state"
+}
+
+func escapeIntoGoroutine() {
+	b := acquire()
+	go func() { // want "escapes into long-lived state"
+		_ = b.Len()
+	}()
+}
+
+func borrowedViewMayBeStored(c *cache, b *batch.Batch) {
+	c.held = b // the owner lives elsewhere; storing a view is their call
+}
+
+// adopt takes ownership: the field store is the declared transfer.
+// lint:batch-owner cache takes over the batch and releases it later
+func (c *cache) adopt(b *batch.Batch) {
+	c.held = b
+}
+
+func handoffToOwnerIsFine(c *cache) {
+	b := acquire()
+	c.adopt(b)
+}
+
+func releasedBeforeStoreIsOnlyUseAfter(c *cache) {
+	b := acquire()
+	b.Release()
+	c.held = b // want "use of batch b after it was released"
+}

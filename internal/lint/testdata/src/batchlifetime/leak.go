@@ -1,0 +1,66 @@
+package engine
+
+import "pref/internal/batch"
+
+func leakOnErrorPath(cond bool) (*batch.Batch, error) {
+	b := acquire()
+	if cond {
+		return nil, errBoom // want "still owned at return"
+	}
+	return b, nil
+}
+
+func leakAtFalloff() {
+	b := acquire()
+	_ = b.Len() // want "still owned at function exit"
+}
+
+func noLeakPairedError() (*batch.Batch, error) {
+	parts, err := acquireParts()
+	if err != nil {
+		// when the producer fails it hands nothing over: suppressed by
+		// the error pairing with the defining assignment
+		return nil, err
+	}
+	b := parts[0][0]
+	_ = b
+	releaseParts(parts)
+	return nil, nil
+}
+
+func leakBeforeLaterHandoff(cond bool) ([][]*batch.Batch, error) {
+	parts, err := acquireParts()
+	if err != nil {
+		return nil, err
+	}
+	if cond {
+		return nil, errBoom // want "still owned at return"
+	}
+	// the handoff below must not excuse the early return above
+	releaseParts(parts)
+	return nil, nil
+}
+
+func noLeakWhenReturned() *batch.Batch {
+	b := acquire()
+	return b
+}
+
+func noLeakViaContainerReturn() []*batch.Batch {
+	b := acquire()
+	out := []*batch.Batch{b}
+	return out
+}
+
+func noLeakDeferredRelease() int {
+	b := acquire()
+	defer b.Release()
+	return b.Len()
+}
+
+func noLeakReleaseAllOverContainer() {
+	var out []*batch.Batch
+	b := acquire()
+	out = append(out, b)
+	batch.ReleaseAll(out)
+}

@@ -1,0 +1,62 @@
+package engine
+
+import "pref/internal/batch"
+
+// produce builds and hands over caller-owned pooled batches.
+// lint:batch-owner the writer's batches transfer to the caller
+func produce() []*batch.Batch {
+	w := batch.NewWriter(2)
+	w.AppendTuple([]int64{1, 2})
+	return w.Finish()
+}
+
+// narrow filters without taking ownership: the result borrows b's columns.
+// lint:batch-borrow result is a zero-copy view over b
+func narrow(b *batch.Batch, keep []int32) *batch.Batch {
+	return b.WithSel(keep)
+}
+
+func ownerReleasesProperly() {
+	bs := produce()
+	batch.ReleaseAll(bs)
+}
+
+func viewsCarryNoObligation(b *batch.Batch, keep []int32) int64 {
+	v := narrow(b, keep)
+	return v.At(0, 0)
+}
+
+// passThrough returns its argument; the computed summary must classify the
+// result as an alias of the parameter, so callers keep their obligation.
+func passThrough(b *batch.Batch) *batch.Batch {
+	return b
+}
+
+func aliasResultKeepsObligation() {
+	b := acquire()
+	v := passThrough(b)
+	_ = v.Len()
+	b.Release()
+}
+
+// spill launders ownership through a callback-driven loop: the companion
+// argument of a func-literal call is treated as possibly consumed inside.
+func spill(parts [][]*batch.Batch, each func(int, []*batch.Batch) error) error {
+	for p, bs := range parts {
+		if err := each(p, bs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func callbackMayConsume() error {
+	parts, err := acquireParts()
+	if err != nil {
+		return err
+	}
+	return spill(parts, func(p int, bs []*batch.Batch) error {
+		batch.ReleaseAll(bs)
+		return nil
+	})
+}

@@ -1,0 +1,20 @@
+package engine
+
+import "pref/internal/batch"
+
+// Suppressions: a lint:ignore directive on the diagnostic's line (or the
+// line above) silences batchlifetime there, with a mandatory reason.
+
+func suppressedLeak(cond bool) (*batch.Batch, error) {
+	b := acquire()
+	if cond {
+		//lint:ignore batchlifetime fixture demonstrates sanctioned suppression
+		return nil, errBoom
+	}
+	return b, nil
+}
+
+func suppressedAliasWrite(b *batch.Batch) {
+	cols := b.Cols
+	cols[0][0] = 7 //lint:ignore batchlifetime fixture scratch batch is process-private
+}

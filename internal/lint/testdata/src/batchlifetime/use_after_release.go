@@ -1,0 +1,42 @@
+package engine
+
+import "pref/internal/batch"
+
+func useAfterRelease() int64 {
+	b := acquire()
+	b.Release()
+	return b.At(0, 0) // want "use of batch b after it was released"
+}
+
+func useAfterInterprocRelease() int {
+	b := acquire()
+	consumeBatch(b) // summary-computed consume, no marker anywhere
+	return b.Len()  // want "use of batch b after it was released"
+}
+
+func useAfterReleaseAll() int {
+	bs := acquire()
+	all := []*batch.Batch{bs}
+	batch.ReleaseAll(all)
+	return len(all) // want "use of batch all after it was released"
+}
+
+func mayReleaseIsNotFlagged(cond bool) int64 {
+	b := acquire()
+	if cond {
+		b.Release()
+		return 0
+	}
+	v := b.At(0, 0) // released only on the other path: no report
+	b.Release()
+	return v
+}
+
+func rebindRevives() int {
+	b := acquire()
+	b.Release()
+	b = acquire() // fresh batch under the same name
+	n := b.Len()
+	b.Release()
+	return n
+}

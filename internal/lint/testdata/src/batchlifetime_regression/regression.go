@@ -1,0 +1,117 @@
+// Package engine pins the pre-fix shapes of the real error-path leaks that
+// batchlifetime found in the engine's vectorized operators (PR 9). Every
+// other analyzer in the suite must stay silent on this file: the regression
+// test runs the full roster minus batchlifetime and requires zero
+// diagnostics, then batchlifetime alone and requires exactly the wants
+// below. If a cheaper analyzer ever learns to catch these, the pinned
+// contract fails and the roster entry should be re-evaluated.
+package engine
+
+import (
+	"errors"
+
+	"pref/internal/batch"
+)
+
+var errCompile = errors.New("compile failed")
+
+// forEach mirrors the engine's forEachPart barrier: it drives the body once
+// per partition and collects outputs. Callers' closed-over inputs are
+// treated as possibly consumed by the literal.
+func forEach(n int, body func(p int) ([]*batch.Batch, error)) ([][]*batch.Batch, error) {
+	out := make([][]*batch.Batch, n)
+	for p := 0; p < n; p++ {
+		bs, err := body(p)
+		if err != nil {
+			return nil, err
+		}
+		out[p] = bs
+	}
+	return out, nil
+}
+
+// acquireInput builds caller-owned input partitions.
+// lint:batch-owner caller owns the returned batches
+func acquireInput(n int) [][]*batch.Batch {
+	out := make([][]*batch.Batch, n)
+	for p := range out {
+		w := batch.NewWriter(1)
+		w.AppendTuple([]int64{int64(p)})
+		out[p] = w.Finish()
+	}
+	return out
+}
+
+func releaseAll(in [][]*batch.Batch) {
+	for _, bs := range in {
+		batch.ReleaseAll(bs)
+	}
+}
+
+// projectPreFix reproduces evalProjectVec before the fix: a compile failure
+// between acquiring the input and the per-partition handoff returned early
+// and dropped every pooled input batch. The success path's releaseAll must
+// not excuse the early return.
+// lint:batch-owner consumes its input; output batches are fresh
+func projectPreFix(exprs []int) ([][]*batch.Batch, error) {
+	in := acquireInput(2)
+	for _, e := range exprs {
+		if e < 0 {
+			return nil, errCompile // want "still owned at return"
+		}
+	}
+	out, err := forEach(2, func(p int) ([]*batch.Batch, error) {
+		w := batch.NewWriter(1)
+		for _, b := range in[p] {
+			w.AppendBatch(b)
+		}
+		return w.Finish(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	releaseAll(in)
+	return out, nil
+}
+
+// scatterPreFix reproduces evalRepartitionVec before the fix: a ship fault
+// mid-scatter returned early and leaked the owned input.
+// lint:batch-owner consumes in; scatter output is fresh
+func scatterPreFix(in [][]*batch.Batch, fail bool) ([][]*batch.Batch, error) {
+	w := batch.NewWriter(1)
+	for _, bs := range in {
+		for _, b := range bs {
+			w.AppendBatch(b)
+		}
+		if fail {
+			return nil, errCompile // want "still owned at return"
+		}
+	}
+	releaseAll(in)
+	return [][]*batch.Batch{w.Finish()}, nil
+}
+
+// projectFixed is the post-fix shape: every early error return releases the
+// owned input first. batchlifetime must accept it unchanged.
+// lint:batch-owner consumes its input; output batches are fresh
+func projectFixed(exprs []int) ([][]*batch.Batch, error) {
+	in := acquireInput(2)
+	for _, e := range exprs {
+		if e < 0 {
+			releaseAll(in)
+			return nil, errCompile
+		}
+	}
+	out, err := forEach(2, func(p int) ([]*batch.Batch, error) {
+		w := batch.NewWriter(1)
+		for _, b := range in[p] {
+			w.AppendBatch(b)
+		}
+		return w.Finish(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	releaseAll(in)
+	return out, nil
+}
