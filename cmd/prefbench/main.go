@@ -14,10 +14,13 @@
 //	prefbench -exp soak          # cluster health-layer fault-schedule soak
 //	prefbench -exp mixed -rw 1,4,16 # mixed soak across read/write ratios
 //	prefbench -exp fig7 -crash 0.05 -down 2 # fig7 under injected faults
+//	prefbench -exp serve         # multi-tenant serving SLO sweep
+//	prefbench -exp fig7 -timeout 1ms # deadline-bound; exits 2 on expiry
 //	prefbench -list              # available experiment ids
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +30,7 @@ import (
 	"time"
 
 	"pref/internal/bench"
+	"pref/internal/engine"
 	"pref/internal/fault"
 )
 
@@ -50,8 +54,12 @@ func main() {
 		down      = flag.String("down", "", "fault: comma-separated permanently failed node ids")
 		faultSeed = flag.Int64("faultseed", 1, "fault: injection seed")
 		qtimeout  = flag.Duration("qtimeout", 0, "fault: per-query deadline (0 = none)")
+		timeout   = flag.Duration("timeout", 0, "per-query deadline; expiry fails the experiment with the typed deadline error and a non-zero exit (alias of -qtimeout)")
 	)
 	flag.Parse()
+	if *timeout > 0 {
+		*qtimeout = *timeout
+	}
 
 	if *list {
 		for _, id := range bench.ExperimentOrder {
@@ -103,6 +111,7 @@ func main() {
 		ids = strings.Split(*exp, ",")
 	}
 	failed := false
+	deadlineHit := false
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		fn, ok := bench.Experiments[id]
@@ -116,6 +125,7 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "prefbench: %s: %v\n", id, err)
 			failed = true
+			deadlineHit = deadlineHit || errors.Is(err, engine.ErrDeadlineExceeded)
 			continue
 		}
 		elapsed := time.Since(start)
@@ -127,6 +137,10 @@ func main() {
 				failed = true
 			}
 		}
+	}
+	if deadlineHit {
+		// Distinct exit code for deadline expiry, as in prefquery.
+		os.Exit(2)
 	}
 	if failed {
 		os.Exit(1)

@@ -11,10 +11,13 @@
 //	prefquery -q Q4 -no-opt              # disable the Section 2.2 optimizations
 //	prefquery -q Q3 -explain             # execute and print EXPLAIN ANALYZE
 //	prefquery -q Q3 -trace-json t.json   # dump the span tree as JSON
+//	prefquery -q Q9 -timeout 50ms        # deadline-bound execution
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -42,16 +45,22 @@ func main() {
 		traceJSON   = flag.String("trace-json", "", "execute with tracing and write the span tree as JSON to this file (- for stdout)")
 		noOpt       = flag.Bool("no-opt", false, "disable the dup/hasRef optimizations and pruning")
 		maxRows     = flag.Int("rows", 10, "result rows to print")
+		timeout     = flag.Duration("timeout", 0, "query deadline; expiry exits non-zero with the typed deadline error (0 = none)")
 	)
 	flag.Parse()
 
-	if err := run(*query, *variant, *cfgPath, *sf, *parts, *seed, *explainOnly, *noOpt, *maxRows, *explain, *traceJSON); err != nil {
+	if err := run(*query, *variant, *cfgPath, *sf, *parts, *seed, *explainOnly, *noOpt, *maxRows, *explain, *traceJSON, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "prefquery:", err)
+		if errors.Is(err, engine.ErrDeadlineExceeded) {
+			// Distinct exit code for deadline expiry: scripts driving the
+			// deadline-propagation path can tell a kill from a plain error.
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(query, variant, cfgPath string, sf float64, parts int, seed int64, explainOnly, noOpt bool, maxRows int, explain bool, traceJSON string) error {
+func run(query, variant, cfgPath string, sf float64, parts int, seed int64, explainOnly, noOpt bool, maxRows int, explain bool, traceJSON string, timeout time.Duration) error {
 	t := tpch.Generate(sf, seed)
 	var v *bench.Variant
 	if cfgPath != "" {
@@ -108,8 +117,14 @@ func run(query, variant, cfgPath string, sf float64, parts int, seed int64, expl
 		return nil
 	}
 
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 	start := time.Now()
-	res, err := engine.ExecuteOpts(rw, m.PDBs[gi], engine.ExecOptions{Trace: explain || traceJSON != ""})
+	res, err := engine.ExecuteCtx(ctx, rw, m.PDBs[gi], engine.ExecOptions{Trace: explain || traceJSON != ""})
 	if err != nil {
 		return err
 	}

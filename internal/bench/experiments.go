@@ -503,11 +503,12 @@ var Experiments = map[string]func(Params) (*Report, error){
 	"soak":   ResilienceSoak,
 	"mixed":  MixedWorkload,
 	"vec":    VecThroughput,
+	"serve":  ServeLoad,
 }
 
 // ExperimentOrder lists experiment ids in presentation order.
 var ExperimentOrder = []string{
 	"table1", "fig7", "fig8", "fig9", "fig10",
 	"fig11a", "fig11b", "fig12a", "fig12b", "fig13", "fault", "ops",
-	"hedge", "soak", "mixed", "vec",
+	"hedge", "soak", "mixed", "vec", "serve",
 }

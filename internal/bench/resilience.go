@@ -4,10 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"strings"
 	"time"
 
 	"pref/internal/cluster"
+	"pref/internal/engine"
 	"pref/internal/fault"
 	"pref/internal/plan"
 	"pref/internal/tpch"
@@ -134,7 +134,7 @@ func typedSoakFailure(err error) bool {
 		errors.Is(err, cluster.ErrNodeTripped) ||
 		errors.Is(err, cluster.ErrAdmissionTimeout) ||
 		errors.Is(err, context.DeadlineExceeded) ||
-		strings.Contains(err.Error(), "nodes are down")
+		errors.Is(err, engine.ErrAllNodesDown)
 }
 
 // ResilienceSoak runs seed-swept fault schedules per scenario, each a

@@ -1,9 +1,9 @@
 package bench
 
 import (
-	"runtime"
 	"testing"
-	"time"
+
+	"pref/internal/testutil"
 )
 
 // TestWriteChaosSoak is the crash-during-write satellite: at least 100
@@ -17,7 +17,7 @@ func TestWriteChaosSoak(t *testing.T) {
 	if testing.Short() {
 		schedules = 12
 	}
-	before := runtime.NumGoroutine()
+	verifyLeaks := testutil.CheckGoroutineLeaks(t)
 	var crashes, recoveries, queries int
 	var replays int64
 	for sch := 0; sch < schedules; sch++ {
@@ -62,14 +62,7 @@ func TestWriteChaosSoak(t *testing.T) {
 	}
 	t.Logf("soak: %d schedules, %d crashes recovered (%d intent replays), %d racing queries",
 		schedules, crashes, replays, queries)
-
-	deadline := time.Now().Add(2 * time.Second)
-	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
-		time.Sleep(5 * time.Millisecond)
-	}
-	if g := runtime.NumGoroutine(); g > before {
-		t.Fatalf("goroutines leaked during soak: %d before, %d after settle", before, g)
-	}
+	verifyLeaks()
 }
 
 // The registered experiment must run end to end and account for every

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"math/rand"
 	"reflect"
-	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -17,6 +16,7 @@ import (
 	"pref/internal/partition"
 	"pref/internal/plan"
 	"pref/internal/table"
+	"pref/internal/testutil"
 	"pref/internal/trace"
 	"pref/internal/value"
 )
@@ -386,7 +386,7 @@ func typedFailure(err error) bool {
 		errors.Is(err, cluster.ErrNodeTripped) ||
 		errors.Is(err, cluster.ErrAdmissionTimeout) ||
 		errors.Is(err, context.DeadlineExceeded) ||
-		strings.Contains(err.Error(), "nodes are down")
+		errors.Is(err, ErrAllNodesDown)
 }
 
 // soakPolicy derives one randomized fault schedule from a seed.
@@ -449,7 +449,7 @@ func TestChaosSoak(t *testing.T) {
 		targets = append(targets, target{pick.query + "/" + pick.cfg, pq, clean.Rows})
 	}
 
-	before := runtime.NumGoroutine()
+	verifyLeaks := testutil.CheckGoroutineLeaks(t)
 	for s := 0; s < schedules; s++ {
 		pol := soakPolicy(int64(1000 + s))
 		copt := cluster.Options{Nodes: 4, TripAfter: 3, CoolDownQueries: 1, MaxConcurrent: 8}
@@ -481,11 +481,5 @@ func TestChaosSoak(t *testing.T) {
 			t.Fatalf("stopping soak at schedule %d", s)
 		}
 	}
-	deadline := time.Now().Add(2 * time.Second)
-	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
-		time.Sleep(5 * time.Millisecond)
-	}
-	if g := runtime.NumGoroutine(); g > before {
-		t.Fatalf("goroutines leaked during soak: %d before, %d after settle", before, g)
-	}
+	verifyLeaks()
 }

@@ -230,13 +230,35 @@ func ExecuteOpts(rw *plan.Rewritten, pdb *table.PartitionedDatabase, opt ExecOpt
 	return ExecuteCtx(context.Background(), rw, pdb, opt)
 }
 
+// ErrDeadlineExceeded reports a query killed by an expired deadline —
+// the caller's context deadline or the fault policy's per-query timeout —
+// anywhere along the propagation path: waiting in an admission queue,
+// between operator fan-outs, or inside a per-partition work unit. It is
+// deliberately distinct from cluster.ErrAdmissionTimeout (the admission
+// queue's own bounded wait, independent of any client deadline): a serving
+// layer shedding load and a client giving up are different events and are
+// priced differently. Matches errors.Is; the wrapped chain additionally
+// still matches context.DeadlineExceeded.
+var ErrDeadlineExceeded = errors.New("engine: query deadline exceeded")
+
 // ExecuteCtx is ExecuteOpts under a caller-supplied context. The query
 // additionally gets its own deadline when the fault policy sets one;
-// cancelling ctx aborts all in-flight per-node work.
+// cancelling ctx aborts all in-flight per-node work. A query killed by an
+// expired deadline — whether it died queued at admission or mid-execution
+// in a partition goroutine — fails with a typed ErrDeadlineExceeded.
+func ExecuteCtx(ctx context.Context, rw *plan.Rewritten, pdb *table.PartitionedDatabase, opt ExecOptions) (*Result, error) {
+	res, err := executeCtx(ctx, rw, pdb, opt)
+	if err != nil && errors.Is(err, context.DeadlineExceeded) {
+		err = fmt.Errorf("%w: %w", ErrDeadlineExceeded, err)
+	}
+	return res, err
+}
+
+// executeCtx is the untyped body of ExecuteCtx.
 //
 // lint:ship-boundary coordinator assembly: gathers every partition's output
 // and the per-node row counters into the final Result.
-func ExecuteCtx(ctx context.Context, rw *plan.Rewritten, pdb *table.PartitionedDatabase, opt ExecOptions) (*Result, error) {
+func executeCtx(ctx context.Context, rw *plan.Rewritten, pdb *table.PartitionedDatabase, opt ExecOptions) (*Result, error) {
 	if opt.Verify || verifyEnv() {
 		if err := check.Verify(rw); err != nil {
 			return nil, fmt.Errorf("engine: plan failed static verification: %w", err)
@@ -386,6 +408,13 @@ func downKey(down []bool) string {
 	return string(b)
 }
 
+// ErrAllNodesDown reports a query with no surviving node to run on:
+// every logical node is permanently failed, breaker-tripped, or marked
+// down by the health layer. Matches errors.Is; transient when breakers
+// are the cause (cool-downs re-admit nodes), so callers may retry it
+// under budget.
+var ErrAllNodesDown = errors.New("engine: all nodes are down")
+
 // buddyMap assigns every logical partition its executing node: itself, or
 // — for down nodes — the next surviving node in ring order.
 func buddyMap(n int, down []bool) ([]int, error) {
@@ -403,7 +432,7 @@ func buddyMap(n int, down []bool) ([]int, error) {
 			}
 		}
 		if buddy < 0 {
-			return nil, fmt.Errorf("engine: all %d nodes are down", n)
+			return nil, fmt.Errorf("%w (%d nodes)", ErrAllNodesDown, n)
 		}
 		dst[p] = buddy
 	}

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Hist is a concurrency-safe log-bucketed latency histogram: buckets grow
+// geometrically from 1µs, so quantiles carry a bounded relative error
+// (~12%) at any scale from microseconds to minutes with a fixed, tiny
+// footprint. The serving layer keeps one per outcome class; the bench
+// layer reads p50/p99/p999 off it per load regime.
+type Hist struct {
+	mu      sync.Mutex
+	count   int64
+	sum     time.Duration
+	max     time.Duration
+	buckets [histBuckets]int64
+}
+
+const (
+	histBuckets = 96
+	histBase    = time.Microsecond
+	// histGrowth is the per-bucket width multiplier: 1.25^96 spans 1µs to
+	// ~27min.
+	histGrowth = 1.25
+)
+
+// histBounds[i] is the inclusive upper bound of bucket i.
+var histBounds = func() [histBuckets]time.Duration {
+	var b [histBuckets]time.Duration
+	f := float64(histBase)
+	for i := range b {
+		b[i] = time.Duration(f)
+		f *= histGrowth
+	}
+	return b
+}()
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	lo, hi := 0, histBuckets-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if histBounds[mid] >= d {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Observe records one latency sample.
+func (h *Hist) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.mu.Lock()
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	h.buckets[bucketOf(d)]++
+	h.mu.Unlock()
+}
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the arithmetic mean of the recorded samples (0 when empty).
+func (h *Hist) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Quantile returns the latency at quantile q in [0, 1] — the upper bound
+// of the bucket holding the q·count-th sample, so the estimate errs
+// conservatively (never under-reports a tail). Returns 0 when empty; q=1
+// returns the exact observed maximum.
+func (h *Hist) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return h.max
+	}
+	if q < 0 {
+		q = 0
+	}
+	rank := int64(q*float64(h.count-1)) + 1
+	var seen int64
+	for i, n := range h.buckets {
+		seen += n
+		if seen >= rank {
+			if histBounds[i] > h.max {
+				return h.max
+			}
+			return histBounds[i]
+		}
+	}
+	return h.max
+}
+
+// Summary is a fixed quantile snapshot of one histogram.
+type Summary struct {
+	Count            int64
+	Mean             time.Duration
+	P50, P99, P999   time.Duration
+	Max              time.Duration
+}
+
+// Summarize snapshots the standard serving quantiles.
+func (h *Hist) Summarize() Summary {
+	return Summary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+		Max:   h.Quantile(1),
+	}
+}

@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"pref/internal/plan"
+)
+
+// planKey identifies one cached rewrite: the prepared query, the
+// partitioning design it was rewritten against, and the data epoch it was
+// built at. Epoch is part of the key so a write-path publish invalidates
+// by construction — lookups under the new epoch simply miss, and stale
+// entries age out; no explicit invalidation broadcast is needed.
+type planKey struct {
+	query  string
+	design string
+	epoch  int64
+}
+
+// planCache memoizes §2.2 rewrites across submissions. The rewrite is
+// pure in (query, design), but the epoch rides in the key so cached plans
+// never outlive the snapshot discipline: a plan is only reused for
+// queries pinned to the same published epoch it was built under.
+type planCache struct {
+	mu      sync.Mutex
+	entries map[planKey]*plan.Rewritten
+	hits    int64
+	misses  int64
+}
+
+func newPlanCache() *planCache {
+	return &planCache{entries: make(map[planKey]*plan.Rewritten)}
+}
+
+// get returns the cached rewrite for the key, if present.
+func (c *planCache) get(k planKey) (*plan.Rewritten, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rw, ok := c.entries[k]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return rw, ok
+}
+
+// put stores a rewrite and evicts entries of the same (query, design)
+// built at older epochs — they can never be looked up again.
+func (c *planCache) put(k planKey, rw *plan.Rewritten) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for old := range c.entries {
+		if old.query == k.query && old.design == k.design && old.epoch < k.epoch {
+			delete(c.entries, old)
+		}
+	}
+	c.entries[k] = rw
+}
+
+// stats reports cumulative hit/miss counts and the live entry count.
+func (c *planCache) stats() (hits, misses int64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.entries)
+}
+
+// costTable prices queries for the shedder: an EWMA of observed execution
+// latency per (query, design). Unlike the plan cache it is NOT keyed on
+// epoch — pricing knowledge survives write-path publishes, so the shedder
+// does not forget which queries are expensive every time data changes.
+type costTable struct {
+	mu    sync.Mutex
+	costs map[[2]string]time.Duration
+}
+
+func newCostTable() *costTable {
+	return &costTable{costs: make(map[[2]string]time.Duration)}
+}
+
+// costEWMAAlpha weights a new latency sample into the per-query price.
+const costEWMAAlpha = 0.3
+
+// price returns the current priced cost (0 = never executed).
+func (t *costTable) price(query, design string) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.costs[[2]string{query, design}]
+}
+
+// observe feeds one execution latency into the query's price.
+func (t *costTable) observe(query, design string, d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := [2]string{query, design}
+	if cur, ok := t.costs[k]; ok {
+		t.costs[k] = cur + time.Duration(costEWMAAlpha*float64(d-cur))
+	} else {
+		t.costs[k] = d
+	}
+}

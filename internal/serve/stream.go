@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"pref/internal/engine"
+	"pref/internal/plan"
+	"pref/internal/value"
+)
+
+// Response is one fully materialized query result plus serving metadata.
+type Response struct {
+	Schema plan.Schema
+	Rows   []value.Tuple
+	// Epoch is the published data epoch the query was pinned to.
+	Epoch int64
+	// Stats carries the engine's execution counters.
+	Stats engine.Stats
+	// CacheHit reports whether the rewrite came from the plan cache;
+	// Attempts counts executions (1 = no retries); Latency is end-to-end
+	// from submission through execution.
+	CacheHit bool
+	Attempts int
+	Latency  time.Duration
+}
+
+// Stream delivers one query result in bounded chunks. The producer runs
+// at most StreamBuffer+1 chunks ahead of the consumer, and the serving
+// slot stays held until the stream ends — so a slow consumer pushes back
+// on admission instead of piling results up in memory. Streams must be
+// drained or closed; an abandoned stream is released when its query
+// context dies (client deadline or forced drain).
+type Stream struct {
+	// Schema, Epoch, CacheHit, Attempts and Latency mirror Response.
+	Schema   plan.Schema
+	Epoch    int64
+	Stats    engine.Stats
+	CacheHit bool
+	Attempts int
+	Latency  time.Duration
+
+	ctx      context.Context
+	ch       chan []value.Tuple
+	finish   func()
+	complete atomic.Bool // producer delivered every chunk
+}
+
+// newStream starts the producer goroutine chunking res.Rows into a
+// bounded channel. finish releases the serving slot and the query
+// context; the stream arranges for it to run exactly once on every
+// termination path.
+func newStream(qctx context.Context, chunkRows, buffer int, res *engine.Result, attempts int, cacheHit bool, latency time.Duration, finish func()) *Stream {
+	st := &Stream{
+		Schema:   res.Schema,
+		Epoch:    res.Epoch,
+		Stats:    res.Stats,
+		CacheHit: cacheHit,
+		Attempts: attempts,
+		Latency:  latency,
+		ctx:      qctx,
+		ch:       make(chan []value.Tuple, buffer),
+		finish:   finish,
+	}
+	rows := res.Rows
+	go func() {
+		defer close(st.ch)
+		for len(rows) > 0 {
+			n := chunkRows
+			if n > len(rows) {
+				n = len(rows)
+			}
+			// Backpressure point: blocks when the consumer lags by a full
+			// buffer; a dead query context unblocks the producer so a
+			// forced drain never strands this goroutine.
+			select {
+			case st.ch <- rows[:n:n]:
+				rows = rows[n:]
+			case <-qctx.Done():
+				return
+			}
+		}
+		st.complete.Store(true)
+	}()
+	// Abandoned-stream safety net: when the query context dies for any
+	// reason (client deadline, forced drain, or normal Close below), the
+	// slot is released even if the consumer never calls Close.
+	context.AfterFunc(qctx, finish)
+	return st
+}
+
+// Next returns the next chunk of rows. At end of stream it returns
+// (nil, io.EOF) and releases the serving slot; if the query's deadline
+// expires mid-delivery it returns the typed deadline error.
+func (st *Stream) Next() ([]value.Tuple, error) {
+	select {
+	case rows, ok := <-st.ch:
+		if !ok {
+			st.finish()
+			if !st.complete.Load() {
+				// The producer was cut off by a dying context, not done.
+				if err := st.ctx.Err(); errors.Is(err, context.DeadlineExceeded) {
+					return nil, deadlineErr(err)
+				}
+				return nil, st.ctx.Err()
+			}
+			return nil, io.EOF
+		}
+		return rows, nil
+	case <-st.ctx.Done():
+		st.finish()
+		if err := st.ctx.Err(); errors.Is(err, context.DeadlineExceeded) {
+			return nil, deadlineErr(err)
+		}
+		return nil, st.ctx.Err()
+	}
+}
+
+// Drain consumes the rest of the stream into a Response.
+func (st *Stream) Drain() (*Response, error) {
+	resp := &Response{
+		Schema:   st.Schema,
+		Epoch:    st.Epoch,
+		Stats:    st.Stats,
+		CacheHit: st.CacheHit,
+		Attempts: st.Attempts,
+		Latency:  st.Latency,
+	}
+	for {
+		rows, err := st.Next()
+		if err == io.EOF {
+			return resp, nil
+		}
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		resp.Rows = append(resp.Rows, rows...)
+	}
+}
+
+// Close abandons the stream, releasing the serving slot. Safe to call
+// multiple times and after Drain.
+func (st *Stream) Close() { st.finish() }

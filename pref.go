@@ -18,6 +18,9 @@
 //   - An in-memory parallel execution engine that meters network traffic
 //     and models cluster runtime;
 //   - Tuple-at-a-time bulk loading with partition indexes (Section 2.3);
+//   - A multi-tenant serving layer: per-tenant quotas, weighted-fair
+//     admission, cost-priced load shedding, deadline propagation, an
+//     epoch-keyed plan cache, and graceful drain;
 //   - TPC-H and TPC-DS substrates (generators, queries, workloads).
 //
 // # Quick start
@@ -44,6 +47,7 @@ import (
 	"pref/internal/fault"
 	"pref/internal/partition"
 	"pref/internal/plan"
+	"pref/internal/serve"
 	"pref/internal/table"
 	"pref/internal/tpcds"
 	"pref/internal/tpch"
@@ -347,6 +351,71 @@ var (
 // rebuild worker; Close stops it. Pass it to queries via
 // ExecOptions.Cluster.
 func NewCluster(opt ClusterOptions) *Cluster { return cluster.New(opt) }
+
+// ---- multi-tenant serving layer ----
+
+// Serving-layer types. A Server is a long-lived multi-tenant query server
+// over one partitioned database: per-tenant token-bucket quotas and
+// weighted-fair admission, cost-priced load shedding, bounded retry
+// budgets, an epoch-keyed plan cache, streaming delivery with
+// backpressure, end-to-end deadline propagation, and graceful drain.
+type (
+	// Server is the multi-tenant query server (serve.Server).
+	Server = serve.Server
+	// ServeOptions configures a Server (catalog, tenants, admission
+	// ladder bounds, fault hooks).
+	ServeOptions = serve.Options
+	// TenantConfig declares one tenant: fair-share weight plus an
+	// optional token-bucket quota (sustained rate + burst).
+	TenantConfig = serve.TenantConfig
+	// QueryStream delivers one result in bounded chunks with
+	// backpressure; the serving slot is held until it is drained/closed.
+	QueryStream = serve.Stream
+	// QueryResponse is one fully materialized result plus serving
+	// metadata (epoch, attempts, cache hit, latency).
+	QueryResponse = serve.Response
+	// ServeMetrics snapshots a server's counters (outcomes by class,
+	// rejections by ladder stage, latency quantiles, cluster stats).
+	ServeMetrics = serve.Metrics
+	// LatencySummary is a fixed quantile snapshot (p50/p99/p999/max).
+	LatencySummary = serve.Summary
+	// RejectedError is a typed admission rejection: the ladder rung, the
+	// tenant, the priced cost, and a Retry-After hint. Unwrap matches the
+	// rung's sentinel via errors.Is.
+	RejectedError = serve.RejectedError
+)
+
+// Serving-layer sentinel errors, for errors.Is against failed
+// submissions. Together with ErrAdmissionTimeout (the queue rung) and the
+// fault sentinels they form the complete rejection taxonomy: every query
+// a server turns away fails with exactly one of these.
+var (
+	// ErrDeadlineExceeded matches queries killed by an expired deadline —
+	// client context or per-query timeout — anywhere along the path;
+	// context.DeadlineExceeded stays matchable underneath. Deliberately
+	// distinct from ErrAdmissionTimeout.
+	ErrDeadlineExceeded = engine.ErrDeadlineExceeded
+	// ErrAllNodesDown matches queries with no surviving node to run on
+	// (every node permanently failed or breaker-tripped); transient when
+	// breakers are the cause, so worth retrying after cool-down.
+	ErrAllNodesDown = engine.ErrAllNodesDown
+	// ErrQuotaExceeded matches rejections by a tenant's token bucket.
+	ErrQuotaExceeded = serve.ErrQuotaExceeded
+	// ErrOverloaded matches queries shed by cost-priced overload
+	// protection.
+	ErrOverloaded = serve.ErrOverloaded
+	// ErrServerClosed matches submissions against a draining server.
+	ErrServerClosed = serve.ErrServerClosed
+	// ErrUnknownTenant / ErrUnknownQuery match submissions outside the
+	// configured tenant set / prepared catalog.
+	ErrUnknownTenant = serve.ErrUnknownTenant
+	ErrUnknownQuery  = serve.ErrUnknownQuery
+)
+
+// NewServer starts a multi-tenant serving layer over a database (or an
+// already-partitioned one shared with a write path). The caller must
+// Close it; Close drains gracefully and leaks no goroutines.
+func NewServer(opt ServeOptions) (*Server, error) { return serve.NewServer(opt) }
 
 // Execute runs a rewritten plan against a partitioned database.
 func Execute(rw *Rewritten, pdb *PartitionedDatabase) (*Result, error) {

@@ -1,0 +1,125 @@
+package pref_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"pref"
+)
+
+// taxonomyServer builds a small serving stack through the public facade
+// only: a micro TPC-H database under a schema-driven design, one prepared
+// query, and a tenant with a nearly-exhausted quota.
+func taxonomyServer(t *testing.T) (*pref.Server, *pref.TPCH) {
+	t.Helper()
+	db := pref.GenerateTPCH(0.002, 42)
+	d, err := pref.SchemaDriven(db.DB.Without("nation", "region", "supplier"), pref.SDOptions{Parts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := d.Config.Clone()
+	for _, tbl := range []string{"nation", "region", "supplier"} {
+		cfg.Set(&pref.TableScheme{Table: tbl, Method: pref.Replicated})
+	}
+	s, err := pref.NewServer(pref.ServeOptions{
+		DB:     db.DB,
+		Config: cfg,
+		Queries: map[string]func() pref.PlanNode{
+			"Q6": func() pref.PlanNode { return db.Query("Q6") },
+		},
+		Tenants: []pref.TenantConfig{
+			{Name: "gold", Weight: 4},
+			// One token, then a ~17-minute refill: the second submission
+			// must be rejected by the quota rung.
+			{Name: "capped", Weight: 1, Rate: 0.001, Burst: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, db
+}
+
+// TestErrorTaxonomy pins the serving layer's complete rejection taxonomy
+// as observed through the pref facade: every rejection class is
+// errors.Is-matchable against its exported sentinel, carries the typed
+// *RejectedError where the admission ladder rejected it, and the
+// sentinels stay pairwise distinct — in particular the client-deadline
+// kill (ErrDeadlineExceeded) never collapses into the admission queue's
+// own timeout (ErrAdmissionTimeout).
+func TestErrorTaxonomy(t *testing.T) {
+	s, _ := taxonomyServer(t)
+	ctx := context.Background()
+
+	// Unknown names.
+	if _, err := s.Submit(ctx, "gold", "Q99"); !errors.Is(err, pref.ErrUnknownQuery) {
+		t.Fatalf("unknown query err = %v, want ErrUnknownQuery", err)
+	}
+	if _, err := s.Submit(ctx, "nobody", "Q6"); !errors.Is(err, pref.ErrUnknownTenant) {
+		t.Fatalf("unknown tenant err = %v, want ErrUnknownTenant", err)
+	}
+
+	// Quota rung: second submission under the capped tenant is rejected
+	// with the typed RejectedError wrapping ErrQuotaExceeded.
+	if _, err := s.Submit(ctx, "capped", "Q6"); err != nil {
+		t.Fatalf("first capped submission: %v", err)
+	}
+	_, err := s.Submit(ctx, "capped", "Q6")
+	if !errors.Is(err, pref.ErrQuotaExceeded) {
+		t.Fatalf("quota err = %v, want ErrQuotaExceeded", err)
+	}
+	var rej *pref.RejectedError
+	if !errors.As(err, &rej) {
+		t.Fatalf("quota err %v is not a *RejectedError", err)
+	}
+	if rej.Stage != "quota" || rej.Tenant != "capped" || rej.RetryAfter <= 0 {
+		t.Fatalf("quota rejection = %+v, want stage quota with Retry-After hint", rej)
+	}
+
+	// Deadline kill: typed ErrDeadlineExceeded, context.DeadlineExceeded
+	// still matchable underneath, and NOT an admission timeout.
+	dctx, cancel := context.WithTimeout(ctx, time.Nanosecond)
+	defer cancel()
+	_, err = s.Submit(dctx, "gold", "Q6")
+	if !errors.Is(err, pref.ErrDeadlineExceeded) {
+		t.Fatalf("deadline err = %v, want ErrDeadlineExceeded", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline err = %v does not unwrap to context.DeadlineExceeded", err)
+	}
+	if errors.Is(err, pref.ErrAdmissionTimeout) {
+		t.Fatalf("deadline err %v matches ErrAdmissionTimeout: taxonomy collapsed", err)
+	}
+
+	// Drained server: submissions fail with ErrServerClosed.
+	if err := s.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(ctx, "gold", "Q6"); !errors.Is(err, pref.ErrServerClosed) {
+		t.Fatalf("closed err = %v, want ErrServerClosed", err)
+	}
+
+	// The sentinels are pairwise distinct: matching one never matches
+	// another, so callers can price each class differently.
+	sentinels := map[string]error{
+		"ErrDeadlineExceeded": pref.ErrDeadlineExceeded,
+		"ErrAdmissionTimeout": pref.ErrAdmissionTimeout,
+		"ErrQuotaExceeded":    pref.ErrQuotaExceeded,
+		"ErrOverloaded":       pref.ErrOverloaded,
+		"ErrServerClosed":     pref.ErrServerClosed,
+		"ErrUnknownTenant":    pref.ErrUnknownTenant,
+		"ErrUnknownQuery":     pref.ErrUnknownQuery,
+		"ErrNodeTripped":      pref.ErrNodeTripped,
+		"ErrPartitionLost":    pref.ErrPartitionLost,
+		"ErrAllNodesDown":     pref.ErrAllNodesDown,
+	}
+	for an, a := range sentinels {
+		for bn, b := range sentinels {
+			if an != bn && errors.Is(a, b) {
+				t.Fatalf("%s matches %s: sentinels must stay distinct", an, bn)
+			}
+		}
+	}
+}
